@@ -1,0 +1,78 @@
+//! Criterion benchmarks of the host finite-field operations — the real
+//! measurement behind Table IV's CPU column.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use rand::{rngs::StdRng, SeedableRng};
+use std::hint::black_box;
+use zkp_ff::{batch_inverse, Field, Fq377, Fq381, Fr381};
+
+fn bench_fq381(c: &mut Criterion) {
+    let mut rng = StdRng::seed_from_u64(1);
+    let a = Fq381::random(&mut rng);
+    let b = Fq381::random(&mut rng);
+    let mut g = c.benchmark_group("table4_cpu/Fq381");
+    g.bench_function("FF_add", |bench| bench.iter(|| black_box(a) + black_box(b)));
+    g.bench_function("FF_sub", |bench| bench.iter(|| black_box(a) - black_box(b)));
+    g.bench_function("FF_dbl", |bench| bench.iter(|| black_box(a).double()));
+    g.bench_function("FF_mul", |bench| bench.iter(|| black_box(a) * black_box(b)));
+    g.bench_function("FF_sqr", |bench| bench.iter(|| black_box(a).square()));
+    g.bench_function("FF_inv", |bench| bench.iter(|| black_box(a).inverse()));
+    g.finish();
+}
+
+fn bench_fq377(c: &mut Criterion) {
+    let mut rng = StdRng::seed_from_u64(2);
+    let a = Fq377::random(&mut rng);
+    let b = Fq377::random(&mut rng);
+    let mut g = c.benchmark_group("table4_cpu/Fq377");
+    g.bench_function("FF_mul", |bench| bench.iter(|| black_box(a) * black_box(b)));
+    g.bench_function("FF_inv", |bench| bench.iter(|| black_box(a).inverse()));
+    g.finish();
+}
+
+fn bench_scalar_field(c: &mut Criterion) {
+    let mut rng = StdRng::seed_from_u64(3);
+    let a = Fr381::random(&mut rng);
+    let b = Fr381::random(&mut rng);
+    let mut g = c.benchmark_group("table4_cpu/Fr381");
+    g.bench_function("FF_mul", |bench| bench.iter(|| black_box(a) * black_box(b)));
+    g.bench_function("pow_255bit", |bench| {
+        bench.iter(|| black_box(a).pow(&<Fr381 as zkp_ff::PrimeField>::modulus_limbs()))
+    });
+    g.finish();
+}
+
+fn bench_batch_inverse(c: &mut Criterion) {
+    // §IV-D1b: the Montgomery trick (1 inv + 3N mul) vs N inversions.
+    let mut rng = StdRng::seed_from_u64(4);
+    let values: Vec<Fq381> = (0..1024).map(|_| Fq381::random(&mut rng)).collect();
+    let mut g = c.benchmark_group("montgomery_trick");
+    g.bench_function("batch_inverse_1024", |bench| {
+        bench.iter_batched(
+            || values.clone(),
+            |mut v| {
+                batch_inverse(&mut v);
+                v
+            },
+            BatchSize::SmallInput,
+        )
+    });
+    g.bench_function("individual_inverse_1024", |bench| {
+        bench.iter(|| {
+            values
+                .iter()
+                .map(|v| v.inverse().expect("non-zero"))
+                .collect::<Vec<_>>()
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_fq381,
+    bench_fq377,
+    bench_scalar_field,
+    bench_batch_inverse
+);
+criterion_main!(benches);

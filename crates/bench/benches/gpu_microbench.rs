@@ -1,0 +1,47 @@
+//! Criterion benchmarks of the GPU *simulator* itself: how fast the SMSP
+//! model executes the FF kernels (simulation throughput, not modeled GPU
+//! time — that is what `paper_tables` reports).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use gpu_kernels::{run_ff_op, FfInputs, FfOp, Field32};
+use gpu_sim::machine::SmspConfig;
+use zkp_ff::{Fq381Config, Fr381Config};
+
+fn bench_ff_kernels(c: &mut Criterion) {
+    let fq = Field32::of::<Fq381Config, 6>();
+    let fr = Field32::of::<Fr381Config, 4>();
+    let mut g = c.benchmark_group("gpu_sim/ff_kernels");
+    g.sample_size(10);
+    for (label, field) in [("fq_12limb", &fq), ("fr_8limb", &fr)] {
+        let inputs = FfInputs::random(field, 2, 99);
+        for op in [FfOp::Add, FfOp::Mul] {
+            g.bench_with_input(
+                BenchmarkId::new(label, op.name()),
+                &op,
+                |b, &op| {
+                    b.iter(|| {
+                        run_ff_op(field, op, &SmspConfig::default(), &inputs, 2, 4)
+                    })
+                },
+            );
+        }
+    }
+    g.finish();
+}
+
+fn bench_warp_scaling(c: &mut Criterion) {
+    // Fig. 10's sweep: simulation cost as resident warps grow.
+    let fq = Field32::of::<Fq381Config, 6>();
+    let mut g = c.benchmark_group("gpu_sim/warp_scaling");
+    g.sample_size(10);
+    for warps in [1usize, 4, 16] {
+        let inputs = FfInputs::random(&fq, warps, 5);
+        g.bench_with_input(BenchmarkId::new("ff_mul", warps), &warps, |b, &w| {
+            b.iter(|| run_ff_op(&fq, FfOp::Mul, &SmspConfig::default(), &inputs, w, 2))
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_ff_kernels, bench_warp_scaling);
+criterion_main!(benches);

@@ -1,0 +1,75 @@
+//! Criterion benchmarks of the full Groth16 protocol — the Fig. 3
+//! pipeline on the CPU stack.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rand::{rngs::StdRng, SeedableRng};
+use zkp_curves::bls12_381::Bls12381;
+use zkp_ff::Fr381;
+use zkp_groth16::{prove, setup, verify};
+use zkp_r1cs::circuits::{mimc, squaring_chain};
+use zkp_ff::Field;
+
+fn bench_prover_scales(c: &mut Criterion) {
+    let mut g = c.benchmark_group("groth16/prove");
+    g.sample_size(10);
+    for constraints in [64usize, 256, 1024] {
+        let mut rng = StdRng::seed_from_u64(constraints as u64);
+        let cs = squaring_chain(Fr381::from_u64(3), constraints);
+        let pk = setup::<Bls12381, _>(&cs, &mut rng);
+        g.bench_with_input(
+            BenchmarkId::new("constraints", constraints),
+            &constraints,
+            |b, _| b.iter(|| prove(&pk, &cs, &mut rng)),
+        );
+    }
+    g.finish();
+}
+
+fn bench_verifier(c: &mut Criterion) {
+    // "Verification is constant time and requires a few milliseconds."
+    let mut rng = StdRng::seed_from_u64(1);
+    let mut g = c.benchmark_group("groth16/verify");
+    g.sample_size(10);
+    for constraints in [64usize, 1024] {
+        let cs = mimc(Fr381::from_u64(5), constraints / 2);
+        let pk = setup::<Bls12381, _>(&cs, &mut rng);
+        let (proof, _) = prove(&pk, &cs, &mut rng);
+        g.bench_with_input(
+            BenchmarkId::new("constraints", constraints),
+            &constraints,
+            |b, _| b.iter(|| assert!(verify(&pk.vk, &proof, &cs.assignment.public))),
+        );
+    }
+    g.finish();
+}
+
+fn bench_setup(c: &mut Criterion) {
+    let mut rng = StdRng::seed_from_u64(2);
+    let cs = mimc(Fr381::from_u64(7), 128);
+    let mut g = c.benchmark_group("groth16/setup");
+    g.sample_size(10);
+    g.bench_function("mimc_256", |b| {
+        b.iter(|| setup::<Bls12381, _>(&cs, &mut rng))
+    });
+    g.finish();
+}
+
+fn bench_pairing(c: &mut Criterion) {
+    use zkp_curves::bls12_381::{pairing, G1, G2};
+    use zkp_curves::SwCurve;
+    let p = G1::generator();
+    let q = G2::generator();
+    let mut g = c.benchmark_group("groth16/pairing");
+    g.sample_size(10);
+    g.bench_function("ate_pairing", |b| b.iter(|| pairing(&p, &q)));
+    g.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_prover_scales,
+    bench_verifier,
+    bench_setup,
+    bench_pairing
+);
+criterion_main!(benches);

@@ -1,0 +1,89 @@
+//! Criterion benchmarks of the CPU Pippenger MSM across the algorithmic
+//! variants the GPU libraries embody (Table II's MSM column, CPU side).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use zkp_bench::random_pairs;
+use zkp_curves::bls12_381::{G1, G2};
+use zkp_msm::{msm_parallel, msm_with_config, FixedBase, MsmConfig, PrecomputedPoints};
+
+fn bench_msm_scales(c: &mut Criterion) {
+    let mut g = c.benchmark_group("msm/scales");
+    g.sample_size(10);
+    for log_n in [8u32, 10, 12] {
+        let n = 1usize << log_n;
+        let (points, scalars) = random_pairs::<G1>(n, 10 + u64::from(log_n));
+        g.bench_with_input(BenchmarkId::new("xyzz", log_n), &log_n, |b, _| {
+            b.iter(|| msm_with_config(&points, &scalars, &MsmConfig::default()))
+        });
+    }
+    g.finish();
+}
+
+fn bench_msm_variants(c: &mut Criterion) {
+    let (points, scalars) = random_pairs::<G1>(1 << 12, 20);
+    let mut g = c.benchmark_group("msm/variants_2^12");
+    g.sample_size(10);
+    for (name, config) in [
+        ("bellperson_jacobian", MsmConfig::bellperson_style()),
+        ("sppark_xyzz", MsmConfig::sppark_style()),
+        ("ymc_signed", MsmConfig::ymc_style()),
+    ] {
+        g.bench_function(name, |b| {
+            b.iter(|| msm_with_config(&points, &scalars, &config))
+        });
+    }
+    let threads = std::thread::available_parallelism().map_or(1, |t| t.get());
+    g.bench_function("parallel", |b| {
+        b.iter(|| msm_parallel(&points, &scalars, &MsmConfig::default(), threads))
+    });
+    g.finish();
+}
+
+fn bench_precompute(c: &mut Criterion) {
+    // Fig. 12's trade-off: fewer windows after building a bigger table.
+    let (points, scalars) = random_pairs::<G1>(1 << 10, 30);
+    let mut g = c.benchmark_group("msm/precompute_2^10");
+    g.sample_size(10);
+    for target_windows in [8u32, 2, 1] {
+        let table = PrecomputedPoints::build(&points, 10, target_windows);
+        g.bench_with_input(
+            BenchmarkId::new("windows", target_windows),
+            &target_windows,
+            |b, _| b.iter(|| table.msm(&scalars)),
+        );
+    }
+    g.finish();
+}
+
+fn bench_g2_msm(c: &mut Criterion) {
+    // The CPU-side G2 MSM of the Groth16 prover (§II-A).
+    let (points, scalars) = random_pairs::<G2>(1 << 8, 40);
+    let mut g = c.benchmark_group("msm/g2_2^8");
+    g.sample_size(10);
+    g.bench_function("xyzz", |b| {
+        b.iter(|| msm_with_config(&points, &scalars, &MsmConfig::default()))
+    });
+    g.finish();
+}
+
+fn bench_fixed_base(c: &mut Criterion) {
+    use rand::{rngs::StdRng, SeedableRng};
+    use zkp_curves::SwCurve;
+    use zkp_ff::Field;
+    let mut rng = StdRng::seed_from_u64(50);
+    let scalars: Vec<zkp_ff::Fr381> = (0..256).map(|_| Field::random(&mut rng)).collect();
+    let table = FixedBase::new(G1::generator(), 8);
+    let mut g = c.benchmark_group("msm/fixed_base");
+    g.bench_function("batch_256", |b| b.iter(|| table.batch_mul(&scalars)));
+    g.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_msm_scales,
+    bench_msm_variants,
+    bench_precompute,
+    bench_g2_msm,
+    bench_fixed_base
+);
+criterion_main!(benches);

@@ -1,0 +1,84 @@
+//! Criterion benchmarks of the CPU NTT (Table II's NTT column, CPU side)
+//! and the radix-2^r schedules.
+
+use criterion::{criterion_group, criterion_main, BatchSize, BenchmarkId, Criterion};
+use rand::{rngs::StdRng, SeedableRng};
+use zkp_ff::{Field, Fr381};
+use zkp_ntt::{coset_intt, coset_ntt, ntt, ntt_staged, quotient_poly, Domain};
+
+fn random_vec(n: usize, seed: u64) -> Vec<Fr381> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    (0..n).map(|_| Fr381::random(&mut rng)).collect()
+}
+
+fn bench_ntt_scales(c: &mut Criterion) {
+    let mut g = c.benchmark_group("ntt/scales");
+    g.sample_size(10);
+    for log_n in [10u32, 12, 14, 16] {
+        let n = 1usize << log_n;
+        let d = Domain::<Fr381>::new(n as u64).expect("within two-adicity");
+        let v = random_vec(n, u64::from(log_n));
+        g.bench_with_input(BenchmarkId::new("radix2", log_n), &log_n, |b, _| {
+            b.iter_batched(
+                || v.clone(),
+                |mut data| {
+                    ntt(&d, &mut data);
+                    data
+                },
+                BatchSize::LargeInput,
+            )
+        });
+    }
+    g.finish();
+}
+
+fn bench_staged_radices(c: &mut Criterion) {
+    // The bellperson-style stage grouping (radix-256 = 8 stages/pass).
+    let n = 1usize << 14;
+    let d = Domain::<Fr381>::new(n as u64).expect("within two-adicity");
+    let v = random_vec(n, 7);
+    let mut g = c.benchmark_group("ntt/staged_2^14");
+    g.sample_size(10);
+    for r_log in [1u32, 4, 8] {
+        g.bench_with_input(BenchmarkId::new("radix", 1u32 << r_log), &r_log, |b, &r| {
+            b.iter_batched(
+                || v.clone(),
+                |mut data| {
+                    ntt_staged(&mut data, d.omega(), r);
+                    data
+                },
+                BatchSize::LargeInput,
+            )
+        });
+    }
+    g.finish();
+}
+
+fn bench_coset_and_quotient(c: &mut Criterion) {
+    // The Groth16 h-pipeline building blocks (Fig. 3).
+    let n = 1usize << 12;
+    let d = Domain::<Fr381>::new(n as u64).expect("within two-adicity");
+    let a = random_vec(n, 8);
+    let b_ev = random_vec(n, 9);
+    let c_ev: Vec<Fr381> = a.iter().zip(&b_ev).map(|(x, y)| *x * *y).collect();
+    let mut g = c.benchmark_group("ntt/groth16_pipeline_2^12");
+    g.sample_size(10);
+    g.bench_function("coset_round_trip", |bench| {
+        bench.iter_batched(
+            || a.clone(),
+            |mut data| {
+                coset_ntt(&d, &mut data);
+                coset_intt(&d, &mut data);
+                data
+            },
+            BatchSize::LargeInput,
+        )
+    });
+    g.bench_function("quotient_poly_7_transforms", |bench| {
+        bench.iter(|| quotient_poly(&d, &a, &b_ev, &c_ev))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_ntt_scales, bench_staged_radices, bench_coset_and_quotient);
+criterion_main!(benches);

@@ -1,0 +1,25 @@
+//! The paper regenerator: prints every table and figure of the ZKProphet
+//! evaluation (Tables II–VI, Figs. 1 and 5–12, plus the §IV-D1b analysis),
+//! with the paper's own values inline for comparison.
+//!
+//! Run with:
+//!
+//! ```sh
+//! cargo bench -p zkp-bench --bench paper_tables
+//! ```
+//!
+//! Pass a device fragment (e.g. `h100`) after `--` to retarget.
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let device = args
+        .iter()
+        .skip(1)
+        .find_map(|a| gpu_sim::device::by_name(a))
+        .unwrap_or_else(gpu_sim::device::a40);
+    println!(
+        "ZKProphet paper regeneration — device: {} ({} SMs, CC {}.{})\n",
+        device.name, device.sm_count, device.compute_capability.0, device.compute_capability.1
+    );
+    println!("{}", zkprophet::full_report(&device));
+}

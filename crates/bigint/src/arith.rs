@@ -1,0 +1,88 @@
+//! Low-level limb arithmetic primitives shared by [`Uint`](crate::Uint) and
+//! the Montgomery field implementations built on top of this crate.
+//!
+//! All primitives operate on 64-bit limbs. They are written against `u128`
+//! intermediates, which LLVM lowers to `ADC`/`MUL` chains on x86-64 — the
+//! 64-bit-native pipeline the paper contrasts with the GPU's 32-bit one.
+
+/// Adds `a + b + carry`, returning the low limb and the carry out.
+///
+/// # Examples
+///
+/// ```
+/// use zkp_bigint::arith::adc;
+/// assert_eq!(adc(u64::MAX, 1, 0), (0, 1));
+/// ```
+#[inline(always)]
+pub const fn adc(a: u64, b: u64, carry: u64) -> (u64, u64) {
+    let t = a as u128 + b as u128 + carry as u128;
+    (t as u64, (t >> 64) as u64)
+}
+
+/// Subtracts `a - b - borrow`, returning the low limb and the borrow out
+/// (`1` if the subtraction wrapped, `0` otherwise).
+///
+/// # Examples
+///
+/// ```
+/// use zkp_bigint::arith::sbb;
+/// assert_eq!(sbb(0, 1, 0), (u64::MAX, 1));
+/// ```
+#[inline(always)]
+pub const fn sbb(a: u64, b: u64, borrow: u64) -> (u64, u64) {
+    let t = (a as u128).wrapping_sub(b as u128 + borrow as u128);
+    (t as u64, ((t >> 64) as u64) & 1)
+}
+
+/// Computes `a + b * c + carry`, returning the low limb and the high limb.
+///
+/// This is the multiply-accumulate step of schoolbook and Montgomery
+/// multiplication (the 64-bit analogue of the GPU `IMAD` instruction the
+/// paper identifies as dominating `FF_mul`).
+#[inline(always)]
+pub const fn mac(a: u64, b: u64, c: u64, carry: u64) -> (u64, u64) {
+    let t = a as u128 + (b as u128) * (c as u128) + carry as u128;
+    (t as u64, (t >> 64) as u64)
+}
+
+/// Computes `b * c + carry`, returning the low limb and the high limb.
+#[inline(always)]
+pub const fn mul_carry(b: u64, c: u64, carry: u64) -> (u64, u64) {
+    let t = (b as u128) * (c as u128) + carry as u128;
+    (t as u64, (t >> 64) as u64)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn adc_chains_carries() {
+        let (lo, c) = adc(u64::MAX, u64::MAX, 1);
+        assert_eq!(lo, u64::MAX);
+        assert_eq!(c, 1);
+        assert_eq!(adc(1, 2, 0), (3, 0));
+    }
+
+    #[test]
+    fn sbb_borrows() {
+        assert_eq!(sbb(5, 3, 0), (2, 0));
+        assert_eq!(sbb(3, 5, 0), (u64::MAX - 1, 1));
+        assert_eq!(sbb(0, 0, 1), (u64::MAX, 1));
+    }
+
+    #[test]
+    fn mac_full_range() {
+        // (2^64-1)^2 + (2^64-1) + (2^64-1) fits exactly in 128 bits.
+        let m = u64::MAX;
+        let (lo, hi) = mac(m, m, m, m);
+        let expect = m as u128 + (m as u128) * (m as u128) + m as u128;
+        assert_eq!(lo, expect as u64);
+        assert_eq!(hi, (expect >> 64) as u64);
+    }
+
+    #[test]
+    fn mul_carry_matches_mac_with_zero_addend() {
+        assert_eq!(mul_carry(7, 9, 4), mac(0, 7, 9, 4));
+    }
+}

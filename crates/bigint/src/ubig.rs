@@ -1,0 +1,522 @@
+//! Arbitrary-precision unsigned integers.
+//!
+//! [`UBig`] backs the *derivation* side of the workspace: computing curve
+//! cofactors from the BLS parameter (`#E = h·r`, twist orders via the
+//! complex-multiplication equation `4q² = t₂² + 3f²`), and the generic
+//! final-exponentiation exponent `(q⁴ - q² + 1)/r`. It favours clarity over
+//! speed — these computations run once per curve instantiation.
+
+use crate::arith::{adc, mac, sbb};
+use crate::Uint;
+use core::cmp::Ordering;
+use core::fmt;
+
+/// An arbitrary-precision unsigned integer (little-endian 64-bit limbs,
+/// normalized so the most significant limb is non-zero).
+///
+/// # Examples
+///
+/// ```
+/// use zkp_bigint::UBig;
+/// let q = UBig::from_hex("1a0111ea397fe69a4b1ba7b6434bacd7");
+/// let (quot, rem) = q.div_rem(&UBig::from(7u64));
+/// assert_eq!((&quot * &UBig::from(7u64)).add(&rem), q);
+/// ```
+#[derive(Clone, PartialEq, Eq, Hash, Default)]
+pub struct UBig {
+    limbs: Vec<u64>,
+}
+
+impl UBig {
+    /// The value zero.
+    pub fn zero() -> Self {
+        Self { limbs: Vec::new() }
+    }
+
+    /// The value one.
+    pub fn one() -> Self {
+        Self { limbs: vec![1] }
+    }
+
+    /// Builds from little-endian limbs, normalizing trailing zeros.
+    pub fn from_limbs(limbs: &[u64]) -> Self {
+        let mut v = Self {
+            limbs: limbs.to_vec(),
+        };
+        v.normalize();
+        v
+    }
+
+    /// Parses a big-endian hexadecimal string (optionally `0x`-prefixed).
+    ///
+    /// # Panics
+    ///
+    /// Panics on invalid hex digits.
+    pub fn from_hex(s: &str) -> Self {
+        let s = s.strip_prefix("0x").unwrap_or(s);
+        let nibbles: Vec<u64> = s
+            .bytes()
+            .filter(|b| !b.is_ascii_whitespace() && *b != b'_')
+            .map(|b| match b {
+                b'0'..=b'9' => (b - b'0') as u64,
+                b'a'..=b'f' => (b - b'a' + 10) as u64,
+                b'A'..=b'F' => (b - b'A' + 10) as u64,
+                _ => panic!("invalid hex digit in UBig constant"),
+            })
+            .collect();
+        let mut limbs = vec![0u64; nibbles.len().div_ceil(16)];
+        for (i, nib) in nibbles.iter().rev().enumerate() {
+            limbs[i / 16] |= nib << (4 * (i % 16));
+        }
+        Self::from_limbs(&limbs)
+    }
+
+    fn normalize(&mut self) {
+        while self.limbs.last() == Some(&0) {
+            self.limbs.pop();
+        }
+    }
+
+    /// Returns `true` if the value is zero.
+    pub fn is_zero(&self) -> bool {
+        self.limbs.is_empty()
+    }
+
+    /// Returns `true` if the value is one.
+    pub fn is_one(&self) -> bool {
+        self.limbs == [1]
+    }
+
+    /// Returns `true` if the lowest bit is clear (zero is even).
+    pub fn is_even(&self) -> bool {
+        self.limbs.first().map_or(true, |l| l & 1 == 0)
+    }
+
+    /// Number of significant bits (`0` for zero).
+    pub fn num_bits(&self) -> u32 {
+        match self.limbs.last() {
+            None => 0,
+            Some(&top) => 64 * (self.limbs.len() as u32 - 1) + (64 - top.leading_zeros()),
+        }
+    }
+
+    /// Returns bit `i` (little-endian); bits past the width read as `false`.
+    pub fn bit(&self, i: u32) -> bool {
+        let limb = (i / 64) as usize;
+        limb < self.limbs.len() && (self.limbs[limb] >> (i % 64)) & 1 == 1
+    }
+
+    /// Little-endian limb view.
+    pub fn limbs(&self) -> &[u64] {
+        &self.limbs
+    }
+
+    /// Converts to a fixed-width [`Uint`], returning `None` if it does not fit.
+    pub fn to_uint<const N: usize>(&self) -> Option<Uint<N>> {
+        if self.limbs.len() > N {
+            return None;
+        }
+        let mut out = [0u64; N];
+        out[..self.limbs.len()].copy_from_slice(&self.limbs);
+        Some(Uint(out))
+    }
+
+    /// Sum of `self + rhs`.
+    pub fn add(&self, rhs: &Self) -> Self {
+        let (long, short) = if self.limbs.len() >= rhs.limbs.len() {
+            (&self.limbs, &rhs.limbs)
+        } else {
+            (&rhs.limbs, &self.limbs)
+        };
+        let mut out = Vec::with_capacity(long.len() + 1);
+        let mut carry = 0;
+        for i in 0..long.len() {
+            let b = short.get(i).copied().unwrap_or(0);
+            let (l, c) = adc(long[i], b, carry);
+            out.push(l);
+            carry = c;
+        }
+        if carry != 0 {
+            out.push(carry);
+        }
+        Self::from_limbs(&out)
+    }
+
+    /// Difference `self - rhs`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `rhs > self` (UBig is unsigned).
+    pub fn sub(&self, rhs: &Self) -> Self {
+        assert!(self >= rhs, "UBig subtraction underflow");
+        let mut out = Vec::with_capacity(self.limbs.len());
+        let mut borrow = 0;
+        for i in 0..self.limbs.len() {
+            let b = rhs.limbs.get(i).copied().unwrap_or(0);
+            let (l, br) = sbb(self.limbs[i], b, borrow);
+            out.push(l);
+            borrow = br;
+        }
+        debug_assert_eq!(borrow, 0);
+        Self::from_limbs(&out)
+    }
+
+    /// Product `self * rhs` (schoolbook).
+    pub fn mul(&self, rhs: &Self) -> Self {
+        if self.is_zero() || rhs.is_zero() {
+            return Self::zero();
+        }
+        let mut out = vec![0u64; self.limbs.len() + rhs.limbs.len()];
+        for (i, &a) in self.limbs.iter().enumerate() {
+            let mut carry = 0;
+            for (j, &b) in rhs.limbs.iter().enumerate() {
+                let (l, c) = mac(out[i + j], a, b, carry);
+                out[i + j] = l;
+                carry = c;
+            }
+            out[i + rhs.limbs.len()] = carry;
+        }
+        Self::from_limbs(&out)
+    }
+
+    /// Left shift by `n` bits.
+    pub fn shl(&self, n: u32) -> Self {
+        if self.is_zero() {
+            return Self::zero();
+        }
+        let limb_shift = (n / 64) as usize;
+        let bit_shift = n % 64;
+        let mut out = vec![0u64; self.limbs.len() + limb_shift + 1];
+        for (i, &l) in self.limbs.iter().enumerate() {
+            out[i + limb_shift] |= l << bit_shift;
+            if bit_shift != 0 {
+                out[i + limb_shift + 1] |= l >> (64 - bit_shift);
+            }
+        }
+        Self::from_limbs(&out)
+    }
+
+    /// Right shift by `n` bits.
+    pub fn shr(&self, n: u32) -> Self {
+        let limb_shift = (n / 64) as usize;
+        if limb_shift >= self.limbs.len() {
+            return Self::zero();
+        }
+        let bit_shift = n % 64;
+        let src = &self.limbs[limb_shift..];
+        let mut out = vec![0u64; src.len()];
+        for i in 0..src.len() {
+            out[i] = src[i] >> bit_shift;
+            if bit_shift != 0 && i + 1 < src.len() {
+                out[i] |= src[i + 1] << (64 - bit_shift);
+            }
+        }
+        Self::from_limbs(&out)
+    }
+
+    /// Euclidean division: returns `(self / rhs, self % rhs)`.
+    ///
+    /// Uses shift-and-subtract long division — plenty fast for the
+    /// once-per-curve derivations this crate serves.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `rhs` is zero.
+    pub fn div_rem(&self, rhs: &Self) -> (Self, Self) {
+        assert!(!rhs.is_zero(), "UBig division by zero");
+        if self < rhs {
+            return (Self::zero(), self.clone());
+        }
+        let shift = self.num_bits() - rhs.num_bits();
+        let mut rem = self.clone();
+        let mut quot_limbs = vec![0u64; (shift as usize / 64) + 1];
+        let mut d = rhs.shl(shift);
+        for i in (0..=shift).rev() {
+            if rem >= d {
+                rem = rem.sub(&d);
+                quot_limbs[(i / 64) as usize] |= 1 << (i % 64);
+            }
+            d = d.shr(1);
+        }
+        (Self::from_limbs(&quot_limbs), rem)
+    }
+
+    /// Returns `self / rhs` if the division is exact, `None` otherwise.
+    pub fn checked_exact_div(&self, rhs: &Self) -> Option<Self> {
+        let (q, r) = self.div_rem(rhs);
+        r.is_zero().then_some(q)
+    }
+
+    /// Returns `true` if `rhs` divides `self`.
+    pub fn is_multiple_of(&self, rhs: &Self) -> bool {
+        self.div_rem(rhs).1.is_zero()
+    }
+
+    /// Integer square root: the largest `s` with `s² ≤ self` (Newton).
+    pub fn isqrt(&self) -> Self {
+        if self.is_zero() {
+            return Self::zero();
+        }
+        // Initial guess: 2^ceil(bits/2) is always >= isqrt.
+        let mut x = Self::one().shl(self.num_bits().div_ceil(2));
+        loop {
+            // x' = (x + self/x) / 2
+            let next = x.add(&self.div_rem(&x).0).shr(1);
+            if next >= x {
+                return x;
+            }
+            x = next;
+        }
+    }
+
+    /// Modular multiplication `self * rhs mod m`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `m` is zero.
+    pub fn modmul(&self, rhs: &Self, m: &Self) -> Self {
+        self.mul(rhs).div_rem(m).1
+    }
+
+    /// Modular exponentiation `self^exp mod m` by square-and-multiply.
+    ///
+    /// Used for once-per-curve derivations (non-residue search, two-adic
+    /// roots of unity); not constant-time and not meant to be.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `m` is zero.
+    pub fn modpow(&self, exp: &Self, m: &Self) -> Self {
+        if m.is_one() {
+            return Self::zero();
+        }
+        let mut base = self.div_rem(m).1;
+        let mut acc = Self::one();
+        for i in 0..exp.num_bits() {
+            if exp.bit(i) {
+                acc = acc.modmul(&base, m);
+            }
+            base = base.modmul(&base, m);
+        }
+        acc
+    }
+
+    /// Exponentiation by a small exponent.
+    pub fn pow(&self, mut exp: u32) -> Self {
+        let mut base = self.clone();
+        let mut acc = Self::one();
+        while exp > 0 {
+            if exp & 1 == 1 {
+                acc = acc.mul(&base);
+            }
+            base = base.mul(&base);
+            exp >>= 1;
+        }
+        acc
+    }
+}
+
+impl From<u64> for UBig {
+    fn from(v: u64) -> Self {
+        Self::from_limbs(&[v])
+    }
+}
+
+impl<const N: usize> From<Uint<N>> for UBig {
+    fn from(v: Uint<N>) -> Self {
+        Self::from_limbs(v.limbs())
+    }
+}
+
+impl PartialOrd for UBig {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for UBig {
+    fn cmp(&self, other: &Self) -> Ordering {
+        match self.limbs.len().cmp(&other.limbs.len()) {
+            Ordering::Equal => {}
+            non_eq => return non_eq,
+        }
+        for i in (0..self.limbs.len()).rev() {
+            match self.limbs[i].cmp(&other.limbs[i]) {
+                Ordering::Equal => continue,
+                non_eq => return non_eq,
+            }
+        }
+        Ordering::Equal
+    }
+}
+
+impl core::ops::Add for &UBig {
+    type Output = UBig;
+    fn add(self, rhs: &UBig) -> UBig {
+        UBig::add(self, rhs)
+    }
+}
+
+impl core::ops::Sub for &UBig {
+    type Output = UBig;
+    fn sub(self, rhs: &UBig) -> UBig {
+        UBig::sub(self, rhs)
+    }
+}
+
+impl core::ops::Mul for &UBig {
+    type Output = UBig;
+    fn mul(self, rhs: &UBig) -> UBig {
+        UBig::mul(self, rhs)
+    }
+}
+
+impl fmt::Debug for UBig {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "UBig(0x{self:x})")
+    }
+}
+
+impl fmt::Display for UBig {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "0x{self:x}")
+    }
+}
+
+impl fmt::LowerHex for UBig {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.is_zero() {
+            return write!(f, "0");
+        }
+        let mut iter = self.limbs.iter().rev();
+        write!(f, "{:x}", iter.next().expect("non-zero UBig has limbs"))?;
+        for l in iter {
+            write!(f, "{l:016x}")?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ub(s: &str) -> UBig {
+        UBig::from_hex(s)
+    }
+
+    #[test]
+    fn hex_round_trip() {
+        let s = "1a0111ea397fe69a4b1ba7b6434bacd764774b84f38512bf6730d2a0f6b0f6241eabfffeb153ffffb9feffffffffaaab";
+        assert_eq!(format!("{:x}", ub(s)), s);
+        assert!(ub("0").is_zero());
+    }
+
+    #[test]
+    fn add_sub_round_trip() {
+        let a = ub("ffffffffffffffffffffffffffffffff");
+        let b = ub("1");
+        let s = a.add(&b);
+        assert_eq!(format!("{s:x}"), "100000000000000000000000000000000");
+        assert_eq!(s.sub(&b), a);
+    }
+
+    #[test]
+    #[should_panic(expected = "underflow")]
+    fn sub_underflow_panics() {
+        let _ = ub("1").sub(&ub("2"));
+    }
+
+    #[test]
+    fn mul_known_value() {
+        let a = ub("ffffffffffffffff");
+        let sq = a.mul(&a);
+        assert_eq!(format!("{sq:x}"), "fffffffffffffffe0000000000000001");
+    }
+
+    #[test]
+    fn div_rem_identity() {
+        let n = ub("1a0111ea397fe69a4b1ba7b6434bacd764774b84f38512bf6730d2a0f6b0f624");
+        let d = ub("73eda753299d7d48");
+        let (q, r) = n.div_rem(&d);
+        assert!(r < d);
+        assert_eq!(q.mul(&d).add(&r), n);
+    }
+
+    #[test]
+    fn div_by_larger_is_zero() {
+        let (q, r) = ub("5").div_rem(&ub("7"));
+        assert!(q.is_zero());
+        assert_eq!(r, ub("5"));
+    }
+
+    #[test]
+    fn exact_division() {
+        let d = ub("73eda753299d7d483339d80809a1d80553bda402fffe5bfeffffffff00000001");
+        let k = ub("396c8c005555e1568c00aaab0000aaab");
+        let n = d.mul(&k);
+        assert_eq!(n.checked_exact_div(&d), Some(k));
+        assert_eq!(n.add(&UBig::one()).checked_exact_div(&d), None);
+    }
+
+    #[test]
+    fn isqrt_exact_and_inexact() {
+        let k = ub("123456789abcdef0123456789abcdef0");
+        let sq = k.mul(&k);
+        assert_eq!(sq.isqrt(), k);
+        assert_eq!(sq.add(&UBig::one()).isqrt(), k);
+        assert_eq!(sq.sub(&UBig::one()).isqrt(), k.sub(&UBig::one()));
+        assert!(UBig::zero().isqrt().is_zero());
+        assert_eq!(UBig::from(1u64).isqrt(), UBig::one());
+        assert_eq!(UBig::from(99u64).isqrt(), UBig::from(9u64));
+    }
+
+    #[test]
+    fn shifts() {
+        let v = ub("1");
+        assert_eq!(v.shl(127), ub("80000000000000000000000000000000"));
+        assert_eq!(v.shl(127).shr(127), v);
+        assert!(v.shr(1).is_zero());
+    }
+
+    #[test]
+    fn pow_small() {
+        assert_eq!(UBig::from(3u64).pow(5), UBig::from(243u64));
+        assert_eq!(UBig::from(2u64).pow(100), UBig::one().shl(100));
+        assert_eq!(UBig::from(7u64).pow(0), UBig::one());
+    }
+
+    #[test]
+    fn modpow_fermat() {
+        // Fermat's little theorem for a prime p: a^(p-1) = 1 mod p.
+        let p = ub("73eda753299d7d483339d80809a1d80553bda402fffe5bfeffffffff00000001");
+        let a = ub("123456789abcdef");
+        let e = p.sub(&UBig::one());
+        assert!(a.modpow(&e, &p).is_one());
+        // a^p = a mod p
+        assert_eq!(a.modpow(&p, &p), a);
+    }
+
+    #[test]
+    fn modpow_edge_cases() {
+        let m = ub("7");
+        assert_eq!(UBig::from(10u64).modpow(&UBig::zero(), &m), UBig::one());
+        assert!(UBig::from(10u64).modpow(&UBig::from(3u64), &UBig::one()).is_zero());
+        assert_eq!(UBig::from(2u64).modpow(&UBig::from(5u64), &m), UBig::from(4u64));
+    }
+
+    #[test]
+    fn uint_conversion() {
+        let v = ub("123456789abcdef0");
+        let u: Uint<4> = v.to_uint().expect("fits");
+        assert_eq!(UBig::from(u), v);
+        let too_big = UBig::one().shl(300);
+        assert_eq!(too_big.to_uint::<4>(), None);
+    }
+
+    #[test]
+    fn ordering_across_lengths() {
+        assert!(ub("10000000000000000") > ub("ffffffffffffffff"));
+        assert!(UBig::zero() < UBig::one());
+    }
+}

@@ -1,0 +1,93 @@
+//! Property-based tests for multi-precision arithmetic.
+
+use proptest::prelude::*;
+use zkp_bigint::{UBig, Uint};
+
+fn arb_uint4() -> impl Strategy<Value = Uint<4>> {
+    prop::array::uniform4(any::<u64>()).prop_map(Uint)
+}
+
+fn arb_ubig() -> impl Strategy<Value = UBig> {
+    prop::collection::vec(any::<u64>(), 0..8).prop_map(|v| UBig::from_limbs(&v))
+}
+
+proptest! {
+    #[test]
+    fn uint_add_commutes(a in arb_uint4(), b in arb_uint4()) {
+        prop_assert_eq!(a.adc(&b), b.adc(&a));
+    }
+
+    #[test]
+    fn uint_add_sub_round_trip(a in arb_uint4(), b in arb_uint4()) {
+        let (s, c) = a.adc(&b);
+        let (d, br) = s.sbb(&b);
+        prop_assert_eq!(d, a);
+        prop_assert_eq!(c, br); // overflow on the way up borrows on the way down
+    }
+
+    #[test]
+    fn uint_mul_matches_ubig(a in arb_uint4(), b in arb_uint4()) {
+        let (lo, hi) = a.widening_mul(&b);
+        let mut limbs = lo.limbs().to_vec();
+        limbs.extend_from_slice(hi.limbs());
+        prop_assert_eq!(UBig::from_limbs(&limbs), UBig::from(a).mul(&UBig::from(b)));
+    }
+
+    #[test]
+    fn uint_shl_shr_inverse(a in arb_uint4()) {
+        let (s, c) = a.shl1();
+        let back = s.shr1();
+        // shifting back loses only the carried-out top bit
+        let mut expect = a;
+        expect.0[3] &= !(1 << 63);
+        prop_assert_eq!(back, expect);
+        prop_assert_eq!(c == 1, a.bit(255));
+    }
+
+    #[test]
+    fn uint_bits_at_reassembles(a in arb_uint4(), w in 1u32..=16) {
+        let mut acc = UBig::zero();
+        let windows = 256u32.div_ceil(w);
+        for i in (0..windows).rev() {
+            acc = acc.shl(w).add(&UBig::from(a.bits_at(i * w, w)));
+        }
+        prop_assert_eq!(acc, UBig::from(a));
+    }
+
+    #[test]
+    fn ubig_add_sub_round_trip(a in arb_ubig(), b in arb_ubig()) {
+        prop_assert_eq!(a.add(&b).sub(&b), a);
+    }
+
+    #[test]
+    fn ubig_mul_distributes(a in arb_ubig(), b in arb_ubig(), c in arb_ubig()) {
+        prop_assert_eq!(a.mul(&b.add(&c)), a.mul(&b).add(&a.mul(&c)));
+    }
+
+    #[test]
+    fn ubig_div_rem_identity(a in arb_ubig(), b in arb_ubig()) {
+        prop_assume!(!b.is_zero());
+        let (q, r) = a.div_rem(&b);
+        prop_assert!(r < b);
+        prop_assert_eq!(q.mul(&b).add(&r), a);
+    }
+
+    #[test]
+    fn ubig_isqrt_bounds(a in arb_ubig()) {
+        let s = a.isqrt();
+        prop_assert!(s.mul(&s) <= a);
+        let s1 = s.add(&UBig::one());
+        prop_assert!(s1.mul(&s1) > a);
+    }
+
+    #[test]
+    fn ubig_shift_is_pow2_mul(a in arb_ubig(), n in 0u32..200) {
+        prop_assert_eq!(a.shl(n), a.mul(&UBig::one().shl(n)));
+        prop_assert_eq!(a.shl(n).shr(n), a);
+    }
+
+    #[test]
+    fn ubig_hex_round_trip(a in arb_ubig()) {
+        prop_assert_eq!(UBig::from_hex(&format!("{a:x}")), a);
+    }
+}

@@ -1,0 +1,65 @@
+//! The BLS12-377 instantiation — the curve of the ZPrize MSM competition
+//! the paper's `yrrid`/`ymc` libraries target (§III-A).
+//!
+//! Parameters: `x = 0x8508c00000000001` (positive), `b = 1`, tower
+//! non-residues β = −5 (`u² = −5`) and ξ = `u`, D-type sextic twist
+//! (`y² = x³ + 1/u`). Cofactors and generators are derived at first use.
+
+use crate::bls12::{Bls12Config, Derived, G1Curve, G2Curve};
+use crate::sw::Affine;
+use crate::tower::TowerConfig;
+use std::sync::OnceLock;
+use zkp_ff::{Field, Fq377, Fr377};
+
+/// Marker type selecting the BLS12-377 curve family.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Default)]
+pub struct Bls12377;
+
+impl TowerConfig for Bls12377 {
+    type Fq = Fq377;
+
+    fn fq2_nonresidue() -> Fq377 {
+        -Fq377::from_u64(5)
+    }
+
+    fn fq6_nonresidue() -> crate::tower::Fq2<Self> {
+        // ξ = u
+        crate::tower::Fq2::new(Fq377::zero(), Fq377::one())
+    }
+}
+
+impl Bls12Config for Bls12377 {
+    type Fr = Fr377;
+
+    const X: u64 = 0x8508_c000_0000_0001;
+    const X_IS_NEGATIVE: bool = false;
+    const TWIST_IS_D: bool = true; // D-twist: b' = 1/u
+    const NAME: &'static str = "BLS12-377";
+
+    fn g1_b() -> Fq377 {
+        Fq377::one()
+    }
+
+    fn derived() -> &'static Derived<Self> {
+        static DERIVED: OnceLock<Derived<Bls12377>> = OnceLock::new();
+        DERIVED.get_or_init(Derived::compute)
+    }
+}
+
+/// The BLS12-377 G1 curve.
+pub type G1 = G1Curve<Bls12377>;
+/// The BLS12-377 G2 curve (sextic twist over Fq2).
+pub type G2 = G2Curve<Bls12377>;
+/// BLS12-377 G1 affine points.
+pub type G1Affine = Affine<G1>;
+/// BLS12-377 G2 affine points.
+pub type G2Affine = Affine<G2>;
+/// The quadratic extension Fq2 over the BLS12-377 base field.
+pub type Fq2 = crate::tower::Fq2<Bls12377>;
+/// The pairing target field Fq12.
+pub type Fq12 = crate::tower::Fq12<Bls12377>;
+
+/// The BLS12-377 ate pairing.
+pub fn pairing(p: &G1Affine, q: &G2Affine) -> Fq12 {
+    crate::bls12::pairing::<Bls12377>(p, q)
+}

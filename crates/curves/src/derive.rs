@@ -1,0 +1,351 @@
+//! First-principles derivation of curve constants.
+//!
+//! Rather than transcribing cofactors, twist orders, and subgroup generators
+//! from other codebases (where a silent typo would be undetectable), this
+//! module *derives* them from the curve's defining data — the BLS parameter
+//! `x`, the field moduli, and the curve coefficient — using:
+//!
+//! * the BLS12 trace of Frobenius `t = x + 1`,
+//! * the complex-multiplication identity `4q = t² + 3f²` (CM discriminant
+//!   −3) and its base-change `4q² = t₂² + 3(t·f)²`,
+//! * the two candidate sextic-twist orders `q² + 1 - (±3f₂ + t₂)/2`,
+//!   disambiguated by exponentiating sample points,
+//! * cofactor clearing to manufacture subgroup generators.
+//!
+//! Every derived value is cross-checked (`#E(Fq) = h₁·r`, `r·G = O`, …) so a
+//! wrong constant cannot propagate.
+
+use crate::sw::{Affine, Jacobian, SwCurve};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use zkp_bigint::UBig;
+use zkp_ff::Field;
+
+/// A signed arbitrary-precision integer (sign–magnitude), just enough for
+/// trace arithmetic.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SInt {
+    /// Absolute value.
+    pub abs: UBig,
+    /// Sign; `true` means negative. Zero is stored non-negative.
+    pub neg: bool,
+}
+
+impl SInt {
+    /// Builds a non-negative value.
+    pub fn from_ubig(abs: UBig) -> Self {
+        Self { abs, neg: false }
+    }
+
+    /// Builds with an explicit sign.
+    pub fn new(abs: UBig, neg: bool) -> Self {
+        let neg = neg && !abs.is_zero();
+        Self { abs, neg }
+    }
+
+    /// Addition.
+    pub fn add(&self, rhs: &Self) -> Self {
+        if self.neg == rhs.neg {
+            Self::new(self.abs.add(&rhs.abs), self.neg)
+        } else if self.abs >= rhs.abs {
+            Self::new(self.abs.sub(&rhs.abs), self.neg)
+        } else {
+            Self::new(rhs.abs.sub(&self.abs), rhs.neg)
+        }
+    }
+
+    /// Subtraction.
+    pub fn sub(&self, rhs: &Self) -> Self {
+        self.add(&Self::new(rhs.abs.clone(), !rhs.neg))
+    }
+
+    /// Multiplication.
+    pub fn mul(&self, rhs: &Self) -> Self {
+        Self::new(self.abs.mul(&rhs.abs), self.neg != rhs.neg)
+    }
+
+    /// Exact halving.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the value is odd.
+    pub fn half_exact(&self) -> Self {
+        assert!(self.abs.is_even(), "SInt::half_exact on odd value");
+        Self::new(self.abs.shr(1), self.neg)
+    }
+
+    /// Converts to `UBig`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if negative.
+    pub fn into_ubig(self) -> UBig {
+        assert!(!self.neg, "expected non-negative value");
+        self.abs
+    }
+}
+
+/// Generic Tonelli–Shanks square root in any finite field of known order.
+///
+/// `order` is `|F| - 1` (e.g. `q² - 1` for Fq2). Returns `None` for
+/// non-residues. Uses a seeded RNG to find a non-residue, so results are
+/// deterministic.
+pub fn sqrt_in_field<F: Field>(a: &F, order: &UBig) -> Option<F> {
+    if a.is_zero() {
+        return Some(*a);
+    }
+    let half = order.shr(1);
+    if !a.pow(half.limbs()).is_one() {
+        return None; // Euler criterion: non-residue
+    }
+    // order = 2^s * t with t odd
+    let mut s = 0u32;
+    let mut t = order.clone();
+    while t.is_even() {
+        t = t.shr(1);
+        s += 1;
+    }
+    // Find a non-residue deterministically.
+    let mut rng = StdRng::seed_from_u64(0x5eed_cafe);
+    let z = loop {
+        let cand = F::random(&mut rng);
+        if !cand.is_zero() && !cand.pow(half.limbs()).is_one() {
+            break cand;
+        }
+    };
+    let mut m = s;
+    let mut c = z.pow(t.limbs());
+    let mut u = a.pow(t.limbs());
+    let mut x = a.pow(t.add(&UBig::one()).shr(1).limbs());
+    while !u.is_one() {
+        // least i with u^(2^i) = 1
+        let mut i = 0;
+        let mut probe = u;
+        while !probe.is_one() {
+            probe = probe.square();
+            i += 1;
+            if i == m {
+                return None;
+            }
+        }
+        let mut b = c;
+        for _ in 0..(m - i - 1) {
+            b = b.square();
+        }
+        m = i;
+        c = b.square();
+        u *= c;
+        x *= b;
+    }
+    debug_assert_eq!(x.square(), *a);
+    Some(x)
+}
+
+/// Finds a deterministic point on `y² = x³ + b` over a field of known order
+/// by scanning small `x` values, then clears `cofactor`.
+///
+/// Returns an affine point of order dividing `order / cofactor`.
+///
+/// # Panics
+///
+/// Panics if no point is found within a generous scan budget, or if the
+/// cleared point is the identity (cofactor inconsistent with the curve).
+pub fn find_subgroup_generator<Cu: SwCurve>(
+    field_order_minus_1: &UBig,
+    cofactor: &UBig,
+) -> Affine<Cu> {
+    for c in 1u64..10_000 {
+        let x = Cu::Base::from_u64(c);
+        let rhs = x.square() * x + Cu::b();
+        if let Some(y) = sqrt_in_field(&rhs, field_order_minus_1) {
+            let p = Affine::<Cu> {
+                x,
+                y,
+                infinity: false,
+            };
+            debug_assert!(p.is_on_curve());
+            let g = Jacobian::from(p).mul_ubig(cofactor);
+            if !g.is_identity() {
+                return g.to_affine();
+            }
+        }
+    }
+    panic!("no generator found for {} within scan budget", Cu::NAME);
+}
+
+/// The numeric group orders of a BLS12 curve and its sextic twist.
+#[derive(Debug, Clone)]
+pub struct BlsOrders {
+    /// `#E(Fq) = q + 1 - t`.
+    pub n1: UBig,
+    /// G1 cofactor `n1 / r` (equals `(x−1)²/3`).
+    pub h1: UBig,
+    /// The two candidate sextic-twist orders over Fq2.
+    pub twist_candidates: [UBig; 2],
+    /// `q² - 1` (unit-group order of Fq2, for square roots).
+    pub fq2_units: UBig,
+}
+
+/// Computes G1/twist orders for a BLS12 curve with parameter `±x`.
+///
+/// # Panics
+///
+/// Panics if the supplied `q`, `r`, `x` are inconsistent with the BLS12
+/// family identities — which would mean a transcription error upstream.
+pub fn bls_orders(x_abs: u64, x_is_negative: bool, q: &UBig, r: &UBig) -> BlsOrders {
+    let x = SInt::new(UBig::from(x_abs), x_is_negative);
+    let one = SInt::from_ubig(UBig::one());
+    let qs = SInt::from_ubig(q.clone());
+
+    // Trace of Frobenius: t = x + 1.
+    let t = x.add(&one);
+    // #E(Fq) = q + 1 - t
+    let n1 = qs.add(&one).sub(&t).into_ubig();
+    let h1 = n1
+        .checked_exact_div(r)
+        .expect("r must divide #E(Fq) for a BLS curve");
+    // Cross-check the closed form h1 = (x - 1)^2 / 3.
+    let xm1 = x.sub(&one);
+    let h1_closed = xm1
+        .mul(&xm1)
+        .into_ubig()
+        .checked_exact_div(&UBig::from(3u64))
+        .expect("(x-1)^2 divisible by 3");
+    assert_eq!(h1, h1_closed, "cofactor identities disagree");
+
+    // CM equation: 4q = t² + 3f².
+    let four_q = q.shl(2);
+    let t_sq = t.mul(&t).into_ubig();
+    let f_sq = four_q
+        .sub(&t_sq)
+        .checked_exact_div(&UBig::from(3u64))
+        .expect("4q - t² divisible by 3 (CM discriminant -3)");
+    let f = f_sq.isqrt();
+    assert_eq!(f.mul(&f), f_sq, "4q - t² = 3f² must be a perfect square");
+    let f = SInt::from_ubig(f);
+
+    // Base change to Fq2: t₂ = t² - 2q, f₂ = t·f.
+    let two_q = SInt::from_ubig(q.shl(1));
+    let t2 = t.mul(&t).sub(&two_q);
+    let f2 = t.mul(&f);
+    let q2 = SInt::from_ubig(q.mul(q));
+
+    // Sextic twists: n = q² + 1 - (3f₂ + t₂)/2 and q² + 1 - (t₂ - 3f₂)/2.
+    let three_f2 = f2.mul(&SInt::from_ubig(UBig::from(3u64)));
+    let cand_a = q2
+        .add(&one)
+        .sub(&three_f2.add(&t2).half_exact())
+        .into_ubig();
+    let cand_b = q2
+        .add(&one)
+        .sub(&t2.sub(&three_f2).half_exact())
+        .into_ubig();
+
+    let fq2_units = q.mul(q).sub(&UBig::one());
+    BlsOrders {
+        n1,
+        h1,
+        twist_candidates: [cand_a, cand_b],
+        fq2_units,
+    }
+}
+
+/// Picks the twist order under which a sample point vanishes, returning
+/// `(order, cofactor = order / r)`.
+///
+/// # Panics
+///
+/// Panics if neither candidate annihilates the sample (wrong twist
+/// coefficient) or if `r` does not divide the selected order.
+pub fn select_twist_order<Cu: SwCurve>(
+    orders: &BlsOrders,
+    r: &UBig,
+) -> (UBig, UBig) {
+    // A deterministic sample point on the twist.
+    let sample: Affine<Cu> = {
+        let mut found = None;
+        for c in 1u64..10_000 {
+            let x = Cu::Base::from_u64(c);
+            let rhs = x.square() * x + Cu::b();
+            if let Some(y) = sqrt_in_field(&rhs, &orders.fq2_units) {
+                found = Some(Affine::<Cu> {
+                    x,
+                    y,
+                    infinity: false,
+                });
+                break;
+            }
+        }
+        found.expect("twist curve has small-x points")
+    };
+    let p = Jacobian::from(sample);
+    for cand in &orders.twist_candidates {
+        if let Some(h2) = cand.checked_exact_div(r) {
+            if p.mul_ubig(cand).is_identity() {
+                return (cand.clone(), h2);
+            }
+        }
+    }
+    panic!(
+        "no r-divisible sextic-twist order annihilates a sample point on {} \
+         (is the twist direction configured correctly?)",
+        Cu::NAME
+    );
+}
+
+/// Deterministic search for a quadratic non-residue in an arbitrary field,
+/// used when instantiating Tonelli–Shanks in extensions.
+pub fn find_nonresidue<F: Field>(order: &UBig) -> F {
+    let half = order.shr(1);
+    let mut rng = StdRng::seed_from_u64(0xbad_5eed);
+    loop {
+        let cand = F::random(&mut rng);
+        if !cand.is_zero() && !cand.pow(half.limbs()).is_one() {
+            return cand;
+        }
+    }
+}
+
+/// Trial check that `n` is the order of the point `p` times some factor:
+/// `n·P = O`.
+pub fn annihilates<Cu: SwCurve>(p: &Affine<Cu>, n: &UBig) -> bool {
+    Jacobian::from(*p).mul_ubig(n).is_identity()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sint_arithmetic() {
+        let a = SInt::new(UBig::from(10u64), false);
+        let b = SInt::new(UBig::from(25u64), false);
+        let d = a.sub(&b); // -15
+        assert!(d.neg);
+        assert_eq!(d.abs, UBig::from(15u64));
+        let s = d.add(&b); // 10
+        assert!(!s.neg);
+        assert_eq!(s.abs, UBig::from(10u64));
+        let m = d.mul(&d); // 225
+        assert!(!m.neg);
+        assert_eq!(m.abs, UBig::from(225u64));
+        let e = SInt::new(UBig::from(30u64), true);
+        let h = e.half_exact();
+        assert!(h.neg);
+        assert_eq!(h.abs, UBig::from(15u64));
+    }
+
+    #[test]
+    #[should_panic(expected = "odd value")]
+    fn half_exact_rejects_odd() {
+        let _ = SInt::new(UBig::from(15u64), false).half_exact();
+    }
+
+    #[test]
+    fn sint_zero_is_positive() {
+        let a = SInt::new(UBig::from(5u64), true);
+        let z = a.sub(&a);
+        assert!(!z.neg);
+        assert!(z.abs.is_zero());
+    }
+}

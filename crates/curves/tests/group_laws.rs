@@ -1,0 +1,143 @@
+//! Group-law tests across all three coordinate representations (Table V)
+//! and both curves.
+
+use proptest::prelude::*;
+use rand::{rngs::StdRng, SeedableRng};
+use zkp_curves::{batch_to_affine, bls12_377, bls12_381, Affine, Jacobian, SwCurve, Xyzz};
+use zkp_ff::{Field, PrimeField};
+
+fn random_point<Cu: SwCurve>(seed: u64) -> Affine<Cu> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let k = Cu::Scalar::random(&mut rng);
+    Jacobian::from(Cu::generator()).mul_scalar(&k).to_affine()
+}
+
+macro_rules! group_law_tests {
+    ($mod_name:ident, $Cu:ty) => {
+        mod $mod_name {
+            use super::*;
+            type Cu = $Cu;
+
+            proptest! {
+                #![proptest_config(ProptestConfig::with_cases(12))]
+
+                #[test]
+                fn jacobian_add_commutes(s1 in any::<u64>(), s2 in any::<u64>()) {
+                    let p = Jacobian::from(random_point::<Cu>(s1));
+                    let q = Jacobian::from(random_point::<Cu>(s2));
+                    prop_assert_eq!(p.add(&q), q.add(&p));
+                }
+
+                #[test]
+                fn jacobian_add_associates(s1 in any::<u64>(), s2 in any::<u64>(), s3 in any::<u64>()) {
+                    let p = Jacobian::from(random_point::<Cu>(s1));
+                    let q = Jacobian::from(random_point::<Cu>(s2));
+                    let r = Jacobian::from(random_point::<Cu>(s3));
+                    prop_assert_eq!(p.add(&q).add(&r), p.add(&q.add(&r)));
+                }
+
+                #[test]
+                fn double_is_self_add(s in any::<u64>()) {
+                    let a = random_point::<Cu>(s);
+                    let j = Jacobian::from(a);
+                    prop_assert_eq!(j.double(), j.add(&j));
+                    let x = Xyzz::from(a);
+                    prop_assert_eq!(x.double().to_affine(), j.double().to_affine());
+                    prop_assert_eq!(a.double(), j.double().to_affine());
+                }
+
+                #[test]
+                fn representations_agree_on_addition(s1 in any::<u64>(), s2 in any::<u64>()) {
+                    let a = random_point::<Cu>(s1);
+                    let b = random_point::<Cu>(s2);
+                    let via_affine = a.add(&b);
+                    let via_jacobian = Jacobian::from(a).add_affine(&b).to_affine();
+                    let via_xyzz = Xyzz::from(a).add_affine(&b).to_affine();
+                    let via_xyzz_full = Xyzz::from(a).add(&Xyzz::from(b)).to_affine();
+                    prop_assert_eq!(via_affine, via_jacobian);
+                    prop_assert_eq!(via_affine, via_xyzz);
+                    prop_assert_eq!(via_affine, via_xyzz_full);
+                }
+
+                #[test]
+                fn neg_gives_identity(s in any::<u64>()) {
+                    let a = random_point::<Cu>(s);
+                    prop_assert!(a.add(&a.neg()).is_identity());
+                    prop_assert!(Jacobian::from(a).add(&Jacobian::from(a.neg())).is_identity());
+                    prop_assert!(Xyzz::from(a).add_affine(&a.neg()).is_identity());
+                }
+
+                #[test]
+                fn scalar_mul_distributes(s in any::<u64>(), k1 in 1u64..1000, k2 in 1u64..1000) {
+                    let g = Jacobian::from(random_point::<Cu>(s));
+                    let lhs = g.mul_limbs(&[k1]).add(&g.mul_limbs(&[k2]));
+                    let rhs = g.mul_limbs(&[k1 + k2]);
+                    prop_assert_eq!(lhs, rhs);
+                }
+
+                #[test]
+                fn results_stay_on_curve(s1 in any::<u64>(), s2 in any::<u64>()) {
+                    let a = random_point::<Cu>(s1);
+                    let b = random_point::<Cu>(s2);
+                    prop_assert!(a.add(&b).is_on_curve());
+                    prop_assert!(Jacobian::from(a).add_affine(&b).to_affine().is_on_curve());
+                    prop_assert!(Xyzz::from(a).double().to_affine().is_on_curve());
+                }
+
+                #[test]
+                fn xyzz_to_jacobian_round_trip(s in any::<u64>()) {
+                    let a = random_point::<Cu>(s);
+                    let x = Xyzz::from(a).double();
+                    prop_assert_eq!(x.to_jacobian().to_affine(), x.to_affine());
+                }
+            }
+
+            #[test]
+            fn identity_edge_cases() {
+                let id_a = Affine::<Cu>::identity();
+                let id_j = Jacobian::<Cu>::identity();
+                let id_x = Xyzz::<Cu>::identity();
+                let g = Cu::generator();
+                assert_eq!(id_a.add(&g), g);
+                assert_eq!(g.add(&id_a), g);
+                assert_eq!(id_j.add_affine(&g).to_affine(), g);
+                assert_eq!(id_x.add_affine(&g).to_affine(), g);
+                assert!(id_j.double().is_identity());
+                assert!(id_x.double().is_identity());
+                assert!(id_a.is_on_curve());
+                assert!(id_j.to_affine().is_identity());
+                assert_eq!(Jacobian::from(g).mul_limbs(&[0]).to_affine(), id_a);
+            }
+
+            #[test]
+            fn generator_has_order_r() {
+                let g = Jacobian::from(Cu::generator());
+                let r = <Cu as SwCurve>::Scalar::modulus_limbs();
+                assert!(g.mul_limbs(&r).is_identity());
+                assert!(!g.mul_limbs(&[2]).is_identity());
+            }
+
+            #[test]
+            fn batch_normalization_matches_individual() {
+                let pts: Vec<Jacobian<Cu>> = (0..17)
+                    .map(|i| {
+                        if i == 5 {
+                            Jacobian::identity()
+                        } else {
+                            Jacobian::from(random_point::<Cu>(i)).double()
+                        }
+                    })
+                    .collect();
+                let batch = batch_to_affine(&pts);
+                for (j, a) in pts.iter().zip(&batch) {
+                    assert_eq!(j.to_affine(), *a);
+                }
+            }
+        }
+    };
+}
+
+group_law_tests!(bls381_g1, bls12_381::G1);
+group_law_tests!(bls381_g2, bls12_381::G2);
+group_law_tests!(bls377_g1, bls12_377::G1);
+group_law_tests!(bls377_g2, bls12_377::G2);

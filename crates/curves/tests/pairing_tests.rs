@@ -1,0 +1,159 @@
+//! Pairing correctness: bilinearity, non-degeneracy, and agreement with the
+//! published BLS12-381 standard generators.
+
+use rand::{rngs::StdRng, SeedableRng};
+use zkp_curves::bls12::{
+    final_exponentiation, g1_in_subgroup, g2_in_subgroup, miller_loop, multi_pairing, pairing,
+    Bls12Config,
+};
+use zkp_curves::bls12_377::Bls12377;
+use zkp_curves::bls12_381::{standard_g1_generator, standard_g2_generator, Bls12381};
+use zkp_curves::{Affine, G1Curve, G2Curve, Jacobian, SwCurve};
+use zkp_ff::Field;
+
+fn scaled<Cu: SwCurve>(k: &Cu::Scalar) -> Affine<Cu> {
+    Jacobian::from(Cu::generator()).mul_scalar(k).to_affine()
+}
+
+fn bilinearity_for<C: Bls12Config>() {
+    let mut rng = StdRng::seed_from_u64(42);
+    let a = C::Fr::random(&mut rng);
+    let b = C::Fr::random(&mut rng);
+    let pa: Affine<G1Curve<C>> = scaled(&a);
+    let qb: Affine<G2Curve<C>> = scaled(&b);
+    let pab: Affine<G1Curve<C>> = scaled(&(a * b));
+
+    let lhs = pairing(&pa, &qb);
+    let rhs = pairing(&pab, &G2Curve::<C>::generator());
+    assert_eq!(lhs, rhs, "e(aP, bQ) != e(abP, Q) for {}", C::NAME);
+    assert!(!lhs.is_one(), "pairing degenerate for {}", C::NAME);
+}
+
+#[test]
+fn bilinearity_bls12_381() {
+    bilinearity_for::<Bls12381>();
+}
+
+#[test]
+fn bilinearity_bls12_377() {
+    bilinearity_for::<Bls12377>();
+}
+
+#[test]
+fn pairing_is_multiplicative_in_g1() {
+    // e(P1 + P2, Q) = e(P1, Q) · e(P2, Q)
+    let p1: Affine<G1Curve<Bls12381>> = scaled(&zkp_ff::Fr381::from_u64(3));
+    let p2: Affine<G1Curve<Bls12381>> = scaled(&zkp_ff::Fr381::from_u64(10));
+    let q = G2Curve::<Bls12381>::generator();
+    let sum = Jacobian::from(p1).add_affine(&p2).to_affine();
+    assert_eq!(pairing(&sum, &q), pairing(&p1, &q) * pairing(&p2, &q));
+}
+
+#[test]
+fn pairing_of_identity_is_one() {
+    let q = G2Curve::<Bls12381>::generator();
+    let p = G1Curve::<Bls12381>::generator();
+    assert!(pairing(&Affine::identity(), &q).is_one());
+    assert!(pairing(&p, &Affine::identity()).is_one());
+}
+
+#[test]
+fn inverse_pairs_cancel() {
+    // e(aP, Q) · e(-aP, Q) = 1 via a shared final exponentiation.
+    let a = zkp_ff::Fr381::from_u64(77);
+    let pa: Affine<G1Curve<Bls12381>> = scaled(&a);
+    let result = multi_pairing::<Bls12381>(&[
+        (pa, G2Curve::<Bls12381>::generator()),
+        (pa.neg(), G2Curve::<Bls12381>::generator()),
+    ]);
+    assert!(result.is_one());
+}
+
+#[test]
+fn multi_pairing_matches_product_of_pairings() {
+    let p1: Affine<G1Curve<Bls12381>> = scaled(&zkp_ff::Fr381::from_u64(5));
+    let p2: Affine<G1Curve<Bls12381>> = scaled(&zkp_ff::Fr381::from_u64(9));
+    let q1: Affine<G2Curve<Bls12381>> = scaled(&zkp_ff::Fr381::from_u64(13));
+    let q2: Affine<G2Curve<Bls12381>> = scaled(&zkp_ff::Fr381::from_u64(21));
+    let combined = multi_pairing::<Bls12381>(&[(p1, q1), (p2, q2)]);
+    assert_eq!(combined, pairing(&p1, &q1) * pairing(&p2, &q2));
+}
+
+#[test]
+fn final_exponentiation_composes_with_miller() {
+    let p = G1Curve::<Bls12381>::generator();
+    let q = G2Curve::<Bls12381>::generator();
+    let f = miller_loop(&p, &q);
+    assert_eq!(final_exponentiation(&f), pairing(&p, &q));
+}
+
+#[test]
+fn pairing_output_has_order_r() {
+    let e = pairing(
+        &G1Curve::<Bls12381>::generator(),
+        &G2Curve::<Bls12381>::generator(),
+    );
+    let r = Bls12381::derived().r.clone();
+    assert!(e.pow_ubig(&r).is_one(), "pairing output not in μ_r");
+}
+
+// --- Pinning to the published BLS12-381 curve -----------------------------
+
+#[test]
+fn standard_generators_are_on_curve_and_in_subgroup() {
+    let g1 = standard_g1_generator();
+    let g2 = standard_g2_generator();
+    assert!(g1.is_on_curve(), "standard G1 generator not on our curve");
+    assert!(g2.is_on_curve(), "standard G2 generator not on our twist");
+    assert!(g1_in_subgroup::<Bls12381>(&g1));
+    assert!(g2_in_subgroup::<Bls12381>(&g2));
+}
+
+#[test]
+fn standard_generators_pair_bilinearly() {
+    let g1 = standard_g1_generator();
+    let g2 = standard_g2_generator();
+    let a = zkp_ff::Fr381::from_u64(6);
+    let g1a = Jacobian::from(g1).mul_scalar(&a).to_affine();
+    let g2a = Jacobian::from(g2).mul_scalar(&a).to_affine();
+    let e = pairing(&g1a, &g2);
+    assert_eq!(e, pairing(&g1, &g2a));
+    assert!(!e.is_one());
+}
+
+#[test]
+fn derived_cofactors_match_published_values() {
+    // BLS12-381 cofactors as published in the zkcrypto spec.
+    let d = Bls12381::derived();
+    assert_eq!(
+        format!("{:x}", d.h1),
+        "396c8c005555e1568c00aaab0000aaab"
+    );
+    assert_eq!(
+        format!("{:x}", d.h2),
+        "5d543a95414e7f1091d50792876a202cd91de4547085abaa68a205b2e5a7ddfa\
+         628f1cb4d9e82ef21537e293a6691ae1616ec6e786f0c70cf1c38e31c7238e5"
+    );
+}
+
+#[test]
+fn g2_points_off_subgroup_are_detected() {
+    // A point on the twist with cofactor *not* cleared is (overwhelmingly)
+    // outside the r-order subgroup.
+    use zkp_curves::derive::sqrt_in_field;
+    let d = Bls12381::derived();
+    for c in 1u64.. {
+        let x = zkp_curves::bls12_381::Fq2::from_u64(c);
+        let rhs = x.square() * x + G2Curve::<Bls12381>::b();
+        if let Some(y) = sqrt_in_field(&rhs, &d.fq2_units) {
+            let p = Affine::<G2Curve<Bls12381>> {
+                x,
+                y,
+                infinity: false,
+            };
+            assert!(p.is_on_curve());
+            assert!(!g2_in_subgroup::<Bls12381>(&p));
+            break;
+        }
+    }
+}

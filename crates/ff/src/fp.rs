@@ -1,0 +1,468 @@
+//! Montgomery-form prime field elements over 64-bit limbs.
+//!
+//! This is the CPU-side field arithmetic (the paper's baseline: "CPUs can
+//! natively process 64-bit data elements", §IV-B). The matching 32-bit-limb
+//! GPU kernels live in the `gpu-kernels` crate and are cross-validated
+//! against this implementation.
+
+use crate::params::FieldParams;
+use crate::traits::{Field, PrimeField};
+use core::cmp::Ordering;
+use core::fmt;
+use core::iter::{Product, Sum};
+use core::marker::PhantomData;
+use core::ops::{Add, AddAssign, Mul, MulAssign, Neg, Sub, SubAssign};
+use rand::Rng;
+use zkp_bigint::arith::{adc, mac};
+use zkp_bigint::Uint;
+
+/// Static configuration of a prime field: the modulus and a small generator.
+///
+/// Implementors are zero-sized marker types; all numeric parameters are
+/// derived once (lazily) by [`FieldParams::derive`]. The modulus must leave
+/// at least one spare bit in `N` limbs (all BLS12 fields do).
+pub trait FpConfig<const N: usize>: 'static + Copy + Clone + Send + Sync + fmt::Debug + Eq + core::hash::Hash + Default {
+    /// Big-endian hex encoding of the modulus.
+    const MODULUS_HEX: &'static str;
+    /// A small multiplicative generator of `F_p*` (must be a non-residue).
+    const GENERATOR: u64;
+    /// Display name, e.g. `"BLS12-381 Fr"`.
+    const NAME: &'static str;
+
+    /// The lazily-derived parameter block for this field.
+    fn params() -> &'static FieldParams<N>;
+}
+
+/// An element of the prime field selected by `C`, stored in Montgomery form.
+///
+/// # Examples
+///
+/// ```
+/// use zkp_ff::{Field, PrimeField, Fr381};
+/// let two = Fr381::from_u64(2);
+/// let half = two.inverse().expect("2 is invertible");
+/// assert_eq!(half + half, Fr381::one());
+/// assert_eq!(Fr381::NAME, "BLS12-381 Fr");
+/// ```
+#[derive(Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Fp<C: FpConfig<N>, const N: usize> {
+    repr: Uint<N>,
+    _marker: PhantomData<C>,
+}
+
+impl<C: FpConfig<N>, const N: usize> Fp<C, N> {
+    /// Constructs from a raw Montgomery representation (internal).
+    pub(crate) const fn from_repr_raw(repr: Uint<N>) -> Self {
+        Self {
+            repr,
+            _marker: PhantomData,
+        }
+    }
+
+    /// The raw Montgomery-form limbs.
+    pub fn montgomery_repr(&self) -> &Uint<N> {
+        &self.repr
+    }
+
+    /// Builds an element from a canonical integer `< p`.
+    ///
+    /// Returns `None` if `value >= p`.
+    pub fn from_canonical(value: Uint<N>) -> Option<Self> {
+        let p = C::params();
+        if value >= p.modulus {
+            return None;
+        }
+        // Enter the Montgomery domain: value * R² * R^{-1} = value * R.
+        Some(Self::from_repr_raw(mont_mul::<N>(
+            &value, &p.r2, &p.modulus, p.inv,
+        )))
+    }
+
+    /// Builds from a big-endian hex string (must be `< p`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the constant is invalid — intended for transcribing
+    /// published test vectors and curve parameters.
+    pub fn from_hex(s: &str) -> Self {
+        Self::from_canonical(Uint::from_hex(s)).expect("hex constant not reduced mod p")
+    }
+
+    /// The canonical integer representative in `[0, p)`.
+    pub fn to_canonical(&self) -> Uint<N> {
+        let p = C::params();
+        mont_mul::<N>(&self.repr, &Uint::ONE, &p.modulus, p.inv)
+    }
+
+    fn reduce_once(repr: Uint<N>) -> Uint<N> {
+        let p = &C::params().modulus;
+        if repr >= *p {
+            repr.wrapping_sub(p)
+        } else {
+            repr
+        }
+    }
+}
+
+/// CIOS Montgomery multiplication: computes `a * b * R^{-1} mod p`.
+///
+/// Requires the modulus to leave one spare bit so intermediate sums stay
+/// below `2p` and a single conditional subtraction suffices — the same
+/// "compare limbs then conditionally reduce" structure whose branches the
+/// paper measures at 70.5% of `FF_add` latency on GPUs (§IV-B1).
+#[inline]
+pub(crate) fn mont_mul<const N: usize>(a: &Uint<N>, b: &Uint<N>, p: &Uint<N>, inv: u64) -> Uint<N> {
+    let a = a.limbs();
+    let b = b.limbs();
+    let p = Uint::<N>(*p.limbs());
+    let pl = p.limbs();
+    let mut t = [0u64; N];
+    let mut t_n = 0u64; // t[N]
+    for i in 0..N {
+        // t += a[i] * b
+        let mut carry = 0;
+        for j in 0..N {
+            let (l, c) = mac(t[j], a[i], b[j], carry);
+            t[j] = l;
+            carry = c;
+        }
+        let (tn, overflow) = adc(t_n, carry, 0);
+        debug_assert_eq!(overflow, 0, "modulus spare bit violated");
+        t_n = tn;
+
+        // m = t[0] * inv mod 2^64; t = (t + m*p) / 2^64
+        let m = t[0].wrapping_mul(inv);
+        let (_, mut carry) = mac(t[0], m, pl[0], 0);
+        for j in 1..N {
+            let (l, c) = mac(t[j], m, pl[j], carry);
+            t[j - 1] = l;
+            carry = c;
+        }
+        let (l, c) = adc(t_n, carry, 0);
+        t[N - 1] = l;
+        t_n = c;
+        debug_assert_eq!(t_n, 0, "modulus spare bit violated");
+    }
+    let r = Uint(t);
+    if r >= p {
+        r.wrapping_sub(&p)
+    } else {
+        r
+    }
+}
+
+impl<C: FpConfig<N>, const N: usize> Field for Fp<C, N> {
+    fn zero() -> Self {
+        Self::from_repr_raw(Uint::ZERO)
+    }
+
+    fn one() -> Self {
+        Self::from_repr_raw(C::params().r)
+    }
+
+    fn is_zero(&self) -> bool {
+        self.repr.is_zero()
+    }
+
+    fn double(&self) -> Self {
+        // FF_dbl: left shift each limb and propagate carries (§IV-B1),
+        // then conditionally reduce.
+        let (shifted, carry) = self.repr.shl1();
+        debug_assert_eq!(carry, 0, "modulus spare bit violated");
+        Self::from_repr_raw(Self::reduce_once(shifted))
+    }
+
+    fn square(&self) -> Self {
+        // FF_sqr shares FF_mul's performance profile (§IV-B2).
+        *self * *self
+    }
+
+    fn inverse(&self) -> Option<Self> {
+        if self.is_zero() {
+            return None;
+        }
+        // Binary extended-Euclidean algorithm on the Montgomery form —
+        // the same algorithm the paper attributes GPU FF_inv's ~100x
+        // slowdown to (divide-by-2 loops and branches, §IV-B3).
+        let p = C::params();
+        let modulus = p.modulus;
+        let mut u = self.repr;
+        let mut v = modulus;
+        // Montgomery correction: we track b,c with b*R... Standard trick:
+        // start b = R² so the result lands back in Montgomery form times R.
+        let mut b = Self::from_repr_raw(p.r2);
+        let mut c = Self::zero();
+        while u != Uint::ONE && v != Uint::ONE {
+            while u.is_even() {
+                u = u.shr1();
+                if b.repr.is_even() {
+                    b.repr = b.repr.shr1();
+                } else {
+                    let (sum, carry) = b.repr.adc(&modulus);
+                    let mut half = sum.shr1();
+                    if carry == 1 {
+                        // restore the carried-out bit at the top
+                        half.0[N - 1] |= 1 << 63;
+                    }
+                    b.repr = half;
+                }
+            }
+            while v.is_even() {
+                v = v.shr1();
+                if c.repr.is_even() {
+                    c.repr = c.repr.shr1();
+                } else {
+                    let (sum, carry) = c.repr.adc(&modulus);
+                    let mut half = sum.shr1();
+                    if carry == 1 {
+                        half.0[N - 1] |= 1 << 63;
+                    }
+                    c.repr = half;
+                }
+            }
+            if u >= v {
+                u = u.wrapping_sub(&v);
+                b -= c;
+            } else {
+                v = v.wrapping_sub(&u);
+                c -= b;
+            }
+        }
+        Some(if u == Uint::ONE { b } else { c })
+    }
+
+    fn from_u64(v: u64) -> Self {
+        Self::from_canonical(Uint::from_u64(v)).unwrap_or_else(|| {
+            // Sub-64-bit moduli (test fields): reduce first.
+            let p0 = C::params().modulus.limbs()[0];
+            Self::from_canonical(Uint::from_u64(v % p0)).expect("v mod p is reduced")
+        })
+    }
+
+    fn random<R: Rng + ?Sized>(rng: &mut R) -> Self {
+        // Rejection-sample a canonical value below p.
+        let p = C::params();
+        loop {
+            let mut limbs = [0u64; N];
+            for l in &mut limbs {
+                *l = rng.gen();
+            }
+            // Mask everything above the modulus width to make acceptance
+            // likely on the first draw (handles moduli occupying any
+            // number of limbs).
+            for (i, l) in limbs.iter_mut().enumerate() {
+                let lo_bit = 64 * i as u32;
+                if lo_bit >= p.num_bits {
+                    *l = 0;
+                } else if p.num_bits - lo_bit < 64 {
+                    *l &= (1u64 << (p.num_bits - lo_bit)) - 1;
+                }
+            }
+            let candidate = Uint(limbs);
+            if candidate < p.modulus {
+                // Already uniform over [0, p); enter the Montgomery domain.
+                return Self::from_canonical(candidate).expect("candidate < p");
+            }
+        }
+    }
+}
+
+impl<C: FpConfig<N>, const N: usize> PrimeField for Fp<C, N> {
+    const NUM_LIMBS: usize = N;
+    const NAME: &'static str = C::NAME;
+
+    fn to_uint(&self) -> Vec<u64> {
+        self.to_canonical().limbs().to_vec()
+    }
+
+    fn from_le_limbs(limbs: &[u64]) -> Option<Self> {
+        if limbs.len() > N {
+            return None;
+        }
+        let mut arr = [0u64; N];
+        arr[..limbs.len()].copy_from_slice(limbs);
+        Self::from_canonical(Uint(arr))
+    }
+
+    fn modulus_limbs() -> Vec<u64> {
+        C::params().modulus.limbs().to_vec()
+    }
+
+    fn modulus_bits() -> u32 {
+        C::params().num_bits
+    }
+
+    fn two_adicity() -> u32 {
+        C::params().two_adicity
+    }
+
+    fn two_adic_root_of_unity() -> Self {
+        Self::from_canonical(C::params().two_adic_root).expect("root < p")
+    }
+
+    fn multiplicative_generator() -> Self {
+        Self::from_u64(C::params().generator)
+    }
+
+    fn legendre(&self) -> i8 {
+        if self.is_zero() {
+            return 0;
+        }
+        let e = C::params().half_order;
+        let v = self.pow(e.limbs());
+        if v.is_one() {
+            1
+        } else {
+            -1
+        }
+    }
+
+    fn sqrt(&self) -> Option<Self> {
+        if self.is_zero() {
+            return Some(*self);
+        }
+        if self.legendre() != 1 {
+            return None;
+        }
+        // Tonelli–Shanks over the two-adic structure.
+        let p = C::params();
+        let s = p.two_adicity;
+        let trace = p.trace.limbs().to_vec();
+        // x = a^((t+1)/2); b = a^t
+        let t_plus_1_half = {
+            let t1 = p.trace.add(&zkp_bigint::UBig::one());
+            t1.shr(1).limbs().to_vec()
+        };
+        let mut x = self.pow(&t_plus_1_half);
+        let mut b = self.pow(&trace);
+        let mut g = Self::two_adic_root_of_unity();
+        let mut r = s;
+        while !b.is_one() {
+            // Find least m with b^(2^m) = 1.
+            let mut m = 0;
+            let mut t = b;
+            while !t.is_one() {
+                t = t.square();
+                m += 1;
+                if m == r {
+                    return None; // not a residue (defensive; legendre said it was)
+                }
+            }
+            // g' = g^(2^(r-m-1))
+            let mut gs = g;
+            for _ in 0..(r - m - 1) {
+                gs = gs.square();
+            }
+            x *= gs;
+            g = gs.square();
+            b *= g;
+            r = m;
+        }
+        debug_assert_eq!(x.square(), *self);
+        Some(x)
+    }
+}
+
+impl<C: FpConfig<N>, const N: usize> Add for Fp<C, N> {
+    type Output = Self;
+    fn add(self, rhs: Self) -> Self {
+        // FF_add: limb adds with carry chains, then the conditional
+        // reduction whose divergence the paper quantifies (§IV-B1).
+        let (sum, carry) = self.repr.adc(&rhs.repr);
+        debug_assert_eq!(carry, 0, "modulus spare bit violated");
+        Self::from_repr_raw(Self::reduce_once(sum))
+    }
+}
+
+impl<C: FpConfig<N>, const N: usize> Sub for Fp<C, N> {
+    type Output = Self;
+    fn sub(self, rhs: Self) -> Self {
+        let (diff, borrow) = self.repr.sbb(&rhs.repr);
+        let repr = if borrow == 1 {
+            diff.wrapping_add(&C::params().modulus)
+        } else {
+            diff
+        };
+        Self::from_repr_raw(repr)
+    }
+}
+
+impl<C: FpConfig<N>, const N: usize> Mul for Fp<C, N> {
+    type Output = Self;
+    fn mul(self, rhs: Self) -> Self {
+        let p = C::params();
+        Self::from_repr_raw(mont_mul::<N>(&self.repr, &rhs.repr, &p.modulus, p.inv))
+    }
+}
+
+impl<C: FpConfig<N>, const N: usize> Neg for Fp<C, N> {
+    type Output = Self;
+    fn neg(self) -> Self {
+        if self.is_zero() {
+            self
+        } else {
+            Self::from_repr_raw(C::params().modulus.wrapping_sub(&self.repr))
+        }
+    }
+}
+
+impl<C: FpConfig<N>, const N: usize> AddAssign for Fp<C, N> {
+    fn add_assign(&mut self, rhs: Self) {
+        *self = *self + rhs;
+    }
+}
+
+impl<C: FpConfig<N>, const N: usize> SubAssign for Fp<C, N> {
+    fn sub_assign(&mut self, rhs: Self) {
+        *self = *self - rhs;
+    }
+}
+
+impl<C: FpConfig<N>, const N: usize> MulAssign for Fp<C, N> {
+    fn mul_assign(&mut self, rhs: Self) {
+        *self = *self * rhs;
+    }
+}
+
+impl<C: FpConfig<N>, const N: usize> Sum for Fp<C, N> {
+    fn sum<I: Iterator<Item = Self>>(iter: I) -> Self {
+        iter.fold(Self::zero(), |a, b| a + b)
+    }
+}
+
+impl<C: FpConfig<N>, const N: usize> Product for Fp<C, N> {
+    fn product<I: Iterator<Item = Self>>(iter: I) -> Self {
+        iter.fold(Self::one(), |a, b| a * b)
+    }
+}
+
+impl<C: FpConfig<N>, const N: usize> Default for Fp<C, N> {
+    fn default() -> Self {
+        Self::zero()
+    }
+}
+
+impl<C: FpConfig<N>, const N: usize> PartialOrd for Fp<C, N> {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl<C: FpConfig<N>, const N: usize> Ord for Fp<C, N> {
+    /// Orders by canonical integer representative.
+    fn cmp(&self, other: &Self) -> Ordering {
+        self.to_canonical().cmp(&other.to_canonical())
+    }
+}
+
+impl<C: FpConfig<N>, const N: usize> fmt::Debug for Fp<C, N> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}({})", C::NAME, self.to_canonical())
+    }
+}
+
+impl<C: FpConfig<N>, const N: usize> fmt::Display for Fp<C, N> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.to_canonical())
+    }
+}

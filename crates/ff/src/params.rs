@@ -1,0 +1,188 @@
+//! Derivation of Montgomery parameters and two-adic structure from a modulus.
+//!
+//! Everything here is computed once per field from the modulus alone (plus a
+//! chosen small multiplicative generator), so the field configurations in
+//! [`crate::configs`] contain no opaque derived constants.
+
+use zkp_bigint::{UBig, Uint};
+
+/// Montgomery-domain parameters for a prime field over `N` 64-bit limbs.
+#[derive(Debug, Clone)]
+pub struct FieldParams<const N: usize> {
+    /// The modulus `p`.
+    pub modulus: Uint<N>,
+    /// `-p^{-1} mod 2^64` — the per-limb Montgomery factor.
+    pub inv: u64,
+    /// `R = 2^{64N} mod p` — the Montgomery representation of one.
+    pub r: Uint<N>,
+    /// `R² mod p` — used to convert into Montgomery form.
+    pub r2: Uint<N>,
+    /// Significant bits of `p`.
+    pub num_bits: u32,
+    /// Largest `s` with `2^s | p - 1`.
+    pub two_adicity: u32,
+    /// `(p - 1) / 2^s`, the odd part of the group order.
+    pub trace: UBig,
+    /// A primitive `2^s`-th root of unity, canonical form.
+    pub two_adic_root: Uint<N>,
+    /// The configured small multiplicative generator (canonical form).
+    pub generator: u64,
+    /// `(p - 1) / 2`, for Euler-criterion Legendre checks.
+    pub half_order: Uint<N>,
+    /// A small quadratic non-residue found by search (canonical form).
+    pub qnr: u64,
+}
+
+impl<const N: usize> FieldParams<N> {
+    /// Derives all parameters from a hex-encoded modulus and a small
+    /// multiplicative generator.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the modulus is even, does not fit in `N` limbs with at least
+    /// one spare bit (required by the carry-free Montgomery addition used in
+    /// [`crate::Fp`]), or if `generator` is not a generator-like element
+    /// (it must be a quadratic non-residue so the derived two-adic root has
+    /// full order).
+    pub fn derive(modulus_hex: &str, generator: u64) -> Self {
+        let p_big = UBig::from_hex(modulus_hex);
+        let modulus: Uint<N> = p_big
+            .to_uint()
+            .unwrap_or_else(|| panic!("modulus does not fit in {N} limbs"));
+        let num_bits = p_big.num_bits();
+        assert!(
+            num_bits < 64 * N as u32,
+            "modulus must leave a spare bit for carry-free addition"
+        );
+        assert!(!p_big.is_even() && !p_big.is_one(), "modulus must be an odd prime");
+
+        // inv = -p^{-1} mod 2^64 by Newton iteration (5 steps double precision
+        // from 2^4 to 2^64 since p is odd).
+        let p0 = modulus.limbs()[0];
+        let mut inv = 1u64;
+        for _ in 0..63 {
+            inv = inv.wrapping_mul(inv).wrapping_mul(p0);
+        }
+        let inv = inv.wrapping_neg();
+
+        // R and R^2 via UBig reduction.
+        let shift = 64 * N as u32;
+        let r_big = UBig::one().shl(shift).div_rem(&p_big).1;
+        let r2_big = r_big.mul(&r_big).div_rem(&p_big).1;
+
+        // Two-adic structure of p - 1.
+        let p_minus_1 = p_big.sub(&UBig::one());
+        let mut two_adicity = 0;
+        let mut trace = p_minus_1.clone();
+        while trace.is_even() {
+            trace = trace.shr(1);
+            two_adicity += 1;
+        }
+
+        // The generator must be a non-residue for g^trace to have order 2^s.
+        let half = p_minus_1.shr(1);
+        let g = UBig::from(generator);
+        assert!(
+            g.modpow(&half, &p_big) == p_minus_1,
+            "configured generator {generator} is a quadratic residue mod p"
+        );
+        let two_adic_root_big = g.modpow(&trace, &p_big);
+
+        // Smallest quadratic non-residue, for Tonelli–Shanks restarts.
+        let qnr = (2u64..)
+            .find(|&c| UBig::from(c).modpow(&half, &p_big) == p_minus_1)
+            .expect("every prime field has a small non-residue");
+
+        FieldParams {
+            modulus,
+            inv,
+            r: r_big.to_uint().expect("R < p fits"),
+            r2: r2_big.to_uint().expect("R2 < p fits"),
+            num_bits,
+            two_adicity,
+            trace,
+            two_adic_root: two_adic_root_big.to_uint().expect("root < p fits"),
+            generator,
+            half_order: half.to_uint().expect("(p-1)/2 fits"),
+            qnr,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const BLS12_381_R: &str = "73eda753299d7d483339d80809a1d80553bda402fffe5bfeffffffff00000001";
+
+    #[test]
+    fn derives_known_bls12_381_fr_constants() {
+        let p: FieldParams<4> = FieldParams::derive(BLS12_381_R, 7);
+        // INV is the well-known 0xfffffffeffffffff for BLS12-381 Fr.
+        assert_eq!(p.inv, 0xffff_fffe_ffff_ffff);
+        assert_eq!(p.two_adicity, 32);
+        assert_eq!(p.num_bits, 255);
+        // R = 2^256 mod r (known constant from arkworks/blst).
+        assert_eq!(
+            p.r,
+            Uint::from_hex("1824b159acc5056f998c4fefecbc4ff55884b7fa0003480200000001fffffffe")
+        );
+        // inv * p ≡ -1 mod 2^64
+        assert_eq!(p.inv.wrapping_mul(p.modulus.limbs()[0]), u64::MAX);
+    }
+
+    #[test]
+    fn two_adic_root_has_exact_order() {
+        let p: FieldParams<4> = FieldParams::derive(BLS12_381_R, 7);
+        let p_big = UBig::from(p.modulus);
+        let root = UBig::from(p.two_adic_root);
+        // root^(2^31) = -1, root^(2^32) = 1.
+        let half_pow = root.modpow(&UBig::one().shl(31), &p_big);
+        assert_eq!(half_pow, p_big.sub(&UBig::one()));
+        assert!(root.modpow(&UBig::one().shl(32), &p_big).is_one());
+    }
+
+    #[test]
+    #[should_panic(expected = "quadratic residue")]
+    fn rejects_residue_generator() {
+        // 4 = 2² is always a residue.
+        let _: FieldParams<4> = FieldParams::derive(BLS12_381_R, 4);
+    }
+
+    #[test]
+    fn small_prime_smoke() {
+        // p = 2^64 - 2^32 + 1 (Goldilocks) in 2 limbs: two-adicity 32.
+        let p: FieldParams<2> = FieldParams::derive("ffffffff00000001", 7);
+        assert_eq!(p.two_adicity, 32);
+        assert_eq!(p.num_bits, 64);
+    }
+
+    #[test]
+    fn small_prime_field_ops_reduce_and_sample() {
+        // Regression: from_u64 must reduce mod p and random must mask the
+        // limbs above the modulus width, even for sub-64-bit moduli.
+        use crate::fp::{Fp, FpConfig};
+        use crate::traits::Field;
+        use std::sync::OnceLock;
+
+        #[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Default)]
+        struct Goldilocks4;
+        impl FpConfig<4> for Goldilocks4 {
+            const MODULUS_HEX: &'static str = "ffffffff00000001";
+            const GENERATOR: u64 = 7;
+            const NAME: &'static str = "Goldilocks (4 limbs)";
+            fn params() -> &'static FieldParams<4> {
+                static P: OnceLock<FieldParams<4>> = OnceLock::new();
+                P.get_or_init(|| FieldParams::derive(Self::MODULUS_HEX, Self::GENERATOR))
+            }
+        }
+        type G = Fp<Goldilocks4, 4>;
+        // u64::MAX = p + (2^32 - 2) -> reduces to 2^32 - 2.
+        assert_eq!(G::from_u64(u64::MAX), G::from_u64(0xffff_fffe));
+        // Step so rejection sampling terminates even when the first draw
+        // lands at or above p.
+        let mut rng = rand::rngs::mock::StepRng::new(u64::MAX, 0x9e37_79b9_7f4a_7c15);
+        let r = G::random(&mut rng);
+        assert_eq!(r * G::one(), r);
+    }
+}

@@ -1,0 +1,156 @@
+//! The field abstractions shared by every layer of the stack.
+
+use core::fmt::{Debug, Display};
+use core::hash::Hash;
+use core::iter::{Product, Sum};
+use core::ops::{Add, AddAssign, Mul, MulAssign, Neg, Sub, SubAssign};
+use rand::Rng;
+use zkp_bigint::Uint;
+
+/// An element of a finite field.
+///
+/// Implemented by the prime fields in this crate ([`Fp`](crate::Fp)) and by
+/// the extension towers in `zkp-curves` (Fq2/Fq6/Fq12), as well as by the
+/// op-counting instrumentation wrapper [`Counted`](crate::counter::Counted).
+///
+/// # Examples
+///
+/// ```
+/// use zkp_ff::{Field, Fr381};
+/// let a = Fr381::from_u64(5);
+/// assert_eq!(a.double(), a + a);
+/// assert_eq!(a.square(), a * a);
+/// assert_eq!(a * a.inverse().expect("non-zero"), Fr381::one());
+/// ```
+pub trait Field:
+    Copy
+    + Clone
+    + Debug
+    + Display
+    + Default
+    + Eq
+    + PartialEq
+    + Hash
+    + Send
+    + Sync
+    + 'static
+    + Add<Output = Self>
+    + Sub<Output = Self>
+    + Mul<Output = Self>
+    + Neg<Output = Self>
+    + AddAssign
+    + SubAssign
+    + MulAssign
+    + Sum
+    + Product
+{
+    /// The additive identity.
+    fn zero() -> Self;
+
+    /// The multiplicative identity.
+    fn one() -> Self;
+
+    /// Whether this element is the additive identity.
+    fn is_zero(&self) -> bool;
+
+    /// Whether this element is the multiplicative identity.
+    fn is_one(&self) -> bool {
+        *self == Self::one()
+    }
+
+    /// `2 * self` — the paper's `FF_dbl` (§IV-B1), implemented by limb
+    /// shifting rather than addition where the representation allows.
+    fn double(&self) -> Self;
+
+    /// `self * self` — the paper's `FF_sqr`.
+    fn square(&self) -> Self;
+
+    /// The multiplicative inverse, or `None` for zero — the paper's
+    /// `FF_inv` (§IV-B3), ~100x slower than `FF_mul`.
+    fn inverse(&self) -> Option<Self>;
+
+    /// Embeds a small integer into the field.
+    fn from_u64(v: u64) -> Self;
+
+    /// A uniformly random element.
+    fn random<R: Rng + ?Sized>(rng: &mut R) -> Self;
+
+    /// Exponentiation by a little-endian limb-encoded exponent.
+    fn pow(&self, exp: &[u64]) -> Self {
+        let mut acc = Self::one();
+        let mut started = false;
+        for i in (0..64 * exp.len()).rev() {
+            if started {
+                acc = acc.square();
+            }
+            if (exp[i / 64] >> (i % 64)) & 1 == 1 {
+                acc *= *self;
+                started = true;
+            }
+        }
+        acc
+    }
+}
+
+/// A prime-order field `F_p` with the structure the ZKP kernels rely on:
+/// a fixed limb representation and a (large) power-of-two root of unity.
+pub trait PrimeField: Field + Ord {
+    /// Number of 64-bit limbs in the representation.
+    const NUM_LIMBS: usize;
+
+    /// Human-readable field name (e.g. `"BLS12-381 Fr"`).
+    const NAME: &'static str;
+
+    /// The canonical (non-Montgomery) integer representative in `[0, p)`.
+    fn to_uint(&self) -> Vec<u64>;
+
+    /// Builds an element from a canonical little-endian limb value.
+    ///
+    /// Returns `None` if the value is not reduced (`>= p`).
+    fn from_le_limbs(limbs: &[u64]) -> Option<Self>;
+
+    /// The field modulus `p`, little-endian limbs.
+    fn modulus_limbs() -> Vec<u64>;
+
+    /// Number of significant bits of the modulus (e.g. 255 for BLS12-381 Fr).
+    fn modulus_bits() -> u32;
+
+    /// Largest `s` such that `2^s` divides `p - 1`.
+    fn two_adicity() -> u32;
+
+    /// A primitive `2^two_adicity()`-th root of unity.
+    fn two_adic_root_of_unity() -> Self;
+
+    /// A primitive `n`-th root of unity for power-of-two `n`, if `n` divides
+    /// `2^two_adicity()`.
+    fn root_of_unity(n: u64) -> Option<Self> {
+        if !n.is_power_of_two() {
+            return None;
+        }
+        let log_n = n.trailing_zeros();
+        if log_n > Self::two_adicity() {
+            return None;
+        }
+        let mut root = Self::two_adic_root_of_unity();
+        for _ in log_n..Self::two_adicity() {
+            root = root.square();
+        }
+        Some(root)
+    }
+
+    /// A fixed small multiplicative generator used for coset shifts.
+    fn multiplicative_generator() -> Self;
+
+    /// Legendre symbol: `1` for quadratic residues, `-1` for non-residues,
+    /// `0` for zero.
+    fn legendre(&self) -> i8;
+
+    /// A square root of `self`, if one exists (Tonelli–Shanks).
+    fn sqrt(&self) -> Option<Self>;
+}
+
+/// Convenience: converts a fixed-width [`Uint`] exponent into the slice shape
+/// [`Field::pow`] expects.
+pub fn pow_uint<F: Field, const N: usize>(base: &F, exp: &Uint<N>) -> F {
+    base.pow(exp.limbs())
+}

@@ -1,0 +1,392 @@
+//! Micro-ISA code generators for the finite-field kernels (§IV-B).
+//!
+//! Each generator emits a complete microbenchmark kernel: load the
+//! operands from global memory once, run the field operation `iters` times
+//! in a uniform loop (feeding the result back as an input, as
+//! latency-measurement microbenchmarks do), and store the result. The
+//! bodies mirror the SASS the paper profiles:
+//!
+//! * `FF_add`/`FF_sub` — `IADD3` carry chains plus the *sequential
+//!   limb-by-limb comparison* against the modulus whose data-dependent
+//!   branches cause the 52–56% branch efficiencies of Table VI;
+//! * `FF_dbl` — `SHF` funnel-shift chains;
+//! * `FF_mul`/`FF_sqr` — 32-bit CIOS Montgomery multiplication built from
+//!   `mad{c}.lo/hi` chains (`IMAD`-dominated, §IV-B2).
+
+use crate::field32::Field32;
+use gpu_sim::isa::{CmpOp, Label, LogicOp, Program, ProgramBuilder, Src};
+
+/// Fixed register map shared by every generated kernel.
+pub mod regs {
+    /// First operand `a` occupies registers `A0..A0+n`.
+    pub const A0: u16 = 0;
+    /// Second operand `b` occupies `B0..B0+n`.
+    pub const B0: u16 = 32;
+    /// CIOS accumulator `t` occupies `T0..T0+n+2`.
+    pub const T0: u16 = 64;
+    /// Montgomery factor `m`.
+    pub const M: u16 = 96;
+    /// Word address of `a` in global memory.
+    pub const ADDR_A: u16 = 100;
+    /// Word address of `b`.
+    pub const ADDR_B: u16 = 101;
+    /// Word address of the output.
+    pub const ADDR_OUT: u16 = 102;
+    /// Loop counter.
+    pub const LOOP: u16 = 103;
+    /// `ge` result of the comparison (1 ⇔ value ≥ p).
+    pub const GE: u16 = 105;
+    /// Scratch.
+    pub const S0: u16 = 106;
+    /// Scratch.
+    pub const S1: u16 = 107;
+    /// Borrow-chain comparison scratch bank `CMP0..CMP0+n`.
+    pub const CMP0: u16 = 128;
+}
+
+fn r(x: u16) -> Src {
+    Src::Reg(x)
+}
+fn imm(x: u32) -> Src {
+    Src::Imm(x)
+}
+
+/// The five profiled field operations.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum FfOp {
+    /// Modular addition.
+    Add,
+    /// Modular subtraction.
+    Sub,
+    /// Modular doubling.
+    Dbl,
+    /// Montgomery multiplication.
+    Mul,
+    /// Montgomery squaring.
+    Sqr,
+}
+
+impl FfOp {
+    /// All five operations, Table IV order.
+    pub fn all() -> [FfOp; 5] {
+        [FfOp::Add, FfOp::Sub, FfOp::Dbl, FfOp::Mul, FfOp::Sqr]
+    }
+
+    /// Paper-style name.
+    pub fn name(&self) -> &'static str {
+        match self {
+            FfOp::Add => "FF_add",
+            FfOp::Sub => "FF_sub",
+            FfOp::Dbl => "FF_dbl",
+            FfOp::Mul => "FF_mul",
+            FfOp::Sqr => "FF_sqr",
+        }
+    }
+}
+
+/// Generates the kernel program for an operation.
+pub fn ff_program(field: &Field32, op: FfOp, iters: u32) -> Program {
+    let n = field.num_limbs() as u16;
+    let mut b = ProgramBuilder::new();
+
+    // Prologue: load a (and b where used) from global memory.
+    for j in 0..n {
+        b.ldg(regs::A0 + j, regs::ADDR_A, u32::from(j));
+    }
+    let loads_b = matches!(op, FfOp::Add | FfOp::Sub | FfOp::Mul);
+    if loads_b {
+        for j in 0..n {
+            b.ldg(regs::B0 + j, regs::ADDR_B, u32::from(j));
+        }
+    }
+    b.mov(regs::LOOP, imm(0));
+
+    // Uniform benchmark loop.
+    let loop_top = b.label();
+    b.place(loop_top);
+    match op {
+        FfOp::Add => {
+            emit_add_chain(&mut b, field, regs::A0, regs::B0);
+            emit_compare_and_reduce(&mut b, field, regs::A0);
+        }
+        FfOp::Sub => emit_sub(&mut b, field),
+        FfOp::Dbl => emit_dbl(&mut b, field),
+        FfOp::Mul => {
+            emit_cios(&mut b, field, regs::B0);
+            emit_compare_and_reduce(&mut b, field, regs::T0);
+            // Feed back: a = result.
+            for j in 0..n {
+                b.mov(regs::A0 + j, r(regs::T0 + j));
+            }
+        }
+        FfOp::Sqr => {
+            emit_cios(&mut b, field, regs::A0);
+            emit_compare_and_reduce(&mut b, field, regs::T0);
+            for j in 0..n {
+                b.mov(regs::A0 + j, r(regs::T0 + j));
+            }
+        }
+    }
+    // Loop control (uniform backward branch).
+    b.iadd3(regs::LOOP, r(regs::LOOP), imm(1), imm(0), false, false);
+    b.setp(3, r(regs::LOOP), imm(iters), CmpOp::Lt);
+    b.bra(loop_top, Some((3, true)));
+
+    // Epilogue: store the result.
+    for j in 0..n {
+        b.stg(regs::A0 + j, regs::ADDR_OUT, u32::from(j));
+    }
+    b.exit();
+    b.build()
+}
+
+/// `a += b` with an `IADD3` carry chain (no overflow past the top limb for
+/// spare-bit moduli).
+fn emit_add_chain(b: &mut ProgramBuilder, field: &Field32, a0: u16, b0: u16) {
+    let n = field.num_limbs() as u16;
+    b.iadd3(a0, r(a0), r(b0), imm(0), true, false);
+    for j in 1..n {
+        b.iadd3(a0 + j, r(a0 + j), r(b0 + j), imm(0), true, true);
+    }
+}
+
+/// The paper's §IV-B1 conditional reduction: the limbs of the result are
+/// compared against the modulus (a full borrow chain, since every limb
+/// must be inspected), and threads whose value ended up `>= p` take a
+/// data-dependent branch to write back the subtracted value. With random
+/// inputs roughly half of each warp needs the reduction, so this branch is
+/// almost always divergent — the mechanism behind `FF_add`'s ~52% branch
+/// efficiency and the 2.4× cycle blow-up (72 → 244) the paper reports.
+fn emit_compare_and_reduce(b: &mut ProgramBuilder, field: &Field32, v0: u16) {
+    let n = field.num_limbs() as u16;
+    // s = v - p with a borrow chain into the scratch bank.
+    b.iadd3(regs::CMP0, r(v0), imm(!field.modulus[0]), imm(1), true, false);
+    for j in 1..n {
+        b.iadd3(
+            regs::CMP0 + j,
+            r(v0 + j),
+            imm(!field.modulus[j as usize]),
+            imm(0),
+            true,
+            true,
+        );
+    }
+    // ge = final carry (1 ⇔ v >= p).
+    b.iadd3(regs::GE, imm(0), imm(0), imm(0), false, true);
+    let done: Label = b.label();
+    b.setp(0, r(regs::GE), imm(0), CmpOp::Eq);
+    b.bra(done, Some((0, true))); // divergent whenever the warp disagrees
+    for j in 0..n {
+        b.mov(v0 + j, r(regs::CMP0 + j));
+    }
+    b.place(done);
+}
+
+/// `a -= b`; on borrow, add `p` back (one data-dependent branch).
+fn emit_sub(b: &mut ProgramBuilder, field: &Field32) {
+    let n = field.num_limbs() as u16;
+    // a + ~b + 1 with carry chain; final carry == 0 means borrow.
+    b.lop3(regs::S0, r(regs::B0), imm(u32::MAX), LogicOp::Xor);
+    b.iadd3(regs::A0, r(regs::A0), r(regs::S0), imm(1), true, false);
+    for j in 1..n {
+        b.lop3(regs::S0, r(regs::B0 + j), imm(u32::MAX), LogicOp::Xor);
+        b.iadd3(regs::A0 + j, r(regs::A0 + j), r(regs::S0), imm(0), true, true);
+    }
+    // Capture the final carry.
+    b.iadd3(regs::S1, imm(0), imm(0), imm(0), false, true);
+    let done = b.label();
+    b.setp(0, r(regs::S1), imm(1), CmpOp::Eq);
+    b.bra(done, Some((0, true))); // no borrow -> done
+    // Borrowed: add p back.
+    b.iadd3(regs::A0, r(regs::A0), imm(field.modulus[0]), imm(0), true, false);
+    for j in 1..n {
+        b.iadd3(
+            regs::A0 + j,
+            r(regs::A0 + j),
+            imm(field.modulus[j as usize]),
+            imm(0),
+            true,
+            true,
+        );
+    }
+    b.place(done);
+}
+
+/// `FF_dbl` (§IV-B1): doubling by `SHF` funnel shifts. The reduction is
+/// decided *before* the shift using `2a ≥ p ⇔ a ≥ ⌈p/2⌉` and the identity
+/// `2a − p = 2(a − ⌈p/2⌉) + 1` (p odd): a top-limb comparison settles
+/// almost every thread, a rare uniform branch handles top-limb ties, and a
+/// data-dependent branch guards the subtraction — then one funnel shift
+/// per limb doubles the (possibly pre-reduced) value.
+fn emit_dbl(b: &mut ProgramBuilder, field: &Field32) {
+    let n = field.num_limbs() as u16;
+    let h = &field.half_ceil;
+    let top = (n - 1) as usize;
+    // Quick decision from the top limb: ge = (a_top > h_top).
+    b.setp(1, r(regs::A0 + n - 1), imm(h[top] + 1), CmpOp::Ge);
+    b.sel(regs::GE, imm(1), imm(0), 1);
+    // Tie on the top limb (rare): full borrow-chain comparison vs ⌈p/2⌉.
+    let no_tie = b.label();
+    b.setp(2, r(regs::A0 + n - 1), imm(h[top]), CmpOp::Eq);
+    b.bra(no_tie, Some((2, false)));
+    b.iadd3(regs::CMP0, r(regs::A0), imm(!h[0]), imm(1), true, false);
+    for j in 1..n {
+        b.iadd3(
+            regs::CMP0 + j,
+            r(regs::A0 + j),
+            imm(!h[j as usize]),
+            imm(0),
+            true,
+            true,
+        );
+    }
+    b.iadd3(regs::GE, imm(0), imm(0), imm(0), false, true);
+    b.place(no_tie);
+    // Threads with 2a >= p subtract ⌈p/2⌉ up front (data-dependent branch).
+    let no_reduce = b.label();
+    b.setp(0, r(regs::GE), imm(0), CmpOp::Eq);
+    b.bra(no_reduce, Some((0, true)));
+    b.iadd3(regs::A0, r(regs::A0), imm(!h[0]), imm(1), true, false);
+    for j in 1..n {
+        b.iadd3(
+            regs::A0 + j,
+            r(regs::A0 + j),
+            imm(!h[j as usize]),
+            imm(0),
+            true,
+            true,
+        );
+    }
+    b.place(no_reduce);
+    // Double with funnel shifts; the low bit becomes `ge` (2(a−h)+1).
+    for i in (1..n).rev() {
+        b.shf(
+            regs::A0 + i,
+            r(regs::A0 + i),
+            r(regs::A0 + i - 1),
+            imm(1),
+            false,
+        );
+    }
+    b.shf(regs::A0, r(regs::A0), imm(0), imm(1), false);
+    b.lop3(regs::A0, r(regs::A0), r(regs::GE), LogicOp::Or);
+}
+
+/// 32-bit CIOS Montgomery multiplication `t = a·b·R⁻¹ mod⁺ p` (result may
+/// need one conditional subtraction), with `b` taken from the registers at
+/// `b_base` (pass `A0` for squaring).
+///
+/// The structure is the classic `mad.lo.cc`/`madc.hi.cc` dual-chain per
+/// row, which is why IMAD dominates the mix (§IV-B2).
+fn emit_cios(b: &mut ProgramBuilder, field: &Field32, b_base: u16) {
+    let n = field.num_limbs() as u16;
+    let t = regs::T0;
+    let t_n = t + n;
+    let t_n1 = t + n + 1;
+    // Zero the accumulator.
+    for j in 0..=n + 1 {
+        b.mov(t + j, imm(0));
+    }
+    for i in 0..n {
+        let a_i = r(regs::A0 + i);
+        // Low-product pass: t[j] += lo(a_i·b_j), chained carries.
+        b.imad(t, a_i, r(b_base), r(t), false, true, false);
+        for j in 1..n {
+            b.imad(t + j, a_i, r(b_base + j), r(t + j), false, true, true);
+        }
+        b.iadd3(t_n, r(t_n), imm(0), imm(0), true, true);
+        b.iadd3(t_n1, r(t_n1), imm(0), imm(0), false, true);
+        // High-product pass: t[j+1] += hi(a_i·b_j).
+        b.imad(t + 1, a_i, r(b_base), r(t + 1), true, true, false);
+        for j in 1..n {
+            b.imad(t + j + 1, a_i, r(b_base + j), r(t + j + 1), true, true, true);
+        }
+        b.iadd3(t_n1, r(t_n1), imm(0), imm(0), false, true);
+
+        // Montgomery reduction row: m = t[0]·inv32 mod 2^32.
+        b.imad(regs::M, r(t), imm(field.inv32), imm(0), false, false, false);
+        // Low pass of m·p, shifting t down one word.
+        b.imad(regs::S0, r(regs::M), imm(field.modulus[0]), r(t), false, true, false);
+        for j in 1..n {
+            b.imad(
+                t + j - 1,
+                r(regs::M),
+                imm(field.modulus[j as usize]),
+                r(t + j),
+                false,
+                true,
+                true,
+            );
+        }
+        b.iadd3(t_n - 1, r(t_n), imm(0), imm(0), true, true);
+        b.iadd3(t_n, r(t_n1), imm(0), imm(0), false, true);
+        b.mov(t_n1, imm(0));
+        // High pass of m·p (indices already shifted down).
+        b.imad(t, r(regs::M), imm(field.modulus[0]), r(t), true, true, false);
+        for j in 1..n {
+            b.imad(
+                t + j,
+                r(regs::M),
+                imm(field.modulus[j as usize]),
+                r(t + j),
+                true,
+                true,
+                true,
+            );
+        }
+        b.iadd3(t_n, r(t_n), imm(0), imm(0), false, true);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use zkp_ff::{Fq381Config, Fr381Config};
+
+    #[test]
+    fn programs_build_for_all_ops() {
+        let f = Field32::of::<Fr381Config, 4>();
+        for op in FfOp::all() {
+            let p = ff_program(&f, op, 4);
+            assert!(!p.is_empty(), "{op:?}");
+        }
+    }
+
+    #[test]
+    fn mul_is_imad_dominated() {
+        let f = Field32::of::<Fq381Config, 6>();
+        let p = ff_program(&f, FfOp::Mul, 1);
+        let mix = p.static_mix();
+        let count = |m: &str| mix.iter().find(|(k, _)| *k == m).map_or(0, |(_, c)| *c);
+        let imad = count("IMAD");
+        let total: u64 = mix.iter().map(|(_, c)| *c).sum();
+        assert!(
+            imad as f64 / total as f64 > 0.6,
+            "IMAD fraction {imad}/{total}"
+        );
+    }
+
+    #[test]
+    fn dbl_uses_shf_not_imad() {
+        // The shift chain is one SHF per limb; IMAD never appears. (The
+        // guarded reduction contributes IADD3s, so the *dynamic* dominant
+        // instruction depends on how often warps reduce — see the
+        // Table VI experiment.)
+        let f = Field32::of::<Fq381Config, 6>();
+        let p = ff_program(&f, FfOp::Dbl, 1);
+        let mix = p.static_mix();
+        let count = |m: &str| mix.iter().find(|(k, _)| *k == m).map_or(0, |(_, c)| *c);
+        assert_eq!(count("IMAD"), 0);
+        assert_eq!(count("SHF"), 12);
+    }
+
+    #[test]
+    fn add_is_iadd3_dominated() {
+        let f = Field32::of::<Fq381Config, 6>();
+        let p = ff_program(&f, FfOp::Add, 1);
+        let mix = p.static_mix();
+        let count = |m: &str| mix.iter().find(|(k, _)| *k == m).map_or(0, |(_, c)| *c);
+        assert!(count("IADD3") > count("IMAD"));
+        assert!(count("IADD3") >= count("SHF"));
+    }
+}

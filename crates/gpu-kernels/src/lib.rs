@@ -1,0 +1,18 @@
+//! GPU kernels for ZKP finite-field operations, expressed in the
+//! `gpu-sim` micro-ISA, plus analytical models of the five GPU libraries
+//! the paper evaluates.
+//!
+//! The kernels here are *functionally executed* by the simulator on real
+//! data and cross-validated against the 64-bit host fields of `zkp-ff` —
+//! the same algorithm at the two limb widths the paper contrasts (§II).
+
+pub mod curveprogs;
+pub mod ffprogs;
+pub mod field32;
+pub mod libraries;
+pub mod microbench;
+
+pub use ffprogs::{ff_program, FfOp};
+pub use field32::{join_limbs, split_limbs, Field32};
+pub use libraries::{cpu_msm_seconds, cpu_ntt_seconds, kernel_costs, msm_estimate, ntt_estimate, KernelCosts, LibraryId, PhaseEstimate};
+pub use microbench::{bench_ff_op, run_ff_op, FfInputs, FfOpReport};

@@ -1,0 +1,152 @@
+//! The finite-field microbenchmarks (§IV-B/C): run the generated kernels
+//! on the SMSP simulator with per-thread random operands, and extract the
+//! paper's per-op latencies (Table IV), microarchitecture metrics
+//! (Table VI), and warp-stall profiles (Fig. 10).
+
+use crate::ffprogs::{ff_program, regs, FfOp};
+use crate::field32::Field32;
+use gpu_sim::machine::{Machine, SimResult, SmspConfig, WarpInit};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// The report of one microbenchmark run.
+#[derive(Debug, Clone)]
+pub struct FfOpReport {
+    /// Which operation ran.
+    pub op: FfOp,
+    /// Field name.
+    pub field: &'static str,
+    /// Warps resident on the SMSP.
+    pub warps: u32,
+    /// Iterations of the op per thread.
+    pub iters: u32,
+    /// Raw simulation counters.
+    pub sim: SimResult,
+    /// Cycles per single field operation (Table IV's "latency").
+    pub cycles_per_op: f64,
+    /// Final operand values per thread (32-bit limbs), for validation.
+    pub outputs: Vec<Vec<u32>>,
+}
+
+impl FfOpReport {
+    /// Branch efficiency percentage (Table VI row 1).
+    pub fn branch_efficiency_pct(&self) -> f64 {
+        100.0 * self.sim.branch_efficiency()
+    }
+}
+
+/// Per-thread input operands: `a` and `b`, 32-bit limbs each.
+#[derive(Debug, Clone)]
+pub struct FfInputs {
+    /// First operands, one per thread per warp (`warps × 32` entries).
+    pub a: Vec<Vec<u32>>,
+    /// Second operands (same shape).
+    pub b: Vec<Vec<u32>>,
+}
+
+impl FfInputs {
+    /// Uniformly random canonical values below the modulus.
+    pub fn random(field: &Field32, warps: usize, seed: u64) -> Self {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let draw = |rng: &mut StdRng| loop {
+            let cand: Vec<u32> = (0..field.num_limbs()).map(|_| rng.gen()).collect();
+            // Accept if below p (compare from the most significant limb).
+            let below = cand
+                .iter()
+                .rev()
+                .zip(field.modulus.iter().rev())
+                .find_map(|(c, p)| (c != p).then_some(c < p))
+                .unwrap_or(false);
+            if below {
+                return cand;
+            }
+        };
+        let n = warps * 32;
+        FfInputs {
+            a: (0..n).map(|_| draw(&mut rng)).collect(),
+            b: (0..n).map(|_| draw(&mut rng)).collect(),
+        }
+    }
+}
+
+/// Runs one FF-op microbenchmark.
+///
+/// Memory layout: thread `t` of warp `w` reads `a` at
+/// `(w·32 + t)·n` words, `b` at `base_b + (w·32 + t)·n`, and writes its
+/// result to `base_out + (w·32 + t)·n`.
+///
+/// # Panics
+///
+/// Panics if `inputs` does not provide `warps × 32` operand pairs.
+pub fn run_ff_op(
+    field: &Field32,
+    op: FfOp,
+    config: &SmspConfig,
+    inputs: &FfInputs,
+    warps: usize,
+    iters: u32,
+) -> FfOpReport {
+    let n = field.num_limbs();
+    let threads = warps * 32;
+    assert_eq!(inputs.a.len(), threads, "need one `a` per thread");
+    assert_eq!(inputs.b.len(), threads, "need one `b` per thread");
+
+    let base_b = (threads * n) as u32;
+    let base_out = 2 * base_b;
+    let mut machine = Machine::new(config.clone(), 3 * threads * n);
+    for (t, (a, b)) in inputs.a.iter().zip(&inputs.b).enumerate() {
+        for (j, limb) in a.iter().enumerate() {
+            machine.global_mem[t * n + j] = *limb;
+        }
+        for (j, limb) in b.iter().enumerate() {
+            machine.global_mem[base_b as usize + t * n + j] = *limb;
+        }
+    }
+
+    let program = ff_program(field, op, iters);
+    let warp_inits: Vec<WarpInit> = (0..warps)
+        .map(|w| {
+            let mut init = WarpInit::default();
+            let mut addr_a = [0u32; 32];
+            let mut addr_b = [0u32; 32];
+            let mut addr_out = [0u32; 32];
+            for t in 0..32 {
+                let gid = (w * 32 + t) as u32;
+                addr_a[t] = gid * n as u32;
+                addr_b[t] = base_b + gid * n as u32;
+                addr_out[t] = base_out + gid * n as u32;
+            }
+            init.per_thread(regs::ADDR_A as usize, addr_a);
+            init.per_thread(regs::ADDR_B as usize, addr_b);
+            init.per_thread(regs::ADDR_OUT as usize, addr_out);
+            init
+        })
+        .collect();
+
+    let sim = machine.run(&program, &warp_inits);
+    let outputs = (0..threads)
+        .map(|t| {
+            machine.global_mem[base_out as usize + t * n..base_out as usize + (t + 1) * n].to_vec()
+        })
+        .collect();
+
+    // Each warp performs `iters` ops; warps overlap, so per-op latency is
+    // wall cycles divided by per-warp iterations.
+    let cycles_per_op = sim.cycles as f64 / f64::from(iters);
+    FfOpReport {
+        op,
+        field: field.name,
+        warps: warps as u32,
+        iters,
+        sim,
+        cycles_per_op,
+        outputs,
+    }
+}
+
+/// Convenience: random inputs + default config, the §IV-B methodology
+/// (2 warps per SMSP, "representative of MSM configurations").
+pub fn bench_ff_op(field: &Field32, op: FfOp, warps: usize, iters: u32, seed: u64) -> FfOpReport {
+    let inputs = FfInputs::random(field, warps, seed);
+    run_ff_op(field, op, &SmspConfig::default(), &inputs, warps, iters)
+}

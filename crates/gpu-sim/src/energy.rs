@@ -1,0 +1,82 @@
+//! First-order energy model (Table III).
+//!
+//! The paper measures CPU and GPU energy with Zeus. Without hardware
+//! counters we model energy as `P_active · t_busy + P_idle · t_exposed`,
+//! with activity factors reflecting how well a kernel utilizes its
+//! execution resources. The *ratios* of Table III are the reproduction
+//! target; the activity factors are calibrated once (documented in
+//! DESIGN.md) and shared by every experiment.
+
+use crate::device::DeviceSpec;
+
+/// The CPU used for baselines: the paper's dual-socket AMD EPYC 7742.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CpuSpec {
+    /// Name for reports.
+    pub name: &'static str,
+    /// Package TDP in watts (both sockets).
+    pub tdp_watts: f64,
+    /// Physical cores.
+    pub cores: u32,
+}
+
+/// The paper's baseline server: 2 × EPYC 7742 (64 cores, 225 W each).
+pub fn epyc_7742_dual() -> CpuSpec {
+    CpuSpec {
+        name: "2x AMD EPYC 7742",
+        tdp_watts: 450.0,
+        cores: 128,
+    }
+}
+
+/// Energy for a CPU phase: active power scaled by how many cores the
+/// kernel actually loads, plus a platform floor.
+pub fn cpu_energy_joules(cpu: &CpuSpec, seconds: f64, cores_used: u32) -> f64 {
+    const PLATFORM_FLOOR_W: f64 = 90.0;
+    let utilization = f64::from(cores_used.min(cpu.cores)) / f64::from(cpu.cores);
+    (PLATFORM_FLOOR_W + cpu.tdp_watts * utilization) * seconds
+}
+
+/// Energy for a GPU phase.
+///
+/// `busy_s` is time the SMs compute at `activity` (0–1, the fraction of
+/// peak-power work the kernel does — compute-saturated MSM ≈ 0.85,
+/// launch-bound NTT ≈ 0.35); `exposed_s` is wall time with idle SMs
+/// (e.g. waiting on PCIe).
+pub fn gpu_energy_joules(gpu: &DeviceSpec, busy_s: f64, exposed_s: f64, activity: f64) -> f64 {
+    let idle_w = 0.18 * gpu.tdp_watts; // board idle floor
+    gpu.tdp_watts * activity.clamp(0.05, 1.0) * busy_s + idle_w * exposed_s
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::device::a40;
+
+    #[test]
+    fn cpu_energy_scales_with_cores_and_time() {
+        let cpu = epyc_7742_dual();
+        let serial = cpu_energy_joules(&cpu, 10.0, 1);
+        let parallel = cpu_energy_joules(&cpu, 10.0, 128);
+        assert!(parallel > 4.0 * serial);
+        assert!(cpu_energy_joules(&cpu, 20.0, 1) > serial * 1.9);
+    }
+
+    #[test]
+    fn gpu_idle_time_costs_less_than_busy() {
+        let gpu = a40();
+        let busy = gpu_energy_joules(&gpu, 1.0, 0.0, 0.85);
+        let idle = gpu_energy_joules(&gpu, 0.0, 1.0, 0.85);
+        assert!(busy > 4.0 * idle);
+    }
+
+    #[test]
+    fn activity_is_clamped() {
+        let gpu = a40();
+        assert_eq!(
+            gpu_energy_joules(&gpu, 1.0, 0.0, 7.0),
+            gpu_energy_joules(&gpu, 1.0, 0.0, 1.0)
+        );
+        assert!(gpu_energy_joules(&gpu, 1.0, 0.0, 0.0) > 0.0);
+    }
+}

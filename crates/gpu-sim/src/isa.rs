@@ -1,0 +1,455 @@
+//! A SASS-like micro-ISA.
+//!
+//! The finite-field kernels of `gpu-kernels` are expressed in this small
+//! instruction set, whose opcodes mirror the SASS instructions the paper's
+//! Nsight profiles surface: `IMAD` (integer multiply-add, the 70.8% of
+//! `FF_mul`'s mix), `IADD3` (the carry-chain workhorse of `FF_add`), `SHF`
+//! (the funnel shift dominating `FF_dbl`), plus predicate/select/branch and
+//! global-memory operations. Multi-word arithmetic uses a per-thread carry
+//! flag exactly like PTX `add.cc`/`madc` chains.
+
+use core::fmt;
+
+/// A virtual 32-bit register index.
+pub type Reg = u16;
+
+/// A predicate register index (4 per thread).
+pub type Pred = u8;
+
+/// An operand: register or 32-bit immediate.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Src {
+    /// Register operand.
+    Reg(Reg),
+    /// Immediate operand.
+    Imm(u32),
+}
+
+/// Comparison operators for `SETP`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CmpOp {
+    /// Equal.
+    Eq,
+    /// Not equal.
+    Ne,
+    /// Unsigned less-than.
+    Lt,
+    /// Unsigned greater-or-equal.
+    Ge,
+}
+
+/// Bitwise operations for `LOP3` (restricted to the common two-input forms).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum LogicOp {
+    /// Bitwise AND.
+    And,
+    /// Bitwise OR.
+    Or,
+    /// Bitwise XOR.
+    Xor,
+}
+
+/// One instruction of the micro-ISA.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Instr {
+    /// `dst = lo/hi 32 bits of (a·b) + c (+ carry)`; optionally writes the
+    /// carry flag. The SASS `IMAD` family.
+    Imad {
+        /// Destination register.
+        dst: Reg,
+        /// Multiplicand.
+        a: Src,
+        /// Multiplier.
+        b: Src,
+        /// Addend.
+        c: Src,
+        /// Take the high 32 bits of the product instead of the low.
+        hi: bool,
+        /// Write the carry-out flag (`.CC`).
+        set_cc: bool,
+        /// Add the incoming carry flag (`.X`).
+        use_cc: bool,
+    },
+    /// `dst = a + b + c (+ carry)` — the SASS `IADD3`.
+    Iadd3 {
+        /// Destination register.
+        dst: Reg,
+        /// First addend.
+        a: Src,
+        /// Second addend.
+        b: Src,
+        /// Third addend.
+        c: Src,
+        /// Write the carry-out flag.
+        set_cc: bool,
+        /// Add the incoming carry flag.
+        use_cc: bool,
+    },
+    /// Funnel shift (`SHF`): shifts the 64-bit pair formed with `b` —
+    /// left: `dst = (a << sh) | (b >> (32 - sh))`;
+    /// right: `dst = (a >> sh) | (b << (32 - sh))`.
+    /// Pass `b = Src::Imm(0)` for a plain logical shift.
+    Shf {
+        /// Destination register.
+        dst: Reg,
+        /// Value to shift.
+        a: Src,
+        /// Funnel companion supplying the shifted-in bits.
+        b: Src,
+        /// Shift amount.
+        sh: Src,
+        /// Shift right instead of left.
+        right: bool,
+    },
+    /// Bitwise logic (`LOP3`).
+    Lop3 {
+        /// Destination register.
+        dst: Reg,
+        /// Left operand.
+        a: Src,
+        /// Right operand.
+        b: Src,
+        /// Operation.
+        op: LogicOp,
+    },
+    /// Register move / immediate load.
+    Mov {
+        /// Destination register.
+        dst: Reg,
+        /// Source operand.
+        src: Src,
+    },
+    /// Predicate set from comparison (`ISETP`).
+    Setp {
+        /// Destination predicate.
+        pred: Pred,
+        /// Left operand.
+        a: Src,
+        /// Right operand.
+        b: Src,
+        /// Comparison.
+        cmp: CmpOp,
+    },
+    /// Select (`SEL`): `dst = pred ? a : b`.
+    Sel {
+        /// Destination register.
+        dst: Reg,
+        /// Value when the predicate holds.
+        a: Src,
+        /// Value otherwise.
+        b: Src,
+        /// Guarding predicate.
+        pred: Pred,
+    },
+    /// Conditional/unconditional branch. Divergence is supported for
+    /// *forward* branches (skip-style); backward branches must be uniform.
+    Bra {
+        /// Target instruction index.
+        target: usize,
+        /// `(predicate, polarity)` guard; `None` = always taken.
+        pred: Option<(Pred, bool)>,
+    },
+    /// 32-bit load from global memory: `dst = mem[addr_reg + offset]`
+    /// (word-addressed).
+    Ldg {
+        /// Destination register.
+        dst: Reg,
+        /// Register holding the word address.
+        addr: Reg,
+        /// Constant word offset.
+        offset: u32,
+    },
+    /// 32-bit store to global memory.
+    Stg {
+        /// Register holding the value.
+        src: Reg,
+        /// Register holding the word address.
+        addr: Reg,
+        /// Constant word offset.
+        offset: u32,
+    },
+    /// Thread (warp) exit.
+    Exit,
+}
+
+impl Instr {
+    /// The SASS mnemonic this instruction models, for instruction-mix
+    /// reporting (Table VI's "Dominant SASS Instruction").
+    pub fn mnemonic(&self) -> &'static str {
+        match self {
+            Instr::Imad { .. } => "IMAD",
+            Instr::Iadd3 { .. } => "IADD3",
+            Instr::Shf { .. } => "SHF",
+            Instr::Lop3 { .. } => "LOP3",
+            Instr::Mov { .. } => "MOV",
+            Instr::Setp { .. } => "ISETP",
+            Instr::Sel { .. } => "SEL",
+            Instr::Bra { .. } => "BRA",
+            Instr::Ldg { .. } => "LDG",
+            Instr::Stg { .. } => "STG",
+            Instr::Exit => "EXIT",
+        }
+    }
+
+    /// Whether this dispatches to the INT32 pipe (vs branch/memory).
+    pub fn uses_int32_pipe(&self) -> bool {
+        matches!(
+            self,
+            Instr::Imad { .. }
+                | Instr::Iadd3 { .. }
+                | Instr::Shf { .. }
+                | Instr::Lop3 { .. }
+                | Instr::Mov { .. }
+                | Instr::Setp { .. }
+                | Instr::Sel { .. }
+        )
+    }
+}
+
+/// A program with a label-patching builder.
+///
+/// # Examples
+///
+/// ```
+/// use gpu_sim::isa::{ProgramBuilder, Src};
+/// let mut b = ProgramBuilder::new();
+/// b.mov(0, Src::Imm(5));
+/// b.iadd3(1, Src::Reg(0), Src::Imm(7), Src::Imm(0), false, false);
+/// b.exit();
+/// let p = b.build();
+/// assert_eq!(p.len(), 3);
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct Program {
+    instrs: Vec<Instr>,
+}
+
+impl Program {
+    /// The instruction at `pc`.
+    pub fn fetch(&self, pc: usize) -> Instr {
+        self.instrs[pc]
+    }
+
+    /// Number of instructions.
+    pub fn len(&self) -> usize {
+        self.instrs.len()
+    }
+
+    /// Whether the program is empty.
+    pub fn is_empty(&self) -> bool {
+        self.instrs.is_empty()
+    }
+
+    /// Static instruction-mix histogram as `(mnemonic, count)` pairs.
+    pub fn static_mix(&self) -> Vec<(&'static str, u64)> {
+        let mut mix: Vec<(&'static str, u64)> = Vec::new();
+        for i in &self.instrs {
+            let m = i.mnemonic();
+            match mix.iter_mut().find(|(k, _)| *k == m) {
+                Some((_, c)) => *c += 1,
+                None => mix.push((m, 1)),
+            }
+        }
+        mix
+    }
+}
+
+impl fmt::Display for Program {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for (i, instr) in self.instrs.iter().enumerate() {
+            writeln!(f, "{i:4}: {instr:?}")?;
+        }
+        Ok(())
+    }
+}
+
+/// An unresolved forward-branch label.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Label(usize);
+
+/// Incremental [`Program`] constructor.
+#[derive(Debug, Default)]
+pub struct ProgramBuilder {
+    instrs: Vec<Instr>,
+    /// `(instruction index, label id)` patches.
+    pending: Vec<(usize, usize)>,
+    /// Resolved label positions.
+    labels: Vec<Option<usize>>,
+}
+
+impl ProgramBuilder {
+    /// An empty builder.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Creates a label to be placed later with [`ProgramBuilder::place`].
+    pub fn label(&mut self) -> Label {
+        self.labels.push(None);
+        Label(self.labels.len() - 1)
+    }
+
+    /// Places a label at the current position.
+    pub fn place(&mut self, l: Label) {
+        self.labels[l.0] = Some(self.instrs.len());
+    }
+
+    /// Emits `IMAD` (see [`Instr::Imad`]).
+    #[allow(clippy::too_many_arguments)]
+    pub fn imad(&mut self, dst: Reg, a: Src, b: Src, c: Src, hi: bool, set_cc: bool, use_cc: bool) {
+        self.instrs.push(Instr::Imad {
+            dst,
+            a,
+            b,
+            c,
+            hi,
+            set_cc,
+            use_cc,
+        });
+    }
+
+    /// Emits `IADD3`.
+    pub fn iadd3(&mut self, dst: Reg, a: Src, b: Src, c: Src, set_cc: bool, use_cc: bool) {
+        self.instrs.push(Instr::Iadd3 {
+            dst,
+            a,
+            b,
+            c,
+            set_cc,
+            use_cc,
+        });
+    }
+
+    /// Emits `SHF` (funnel shift; pass `b = Src::Imm(0)` for plain shift).
+    pub fn shf(&mut self, dst: Reg, a: Src, b: Src, sh: Src, right: bool) {
+        self.instrs.push(Instr::Shf { dst, a, b, sh, right });
+    }
+
+    /// Emits `LOP3`.
+    pub fn lop3(&mut self, dst: Reg, a: Src, b: Src, op: LogicOp) {
+        self.instrs.push(Instr::Lop3 { dst, a, b, op });
+    }
+
+    /// Emits `MOV`.
+    pub fn mov(&mut self, dst: Reg, src: Src) {
+        self.instrs.push(Instr::Mov { dst, src });
+    }
+
+    /// Emits `ISETP`.
+    pub fn setp(&mut self, pred: Pred, a: Src, b: Src, cmp: CmpOp) {
+        self.instrs.push(Instr::Setp { pred, a, b, cmp });
+    }
+
+    /// Emits `SEL`.
+    pub fn sel(&mut self, dst: Reg, a: Src, b: Src, pred: Pred) {
+        self.instrs.push(Instr::Sel { dst, a, b, pred });
+    }
+
+    /// Emits a branch to `label` (guarded by `pred` if given).
+    pub fn bra(&mut self, label: Label, pred: Option<(Pred, bool)>) {
+        self.pending.push((self.instrs.len(), label.0));
+        self.instrs.push(Instr::Bra { target: 0, pred });
+    }
+
+    /// Emits `LDG`.
+    pub fn ldg(&mut self, dst: Reg, addr: Reg, offset: u32) {
+        self.instrs.push(Instr::Ldg { dst, addr, offset });
+    }
+
+    /// Emits `STG`.
+    pub fn stg(&mut self, src: Reg, addr: Reg, offset: u32) {
+        self.instrs.push(Instr::Stg { src, addr, offset });
+    }
+
+    /// Emits `EXIT`.
+    pub fn exit(&mut self) {
+        self.instrs.push(Instr::Exit);
+    }
+
+    /// Resolves all labels and returns the program.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any referenced label was never placed.
+    pub fn build(mut self) -> Program {
+        for (idx, label) in self.pending {
+            let target = self.labels[label].expect("branch to unplaced label");
+            if let Instr::Bra { target: t, .. } = &mut self.instrs[idx] {
+                *t = target;
+            }
+        }
+        Program {
+            instrs: self.instrs,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn labels_patch_forward_branches() {
+        let mut b = ProgramBuilder::new();
+        let skip = b.label();
+        b.setp(0, Src::Reg(0), Src::Imm(10), CmpOp::Lt);
+        b.bra(skip, Some((0, true)));
+        b.mov(1, Src::Imm(99));
+        b.place(skip);
+        b.exit();
+        let p = b.build();
+        assert_eq!(p.len(), 4);
+        match p.fetch(1) {
+            Instr::Bra { target, .. } => assert_eq!(target, 3),
+            other => panic!("expected Bra, got {other:?}"),
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "unplaced label")]
+    fn unplaced_label_panics() {
+        let mut b = ProgramBuilder::new();
+        let l = b.label();
+        b.bra(l, None);
+        let _ = b.build();
+    }
+
+    #[test]
+    fn mnemonics_and_pipes() {
+        let i = Instr::Imad {
+            dst: 0,
+            a: Src::Reg(1),
+            b: Src::Reg(2),
+            c: Src::Imm(0),
+            hi: false,
+            set_cc: false,
+            use_cc: false,
+        };
+        assert_eq!(i.mnemonic(), "IMAD");
+        assert!(i.uses_int32_pipe());
+        let b = Instr::Bra {
+            target: 0,
+            pred: None,
+        };
+        assert!(!b.uses_int32_pipe());
+        let l = Instr::Ldg {
+            dst: 0,
+            addr: 1,
+            offset: 0,
+        };
+        assert!(!l.uses_int32_pipe());
+        assert_eq!(l.mnemonic(), "LDG");
+    }
+
+    #[test]
+    fn static_mix_counts() {
+        let mut b = ProgramBuilder::new();
+        b.mov(0, Src::Imm(1));
+        b.imad(1, Src::Reg(0), Src::Reg(0), Src::Imm(0), false, false, false);
+        b.imad(2, Src::Reg(1), Src::Reg(0), Src::Imm(0), false, false, false);
+        b.exit();
+        let mix = b.build().static_mix();
+        assert!(mix.contains(&("IMAD", 2)));
+        assert!(mix.contains(&("MOV", 1)));
+    }
+}

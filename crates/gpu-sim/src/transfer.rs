@@ -1,0 +1,116 @@
+//! CPU–GPU data movement model (Fig. 7).
+//!
+//! Optimized MSM implementations "utilize asynchronous memory copies … to
+//! overlap data movement with compute", while NTT implementations leave
+//! transfer latency exposed. This module models both modes over the
+//! device's host link.
+
+use crate::device::DeviceSpec;
+
+/// How a kernel schedules its host↔device transfers.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TransferMode {
+    /// Transfers fully serialized with compute (`bellperson`-style NTT).
+    Synchronous,
+    /// Transfers overlapped with compute; only the non-hidden residue is
+    /// exposed (`ymc`-style chunked MSM).
+    Overlapped,
+}
+
+/// A kernel-phase timing composed of compute and transfer.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PhaseTime {
+    /// On-device compute seconds.
+    pub compute_s: f64,
+    /// Host→device + device→host transfer seconds.
+    pub transfer_s: f64,
+    /// Wall-clock seconds after overlap.
+    pub total_s: f64,
+}
+
+impl PhaseTime {
+    /// Fraction of wall-clock spent in (exposed) transfer — the Fig. 7
+    /// metric.
+    pub fn transfer_fraction(&self) -> f64 {
+        if self.total_s == 0.0 {
+            return 0.0;
+        }
+        (self.total_s - self.compute_s).max(0.0) / self.total_s
+    }
+
+    /// Fraction of wall-clock spent computing.
+    pub fn compute_fraction(&self) -> f64 {
+        if self.total_s == 0.0 {
+            return 0.0;
+        }
+        (self.compute_s / self.total_s).min(1.0)
+    }
+}
+
+/// Seconds to move `bytes` over the host link, including a fixed per-call
+/// latency (one `cudaMemcpy` submission).
+pub fn transfer_seconds(device: &DeviceSpec, bytes: u64) -> f64 {
+    const MEMCPY_LATENCY_S: f64 = 10e-6;
+    MEMCPY_LATENCY_S + bytes as f64 / (device.pcie_bandwidth_gbs * 1e9)
+}
+
+/// Combines compute and transfer time under the given mode.
+///
+/// In overlapped mode a small submission residue (5%) of the hidden
+/// transfer remains exposed, reflecting chunked double-buffering.
+pub fn combine(compute_s: f64, transfer_s: f64, mode: TransferMode) -> PhaseTime {
+    let total_s = match mode {
+        TransferMode::Synchronous => compute_s + transfer_s,
+        TransferMode::Overlapped => {
+            let exposed = 0.05 * transfer_s;
+            compute_s.max(transfer_s) .max(compute_s + exposed)
+        }
+    };
+    PhaseTime {
+        compute_s,
+        transfer_s,
+        total_s,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::device::a40;
+
+    #[test]
+    fn bandwidth_dominates_large_transfers() {
+        let d = a40();
+        // 32 GiB at 32 GB/s ≈ 1.07 s.
+        let t = transfer_seconds(&d, 32 << 30);
+        assert!((1.0..1.2).contains(&t), "{t}");
+        // Tiny transfers are latency-bound.
+        let t_small = transfer_seconds(&d, 16);
+        assert!(t_small >= 10e-6);
+    }
+
+    #[test]
+    fn synchronous_adds_overlapped_hides() {
+        let sync = combine(1.0, 0.8, TransferMode::Synchronous);
+        assert!((sync.total_s - 1.8).abs() < 1e-12);
+        assert!((sync.transfer_fraction() - 0.8 / 1.8).abs() < 1e-9);
+
+        let over = combine(1.0, 0.8, TransferMode::Overlapped);
+        assert!(over.total_s < 1.1);
+        assert!(over.transfer_fraction() < 0.05);
+    }
+
+    #[test]
+    fn overlap_cannot_hide_transfer_dominated_phases() {
+        let over = combine(0.1, 1.0, TransferMode::Overlapped);
+        assert!(over.total_s >= 1.0);
+        assert!(over.transfer_fraction() > 0.8);
+    }
+
+    #[test]
+    fn zero_work_is_zero_fraction() {
+        let p = combine(0.0, 0.0, TransferMode::Synchronous);
+        assert_eq!(p.transfer_fraction(), 0.0);
+        assert_eq!(p.compute_fraction(), 0.0);
+    }
+}

@@ -1,0 +1,288 @@
+//! The Groth16 protocol: setup, prove, verify (Fig. 3 of the paper).
+
+use crate::qap::Qap;
+use core::fmt;
+use rand::Rng;
+use zkp_curves::{
+    multi_pairing, pairing, Affine, Bls12Config, G1Curve, G2Curve, Jacobian, SwCurve,
+};
+use zkp_curves::batch_to_affine;
+use zkp_curves::tower::Fq12;
+use zkp_ff::Field;
+use zkp_msm::{msm_parallel, FixedBase, MsmConfig};
+use zkp_ntt::quotient_poly;
+use zkp_r1cs::ConstraintSystem;
+
+/// The proving key `𝒫` — "consists of large integers (e.g., 377-bit)"
+/// elliptic-curve points (paper §II); its length tracks the constraint
+/// count.
+pub struct ProvingKey<C: Bls12Config> {
+    /// `α·G1`.
+    pub alpha_g1: Affine<G1Curve<C>>,
+    /// `β·G1`.
+    pub beta_g1: Affine<G1Curve<C>>,
+    /// `β·G2`.
+    pub beta_g2: Affine<G2Curve<C>>,
+    /// `δ·G1`.
+    pub delta_g1: Affine<G1Curve<C>>,
+    /// `δ·G2`.
+    pub delta_g2: Affine<G2Curve<C>>,
+    /// `uᵢ(τ)·G1` for every variable (the A-query MSM bases).
+    pub a_query: Vec<Affine<G1Curve<C>>>,
+    /// `vᵢ(τ)·G1`.
+    pub b_g1_query: Vec<Affine<G1Curve<C>>>,
+    /// `vᵢ(τ)·G2` (the G2 MSM the paper notes runs on CPU, §II-A).
+    pub b_g2_query: Vec<Affine<G2Curve<C>>>,
+    /// `(β·uᵢ(τ) + α·vᵢ(τ) + wᵢ(τ))/δ ·G1` for private variables.
+    pub l_query: Vec<Affine<G1Curve<C>>>,
+    /// `τⁱ·Z(τ)/δ ·G1` for the h-polynomial MSM.
+    pub h_query: Vec<Affine<G1Curve<C>>>,
+    /// The verification key.
+    pub vk: VerifyingKey<C>,
+}
+
+/// The verification key.
+pub struct VerifyingKey<C: Bls12Config> {
+    /// `α·G1`.
+    pub alpha_g1: Affine<G1Curve<C>>,
+    /// `β·G2`.
+    pub beta_g2: Affine<G2Curve<C>>,
+    /// `γ·G2`.
+    pub gamma_g2: Affine<G2Curve<C>>,
+    /// `δ·G2`.
+    pub delta_g2: Affine<G2Curve<C>>,
+    /// `(β·uᵢ + α·vᵢ + wᵢ)/γ ·G1` for the constant and public variables.
+    pub gamma_abc_g1: Vec<Affine<G1Curve<C>>>,
+    /// Cached `e(α·G1, β·G2)` so verification needs three Miller loops.
+    pub alpha_beta_gt: Fq12<C>,
+}
+
+/// A Groth16 proof: "less than 200 bytes" on the wire (paper §II) — two G1
+/// points and one G2 point.
+#[derive(Clone, PartialEq, Eq)]
+pub struct Proof<C: Bls12Config> {
+    /// The `A` component.
+    pub a: Affine<G1Curve<C>>,
+    /// The `B` component (in G2).
+    pub b: Affine<G2Curve<C>>,
+    /// The `C` component.
+    pub c: Affine<G1Curve<C>>,
+}
+
+impl<C: Bls12Config> fmt::Debug for Proof<C> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Proof({}: A, B, C)", C::NAME)
+    }
+}
+
+/// Work counters from one proof generation, consumed by the GPU models.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct ProverStats {
+    /// Size of each G1 MSM (A-query / B-query / L-query / H-query).
+    pub g1_msm_sizes: [u64; 4],
+    /// Size of the G2 MSM.
+    pub g2_msm_size: u64,
+    /// NTT-shaped transforms executed (7 in the Fig. 3 pipeline).
+    pub ntt_count: u32,
+    /// Domain size the NTTs ran over.
+    pub domain_size: u64,
+}
+
+/// Generates a proving/verifying key pair for the circuit shape.
+///
+/// # Panics
+///
+/// Panics if the constraint system is too large for the field's two-adicity.
+pub fn setup<C: Bls12Config, R: Rng + ?Sized>(
+    cs: &ConstraintSystem<C::Fr>,
+    rng: &mut R,
+) -> ProvingKey<C> {
+    let qap = Qap::for_system(cs);
+    // Toxic waste.
+    let (tau, alpha, beta, gamma, delta) = loop {
+        let tau = C::Fr::random(rng);
+        if !qap.domain.eval_vanishing(&tau).is_zero() {
+            break (
+                tau,
+                C::Fr::random(rng),
+                C::Fr::random(rng),
+                C::Fr::random(rng),
+                C::Fr::random(rng),
+            );
+        }
+    };
+    let gamma_inv = gamma.inverse().expect("gamma != 0 w.h.p.");
+    let delta_inv = delta.inverse().expect("delta != 0 w.h.p.");
+
+    let (u, v, w) = qap.evaluate_at(cs, &tau);
+    let num_public = cs.num_public();
+
+    let g1_table = FixedBase::new(G1Curve::<C>::generator(), 8);
+    let g2_table = FixedBase::new(G2Curve::<C>::generator(), 8);
+
+    let a_query = g1_table.batch_mul(&u);
+    let b_g1_query = g1_table.batch_mul(&v);
+    let b_g2_query = g2_table.batch_mul(&v);
+
+    // abc_i = β·uᵢ + α·vᵢ + wᵢ
+    let abc: Vec<C::Fr> = u
+        .iter()
+        .zip(&v)
+        .zip(&w)
+        .map(|((ui, vi), wi)| beta * *ui + alpha * *vi + *wi)
+        .collect();
+    let gamma_abc_scalars: Vec<C::Fr> = abc[..=num_public]
+        .iter()
+        .map(|x| *x * gamma_inv)
+        .collect();
+    let l_scalars: Vec<C::Fr> = abc[num_public + 1..]
+        .iter()
+        .map(|x| *x * delta_inv)
+        .collect();
+    let gamma_abc_g1 = g1_table.batch_mul(&gamma_abc_scalars);
+    let l_query = g1_table.batch_mul(&l_scalars);
+
+    // h_query[i] = τⁱ·Z(τ)/δ — degree of h is at most n-2.
+    let z_tau = qap.domain.eval_vanishing(&tau);
+    let mut h_scalars = Vec::with_capacity(qap.domain.size() as usize - 1);
+    let mut tau_pow = z_tau * delta_inv;
+    for _ in 0..qap.domain.size() - 1 {
+        h_scalars.push(tau_pow);
+        tau_pow *= tau;
+    }
+    let h_query = g1_table.batch_mul(&h_scalars);
+
+    let alpha_g1 = g1_table.mul(&alpha).to_affine();
+    let beta_g1 = g1_table.mul(&beta).to_affine();
+    let beta_g2 = g2_table.mul(&beta).to_affine();
+    let delta_g1 = g1_table.mul(&delta).to_affine();
+    let delta_g2 = g2_table.mul(&delta).to_affine();
+    let gamma_g2 = g2_table.mul(&gamma).to_affine();
+
+    let vk = VerifyingKey {
+        alpha_g1,
+        beta_g2,
+        gamma_g2,
+        delta_g2,
+        gamma_abc_g1,
+        alpha_beta_gt: pairing(&alpha_g1, &beta_g2),
+    };
+
+    ProvingKey {
+        alpha_g1,
+        beta_g1,
+        beta_g2,
+        delta_g1,
+        delta_g2,
+        a_query,
+        b_g1_query,
+        b_g2_query,
+        l_query,
+        h_query,
+        vk,
+    }
+}
+
+/// Generates a proof for the satisfied constraint system (Fig. 3's *Prover*:
+/// 7 NTT-shaped transforms for `h`, then the G1/G2 MSMs).
+///
+/// # Panics
+///
+/// Panics if the system's shape disagrees with the proving key or the
+/// assignment does not satisfy the constraints (checked in debug builds).
+pub fn prove<C: Bls12Config, R: Rng + ?Sized>(
+    pk: &ProvingKey<C>,
+    cs: &ConstraintSystem<C::Fr>,
+    rng: &mut R,
+) -> (Proof<C>, ProverStats) {
+    debug_assert!(cs.is_satisfied(), "witness does not satisfy the circuit");
+    assert_eq!(
+        cs.num_variables(),
+        pk.a_query.len(),
+        "constraint system shape does not match the proving key"
+    );
+    let qap = Qap::for_system(cs);
+    let z = cs.assignment.to_vec();
+
+    // --- NTT phase: compute h = (a·b - c)/Z (7 transforms, Fig. 3). ---
+    let (a_evals, b_evals, c_evals) = qap.witness_maps(cs);
+    let (h_coeffs, ntt_count) = quotient_poly(&qap.domain, &a_evals, &b_evals, &c_evals);
+
+    let r = C::Fr::random(rng);
+    let s = C::Fr::random(rng);
+
+    let threads = std::thread::available_parallelism().map_or(1, |n| n.get());
+    let msm_cfg = MsmConfig::default();
+
+    // --- MSM phase. ---
+    // A = α + Σ zᵢ·uᵢ(τ) + r·δ
+    let a_acc = msm_parallel(&pk.a_query, &z, &msm_cfg, threads)
+        .add_affine(&pk.alpha_g1)
+        .add(&Jacobian::from(pk.delta_g1).mul_scalar(&r));
+
+    // B = β + Σ zᵢ·vᵢ(τ) + s·δ  (G2, with a G1 twin for C)
+    let b_g2_acc = msm_parallel(&pk.b_g2_query, &z, &msm_cfg, threads)
+        .add_affine(&pk.beta_g2)
+        .add(&Jacobian::from(pk.delta_g2).mul_scalar(&s));
+    let b_g1_acc = msm_parallel(&pk.b_g1_query, &z, &msm_cfg, threads)
+        .add_affine(&pk.beta_g1)
+        .add(&Jacobian::from(pk.delta_g1).mul_scalar(&s));
+
+    // C = Σ_priv zᵢ·lᵢ + Σ hᵢ·(τⁱZ(τ)/δ) + s·A + r·B₁ - r·s·δ
+    let priv_z = &z[1 + cs.num_public()..];
+    let l_acc = msm_parallel(&pk.l_query, priv_z, &msm_cfg, threads);
+    let h_len = pk.h_query.len().min(h_coeffs.len());
+    let h_acc = msm_parallel(&pk.h_query[..h_len], &h_coeffs[..h_len], &msm_cfg, threads);
+
+    let rs = r * s;
+    let c_acc = l_acc
+        .add(&h_acc)
+        .add(&a_acc.mul_scalar(&s))
+        .add(&b_g1_acc.mul_scalar(&r))
+        .add(&Jacobian::from(pk.delta_g1).mul_scalar(&(-rs)));
+
+    let normalized = batch_to_affine(&[a_acc, c_acc]);
+    let proof = Proof {
+        a: normalized[0],
+        b: b_g2_acc.to_affine(),
+        c: normalized[1],
+    };
+    let stats = ProverStats {
+        g1_msm_sizes: [
+            z.len() as u64,
+            z.len() as u64,
+            priv_z.len() as u64,
+            h_len as u64,
+        ],
+        g2_msm_size: z.len() as u64,
+        ntt_count,
+        domain_size: qap.domain.size(),
+    };
+    (proof, stats)
+}
+
+/// Verifies a proof against public inputs:
+/// `e(A,B) = e(α,β)·e(Σxᵢ·ICᵢ, γ)·e(C, δ)`.
+pub fn verify<C: Bls12Config>(
+    vk: &VerifyingKey<C>,
+    proof: &Proof<C>,
+    public_inputs: &[C::Fr],
+) -> bool {
+    if public_inputs.len() + 1 != vk.gamma_abc_g1.len() {
+        return false;
+    }
+    // IC = abc₀ + Σ xᵢ·abcᵢ₊₁
+    let mut ic = Jacobian::from(vk.gamma_abc_g1[0]);
+    for (x, base) in public_inputs.iter().zip(&vk.gamma_abc_g1[1..]) {
+        ic = ic.add(&Jacobian::from(*base).mul_scalar(x));
+    }
+    let ic = ic.to_affine();
+
+    // e(A,B)·e(-IC,γ)·e(-C,δ) must equal e(α,β).
+    let combined = multi_pairing::<C>(&[
+        (proof.a, proof.b),
+        (ic.neg(), vk.gamma_g2),
+        (proof.c.neg(), vk.delta_g2),
+    ]);
+    combined == vk.alpha_beta_gt
+}

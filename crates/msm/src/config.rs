@@ -1,0 +1,84 @@
+//! MSM configuration knobs — the algorithmic choices that distinguish the
+//! GPU libraries the paper compares (§IV-A).
+
+/// Which point representation buckets are accumulated in (Table V).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum BucketRepr {
+    /// Jacobian projective buckets (`bellperson`, `cuZK`).
+    Jacobian,
+    /// XYZZ buckets — the cheaper mixed addition `sppark`/`ymc` use.
+    #[default]
+    Xyzz,
+}
+
+/// Configuration of a Pippenger MSM run.
+///
+/// # Examples
+///
+/// ```
+/// use zkp_msm::{BucketRepr, MsmConfig};
+/// let ymc_style = MsmConfig {
+///     window_bits: Some(16),
+///     signed_digits: true,
+///     bucket_repr: BucketRepr::Xyzz,
+///     sort_buckets: true,
+/// };
+/// assert!(ymc_style.signed_digits);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct MsmConfig {
+    /// Window size `s` in bits; `None` picks a size-dependent default.
+    pub window_bits: Option<u32>,
+    /// Signed-digit recoding, halving the bucket count (the endomorphism-
+    /// style trick `ymc` uses, §IV-A).
+    pub signed_digits: bool,
+    /// Bucket point representation.
+    pub bucket_repr: BucketRepr,
+    /// Sort buckets by population for balanced GPU thread assignment
+    /// (`sppark`). Semantically a no-op on the CPU; recorded so the GPU
+    /// models can see the intent.
+    pub sort_buckets: bool,
+}
+
+impl Default for MsmConfig {
+    fn default() -> Self {
+        Self {
+            window_bits: None,
+            signed_digits: false,
+            bucket_repr: BucketRepr::Xyzz,
+            sort_buckets: false,
+        }
+    }
+}
+
+impl MsmConfig {
+    /// The configuration `sppark` models: XYZZ buckets, sorted, unsigned.
+    pub fn sppark_style() -> Self {
+        Self {
+            window_bits: None,
+            signed_digits: false,
+            bucket_repr: BucketRepr::Xyzz,
+            sort_buckets: true,
+        }
+    }
+
+    /// The configuration `ymc`/`yrrid` model: XYZZ + signed digits.
+    pub fn ymc_style() -> Self {
+        Self {
+            window_bits: None,
+            signed_digits: true,
+            bucket_repr: BucketRepr::Xyzz,
+            sort_buckets: true,
+        }
+    }
+
+    /// The configuration `bellperson` models: Jacobian buckets, unsigned.
+    pub fn bellperson_style() -> Self {
+        Self {
+            window_bits: None,
+            signed_digits: false,
+            bucket_repr: BucketRepr::Jacobian,
+            sort_buckets: false,
+        }
+    }
+}

@@ -1,0 +1,44 @@
+//! Multi-Scalar Multiplication kernels for the ZKProphet reproduction.
+//!
+//! MSM computes `Q = Σ kᵢ·Pᵢ` over millions of elliptic-curve points — the
+//! operation GPU acceleration efforts (ZPrize, `sppark`, `ymc`) have pushed
+//! to ~800× CPU speedups (paper Table II). This crate implements:
+//!
+//! * [`msm`] / [`msm_with_config`] — Pippenger's bucket algorithm (Fig. 4a)
+//!   with the algorithmic options that differentiate the studied libraries:
+//!   bucket representation (Jacobian vs XYZZ), signed-digit recoding, and
+//!   window sizing.
+//! * [`msm_parallel`] — multi-threaded sub-MSM decomposition.
+//! * [`PrecomputedPoints`] — the window-reduction-by-precomputation
+//!   optimization of §IV-D1a (Fig. 12).
+//! * [`msm_serial`] — a double-and-add reference for cross-checking.
+//!
+//! # Examples
+//!
+//! ```
+//! use zkp_msm::{msm, msm_serial};
+//! use zkp_curves::{bls12_381::G1, Jacobian, SwCurve};
+//! use zkp_ff::{Field, Fr381};
+//! use rand::{rngs::StdRng, SeedableRng};
+//!
+//! let mut rng = StdRng::seed_from_u64(1);
+//! let g = G1::generator();
+//! let points = vec![g; 32];
+//! let scalars: Vec<Fr381> = (0..32).map(|_| Fr381::random(&mut rng)).collect();
+//! assert_eq!(msm(&points, &scalars), msm_serial(&points, &scalars));
+//! ```
+
+mod batch_affine;
+mod config;
+mod fixed_base;
+mod pippenger;
+mod precompute;
+
+pub use batch_affine::{msm_batch_affine, BatchAffineOutput, BatchAffineStats};
+pub use config::{BucketRepr, MsmConfig};
+pub use fixed_base::FixedBase;
+pub use pippenger::{
+    default_window_bits, msm, msm_parallel, msm_serial, msm_with_config, num_windows, MsmOutput,
+    MsmStats,
+};
+pub use precompute::{precompute_cost, PrecomputeCost, PrecomputedPoints};

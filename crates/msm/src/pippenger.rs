@@ -1,0 +1,309 @@
+//! Pippenger's bucket algorithm for Multi-Scalar Multiplication.
+//!
+//! `Q = Σ kᵢ·Pᵢ` is computed per Fig. 4(a) of the paper: split each λ-bit
+//! scalar into `w` windows of `s` bits; within each window place points into
+//! buckets keyed by the window digit (*Bucket Accumulation*), reduce buckets
+//! with the running *Sum-of-Sums* trick (*Bucket Reduction*, `2·2^s` PADDs
+//! per window), and finally combine window sums with doublings (*Window
+//! Reduction* — the serial part, "often performed on the CPU").
+
+use crate::config::{BucketRepr, MsmConfig};
+use core::marker::PhantomData;
+use zkp_curves::{Affine, Jacobian, SwCurve, Xyzz};
+use zkp_ff::PrimeField;
+
+/// Execution statistics of one MSM, consumed by the GPU kernel models.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct MsmStats {
+    /// Mixed point additions performed during bucket accumulation.
+    pub accumulation_padds: u64,
+    /// Point additions performed during bucket reduction.
+    pub reduction_padds: u64,
+    /// Point additions in the final window reduction.
+    pub window_padds: u64,
+    /// Point doublings in the final window reduction.
+    pub window_pdbls: u64,
+    /// Number of windows processed.
+    pub windows: u32,
+    /// Buckets per window.
+    pub buckets_per_window: u64,
+}
+
+impl MsmStats {
+    /// Total point additions of any phase.
+    pub fn total_padds(&self) -> u64 {
+        self.accumulation_padds + self.reduction_padds + self.window_padds
+    }
+}
+
+/// The result of an MSM together with its statistics.
+#[derive(Debug, Clone)]
+pub struct MsmOutput<Cu: SwCurve> {
+    /// The computed sum `Σ kᵢ·Pᵢ`.
+    pub point: Jacobian<Cu>,
+    /// Work counters.
+    pub stats: MsmStats,
+}
+
+/// Chooses the window size the way CPU/GPU Pippenger implementations do:
+/// roughly `ln(n)` bits, clamped to a practical range.
+pub fn default_window_bits(n: usize) -> u32 {
+    match n {
+        0..=1 => 3,
+        _ => ((n as f64).ln().ceil() as u32).clamp(3, 16),
+    }
+}
+
+/// Generic bucket accumulator abstracting the point representation
+/// (Jacobian vs XYZZ — the choice `sppark` made for its speedups, §IV-A).
+trait Accumulator<Cu: SwCurve>: Clone {
+    fn identity() -> Self;
+    fn add_affine(&mut self, p: &Affine<Cu>);
+    fn add_acc(&mut self, other: &Self);
+    fn into_jacobian(self) -> Jacobian<Cu>;
+}
+
+#[derive(Clone)]
+struct JacAcc<Cu: SwCurve>(Jacobian<Cu>);
+
+impl<Cu: SwCurve> Accumulator<Cu> for JacAcc<Cu> {
+    fn identity() -> Self {
+        Self(Jacobian::identity())
+    }
+    fn add_affine(&mut self, p: &Affine<Cu>) {
+        self.0 = self.0.add_affine(p);
+    }
+    fn add_acc(&mut self, other: &Self) {
+        self.0 = self.0.add(&other.0);
+    }
+    fn into_jacobian(self) -> Jacobian<Cu> {
+        self.0
+    }
+}
+
+#[derive(Clone)]
+struct XyzzAcc<Cu: SwCurve>(Xyzz<Cu>);
+
+impl<Cu: SwCurve> Accumulator<Cu> for XyzzAcc<Cu> {
+    fn identity() -> Self {
+        Self(Xyzz::identity())
+    }
+    fn add_affine(&mut self, p: &Affine<Cu>) {
+        self.0 = self.0.add_affine(p);
+    }
+    fn add_acc(&mut self, other: &Self) {
+        self.0 = self.0.add(&other.0);
+    }
+    fn into_jacobian(self) -> Jacobian<Cu> {
+        self.0.to_jacobian()
+    }
+}
+
+/// A window digit in signed or unsigned form.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+struct Digit {
+    /// Bucket index minus one (`None` for digit 0).
+    bucket: Option<usize>,
+    /// Whether the point should be subtracted instead of added.
+    negate: bool,
+}
+
+/// Decomposes a scalar into window digits.
+///
+/// With `signed`, digits are recoded into `[-2^(s-1), 2^(s-1)]`, halving
+/// the bucket count — the signed-digit trick `ymc` uses (§IV-A).
+fn decompose<F: PrimeField>(scalar: &F, window_bits: u32, num_windows: u32, signed: bool) -> Vec<Digit> {
+    let limbs = scalar.to_uint();
+    let mut digits = Vec::with_capacity(num_windows as usize);
+    let mut carry = 0u64;
+    let base = 1u64 << window_bits;
+    for w in 0..num_windows {
+        let lo = w * window_bits;
+        let mut d = carry;
+        carry = 0;
+        // Extract the raw window bits.
+        let mut raw = 0u64;
+        for b in 0..window_bits {
+            let bit = lo + b;
+            let limb = (bit / 64) as usize;
+            if limb < limbs.len() && (limbs[limb] >> (bit % 64)) & 1 == 1 {
+                raw |= 1 << b;
+            }
+        }
+        d += raw;
+        if signed && d > base / 2 {
+            // Recode: d - 2^s, carry 1 into the next window.
+            let neg_mag = base - d;
+            carry = 1;
+            digits.push(Digit {
+                bucket: (neg_mag != 0).then(|| neg_mag as usize - 1),
+                negate: true,
+            });
+        } else if signed && d == base {
+            // d accumulated to exactly 2^s via carry: digit 0, carry 1.
+            carry = 1;
+            digits.push(Digit {
+                bucket: None,
+                negate: false,
+            });
+        } else {
+            digits.push(Digit {
+                bucket: (d != 0).then(|| d as usize - 1),
+                negate: false,
+            });
+        }
+    }
+    debug_assert_eq!(carry, 0, "top window must absorb the final carry");
+    digits
+}
+
+/// How many windows a scalar field needs at a given window size.
+///
+/// For signed digits one extra bit is required for the final carry.
+pub fn num_windows<F: PrimeField>(window_bits: u32, signed: bool) -> u32 {
+    let bits = F::modulus_bits() + u32::from(signed);
+    bits.div_ceil(window_bits)
+}
+
+/// Pippenger MSM with an explicit configuration.
+///
+/// # Panics
+///
+/// Panics if `points` and `scalars` differ in length.
+pub fn msm_with_config<Cu: SwCurve>(
+    points: &[Affine<Cu>],
+    scalars: &[Cu::Scalar],
+    config: &MsmConfig,
+) -> MsmOutput<Cu> {
+    assert_eq!(
+        points.len(),
+        scalars.len(),
+        "points and scalars must pair up"
+    );
+    match config.bucket_repr {
+        BucketRepr::Jacobian => msm_impl::<Cu, JacAcc<Cu>>(points, scalars, config, PhantomData),
+        BucketRepr::Xyzz => msm_impl::<Cu, XyzzAcc<Cu>>(points, scalars, config, PhantomData),
+    }
+}
+
+fn msm_impl<Cu: SwCurve, Acc: Accumulator<Cu>>(
+    points: &[Affine<Cu>],
+    scalars: &[Cu::Scalar],
+    config: &MsmConfig,
+    _acc: PhantomData<Acc>,
+) -> MsmOutput<Cu> {
+    let n = points.len();
+    if n == 0 {
+        return MsmOutput {
+            point: Jacobian::identity(),
+            stats: MsmStats::default(),
+        };
+    }
+    let s = config
+        .window_bits
+        .unwrap_or_else(|| default_window_bits(n));
+    let w = num_windows::<Cu::Scalar>(s, config.signed_digits);
+    let buckets_per_window = if config.signed_digits {
+        1u64 << (s - 1)
+    } else {
+        (1u64 << s) - 1
+    };
+
+    let mut stats = MsmStats {
+        windows: w,
+        buckets_per_window,
+        ..MsmStats::default()
+    };
+
+    // Decompose all scalars once.
+    let digits: Vec<Vec<Digit>> = scalars
+        .iter()
+        .map(|k| decompose(k, s, w, config.signed_digits))
+        .collect();
+
+    // Per-window bucket accumulation + sum-of-sums reduction.
+    let mut window_sums: Vec<Jacobian<Cu>> = Vec::with_capacity(w as usize);
+    for win in 0..w as usize {
+        let mut buckets: Vec<Acc> = vec![Acc::identity(); buckets_per_window as usize];
+        for (p, d) in points.iter().zip(&digits) {
+            let digit = d[win];
+            if let Some(b) = digit.bucket {
+                if digit.negate {
+                    buckets[b].add_affine(&p.neg());
+                } else {
+                    buckets[b].add_affine(p);
+                }
+                stats.accumulation_padds += 1;
+            }
+        }
+        // Sum-of-Sums: Σ (i+1)·B_i via running suffix sums.
+        let mut running = Acc::identity();
+        let mut sum = Acc::identity();
+        for b in buckets.iter().rev() {
+            running.add_acc(b);
+            sum.add_acc(&running);
+            stats.reduction_padds += 2;
+        }
+        window_sums.push(sum.into_jacobian());
+    }
+
+    // Window reduction (serial; Fig. 4a bottom): Horner over 2^s.
+    let mut acc = Jacobian::identity();
+    for ws in window_sums.iter().rev() {
+        for _ in 0..s {
+            acc = acc.double();
+            stats.window_pdbls += 1;
+        }
+        acc = acc.add(ws);
+        stats.window_padds += 1;
+    }
+
+    MsmOutput { point: acc, stats }
+}
+
+/// Pippenger MSM with defaults (unsigned digits, XYZZ buckets, auto window).
+pub fn msm<Cu: SwCurve>(points: &[Affine<Cu>], scalars: &[Cu::Scalar]) -> Jacobian<Cu> {
+    msm_with_config(points, scalars, &MsmConfig::default()).point
+}
+
+/// Multi-threaded MSM: splits the input across `threads` chunks, runs
+/// Pippenger on each, and adds the partial results ("the N points and
+/// scalars processed within each window can be split into multiple
+/// sub-tasks", §II-A).
+pub fn msm_parallel<Cu: SwCurve>(
+    points: &[Affine<Cu>],
+    scalars: &[Cu::Scalar],
+    config: &MsmConfig,
+    threads: usize,
+) -> Jacobian<Cu> {
+    assert_eq!(points.len(), scalars.len());
+    let threads = threads.max(1).min(points.len().max(1));
+    if threads <= 1 {
+        return msm_with_config(points, scalars, config).point;
+    }
+    let chunk = points.len().div_ceil(threads);
+    let partials = std::thread::scope(|scope| {
+        let handles: Vec<_> = points
+            .chunks(chunk)
+            .zip(scalars.chunks(chunk))
+            .map(|(ps, ks)| scope.spawn(move || msm_with_config(ps, ks, config).point))
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("MSM worker panicked"))
+            .collect::<Vec<_>>()
+    });
+    partials
+        .into_iter()
+        .fold(Jacobian::identity(), |acc, p| acc.add(&p))
+}
+
+/// Reference serial MSM (`Σ kᵢ·Pᵢ` by double-and-add), for cross-checking.
+pub fn msm_serial<Cu: SwCurve>(points: &[Affine<Cu>], scalars: &[Cu::Scalar]) -> Jacobian<Cu> {
+    points
+        .iter()
+        .zip(scalars)
+        .fold(Jacobian::identity(), |acc, (p, k)| {
+            acc.add(&p.mul_scalar(k))
+        })
+}

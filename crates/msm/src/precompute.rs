@@ -1,0 +1,163 @@
+//! Window reduction through precomputed points — the optimization the paper
+//! analyzes in §IV-D1a / Fig. 12.
+//!
+//! A λ-bit scalar at window size `c` needs `w = ⌈λ/c⌉` windows, and *Bucket
+//! Reduction* costs `2·2^c` PADDs per window. By storing `2^(W·c·j)·Pᵢ` for
+//! `j = 1..⌈w/W⌉`, every digit of window `q = a + W·j` can instead be
+//! accumulated into window `a` using the `j`-th precomputed multiple —
+//! shrinking the number of reduced windows from `w` to `W` at the price of
+//! `⌈w/W⌉×` the point storage ("provided enough device memory is
+//! available").
+
+use crate::config::MsmConfig;
+use crate::pippenger::{msm_with_config, num_windows, MsmOutput};
+use zkp_curves::{batch_to_affine, Affine, Jacobian, SwCurve};
+use zkp_ff::PrimeField;
+
+/// A table of points expanded with precomputed `2^(W·c·j)` multiples.
+#[derive(Debug, Clone)]
+pub struct PrecomputedPoints<Cu: SwCurve> {
+    /// `copies` concatenated shifted copies of the base points.
+    expanded: Vec<Affine<Cu>>,
+    /// Number of base points.
+    n: usize,
+    /// Window size the table was built for.
+    window_bits: u32,
+    /// Windows remaining after reduction (`W`).
+    target_windows: u32,
+    /// Copies stored (`⌈w/W⌉`).
+    copies: u32,
+}
+
+impl<Cu: SwCurve> PrecomputedPoints<Cu> {
+    /// Builds the table for the given window size and target window count.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `target_windows == 0` or `window_bits == 0`.
+    pub fn build(points: &[Affine<Cu>], window_bits: u32, target_windows: u32) -> Self {
+        assert!(window_bits > 0, "window size must be positive");
+        assert!(target_windows > 0, "must keep at least one window");
+        let w = num_windows::<Cu::Scalar>(window_bits, false);
+        let copies = w.div_ceil(target_windows);
+        let mut expanded = Vec::with_capacity(points.len() * copies as usize);
+        expanded.extend_from_slice(points);
+        // Each successive copy is the previous shifted by W·c doublings.
+        let mut current: Vec<Jacobian<Cu>> = points.iter().map(|p| Jacobian::from(*p)).collect();
+        for _ in 1..copies {
+            for p in current.iter_mut() {
+                for _ in 0..window_bits * target_windows {
+                    *p = p.double();
+                }
+            }
+            expanded.extend(batch_to_affine(&current));
+        }
+        Self {
+            expanded,
+            n: points.len(),
+            window_bits,
+            target_windows,
+            copies,
+        }
+    }
+
+    /// Number of stored points (`n · ⌈w/W⌉`) — the memory cost of Fig. 12.
+    pub fn stored_points(&self) -> usize {
+        self.expanded.len()
+    }
+
+    /// The shrunken window count `W`.
+    pub fn target_windows(&self) -> u32 {
+        self.target_windows
+    }
+
+    /// The stored copies `⌈w/W⌉`.
+    pub fn copies(&self) -> u32 {
+        self.copies
+    }
+
+    /// Computes the MSM against this table.
+    ///
+    /// Scalars are re-sliced so that digit `a + W·j` of scalar `i` becomes
+    /// digit `a` of the pseudo-scalar paired with copy `j` of point `i`;
+    /// a single `W`-window Pippenger then does all accumulation.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `scalars.len()` differs from the table's base point count.
+    pub fn msm(&self, scalars: &[Cu::Scalar]) -> MsmOutput<Cu> {
+        assert_eq!(scalars.len(), self.n, "scalar count must match the table");
+        let c = self.window_bits;
+        let big_window = c * self.target_windows; // bits covered per copy
+        // Pseudo-scalar for copy j = bits [j*W*c, (j+1)*W*c) of the scalar.
+        let mut pseudo: Vec<Cu::Scalar> = Vec::with_capacity(self.expanded.len());
+        for j in 0..self.copies {
+            for k in scalars {
+                pseudo.push(slice_scalar::<Cu::Scalar>(k, j * big_window, big_window));
+            }
+        }
+        let config = MsmConfig {
+            window_bits: Some(c),
+            ..MsmConfig::default()
+        };
+        let mut out = msm_with_config(&self.expanded, &pseudo, &config);
+        // Only `target_windows` windows carry data; clamp the stats to the
+        // windows that actually get reduced on a real implementation.
+        out.stats.windows = out.stats.windows.min(self.target_windows);
+        out
+    }
+}
+
+/// Extracts `width` bits of a scalar starting at `lo` as a new scalar.
+fn slice_scalar<F: PrimeField>(k: &F, lo: u32, width: u32) -> F {
+    let limbs = k.to_uint();
+    let mut out = vec![0u64; limbs.len()];
+    for b in 0..width {
+        let src = lo + b;
+        let limb = (src / 64) as usize;
+        if limb < limbs.len() && (limbs[limb] >> (src % 64)) & 1 == 1 {
+            out[(b / 64) as usize] |= 1 << (b % 64);
+        }
+    }
+    F::from_le_limbs(&out).expect("bit slice of a reduced scalar is reduced")
+}
+
+/// The §IV-D1a cost model behind Fig. 12: `FF_mul` count and point storage
+/// for Bucket Reduction at scale `n`, window size `c`, and `W` remaining
+/// windows.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PrecomputeCost {
+    /// Windows after reduction.
+    pub windows: u32,
+    /// `FF_mul` operations in Bucket Reduction (`2·2^c` PADDs per window ×
+    /// `ff_mul_per_padd`).
+    pub bucket_reduction_ff_muls: u64,
+    /// Points stored (`n · ⌈w/W⌉`).
+    pub stored_points: u64,
+    /// Bytes of point storage in Affine form (2 coordinates).
+    pub storage_bytes: u64,
+}
+
+/// Evaluates the Fig. 12 trade-off for a 253-bit scalar field.
+///
+/// `ff_mul_per_padd` is 10 in the paper's example (§IV-D1a); Affine points
+/// store two `coord_bytes`-byte coordinates.
+pub fn precompute_cost(
+    n: u64,
+    scalar_bits: u32,
+    window_bits: u32,
+    target_windows: u32,
+    ff_mul_per_padd: u64,
+    coord_bytes: u64,
+) -> PrecomputeCost {
+    let w = scalar_bits.div_ceil(window_bits);
+    let target = target_windows.min(w).max(1);
+    let copies = w.div_ceil(target) as u64;
+    let padds_per_window = 2 * (1u64 << window_bits);
+    PrecomputeCost {
+        windows: target,
+        bucket_reduction_ff_muls: u64::from(target) * padds_per_window * ff_mul_per_padd,
+        stored_points: n * copies,
+        storage_bytes: n * copies * 2 * coord_bytes,
+    }
+}

@@ -1,0 +1,209 @@
+//! MSM correctness across configurations, curves, and the precompute path.
+
+use proptest::prelude::*;
+use rand::{rngs::StdRng, SeedableRng};
+use zkp_curves::{bls12_377, bls12_381, Affine, Jacobian, SwCurve};
+use zkp_ff::{Field, PrimeField};
+use zkp_msm::{
+    default_window_bits, msm, msm_parallel, msm_serial, msm_with_config, precompute_cost,
+    BucketRepr, MsmConfig, PrecomputedPoints,
+};
+
+fn random_inputs<Cu: SwCurve>(n: usize, seed: u64) -> (Vec<Affine<Cu>>, Vec<Cu::Scalar>) {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let g = Jacobian::from(Cu::generator());
+    let points = (0..n)
+        .map(|_| {
+            g.mul_scalar(&Cu::Scalar::random(&mut rng))
+                .to_affine()
+        })
+        .collect();
+    let scalars = (0..n).map(|_| Cu::Scalar::random(&mut rng)).collect();
+    (points, scalars)
+}
+
+fn all_configs() -> Vec<MsmConfig> {
+    let mut configs = vec![
+        MsmConfig::default(),
+        MsmConfig::sppark_style(),
+        MsmConfig::ymc_style(),
+        MsmConfig::bellperson_style(),
+    ];
+    for bits in [3, 5, 8, 13] {
+        for signed in [false, true] {
+            for repr in [BucketRepr::Jacobian, BucketRepr::Xyzz] {
+                configs.push(MsmConfig {
+                    window_bits: Some(bits),
+                    signed_digits: signed,
+                    bucket_repr: repr,
+                    sort_buckets: false,
+                });
+            }
+        }
+    }
+    configs
+}
+
+#[test]
+fn every_config_matches_serial_381() {
+    let (points, scalars) = random_inputs::<bls12_381::G1>(50, 7);
+    let expect = msm_serial(&points, &scalars);
+    for config in all_configs() {
+        let got = msm_with_config(&points, &scalars, &config).point;
+        assert_eq!(got, expect, "config diverged: {config:?}");
+    }
+}
+
+#[test]
+fn every_config_matches_serial_377() {
+    let (points, scalars) = random_inputs::<bls12_377::G1>(50, 8);
+    let expect = msm_serial(&points, &scalars);
+    for config in all_configs() {
+        let got = msm_with_config(&points, &scalars, &config).point;
+        assert_eq!(got, expect, "config diverged: {config:?}");
+    }
+}
+
+#[test]
+fn g2_msm_matches_serial() {
+    // The Groth16 prover also runs a (smaller) G2 MSM (§II-A).
+    let (points, scalars) = random_inputs::<bls12_381::G2>(20, 9);
+    assert_eq!(msm(&points, &scalars), msm_serial(&points, &scalars));
+}
+
+#[test]
+fn parallel_matches_sequential() {
+    let (points, scalars) = random_inputs::<bls12_381::G1>(97, 10);
+    let expect = msm(&points, &scalars);
+    for threads in [1, 2, 3, 8, 200] {
+        let got = msm_parallel(&points, &scalars, &MsmConfig::default(), threads);
+        assert_eq!(got, expect, "threads={threads}");
+    }
+}
+
+#[test]
+fn empty_and_degenerate_inputs() {
+    let empty: (Vec<Affine<bls12_381::G1>>, Vec<zkp_ff::Fr381>) = (vec![], vec![]);
+    assert!(msm(&empty.0, &empty.1).is_identity());
+
+    // All-zero scalars.
+    let (points, _) = random_inputs::<bls12_381::G1>(10, 11);
+    let zeros = vec![zkp_ff::Fr381::zero(); 10];
+    assert!(msm(&points, &zeros).is_identity());
+
+    // Points at infinity are absorbed.
+    let scalars: Vec<zkp_ff::Fr381> = (1..=10).map(zkp_ff::Fr381::from_u64).collect();
+    let infs = vec![Affine::<bls12_381::G1>::identity(); 10];
+    assert!(msm(&infs, &scalars).is_identity());
+}
+
+#[test]
+fn single_pair_is_scalar_mul() {
+    let (points, scalars) = random_inputs::<bls12_381::G1>(1, 12);
+    assert_eq!(msm(&points, &scalars), points[0].mul_scalar(&scalars[0]));
+}
+
+#[test]
+fn handles_extreme_scalars() {
+    let g = bls12_381::G1::generator();
+    let minus_one = -zkp_ff::Fr381::one();
+    let points = vec![g, g, g];
+    let scalars = vec![zkp_ff::Fr381::one(), minus_one, zkp_ff::Fr381::from_u64(5)];
+    // 1 - 1 + 5 = 5
+    let expect = Jacobian::from(g).mul_limbs(&[5]);
+    for config in all_configs() {
+        assert_eq!(
+            msm_with_config(&points, &scalars, &config).point,
+            expect,
+            "config: {config:?}"
+        );
+    }
+}
+
+#[test]
+fn stats_reflect_structure() {
+    let (points, scalars) = random_inputs::<bls12_381::G1>(64, 13);
+    let config = MsmConfig {
+        window_bits: Some(4),
+        ..MsmConfig::default()
+    };
+    let out = msm_with_config(&points, &scalars, &config);
+    let w = zkp_ff::Fr381::modulus_bits().div_ceil(4);
+    assert_eq!(out.stats.windows, w);
+    assert_eq!(out.stats.buckets_per_window, 15);
+    // Sum-of-sums: 2 PADDs per bucket per window.
+    assert_eq!(out.stats.reduction_padds, u64::from(w) * 15 * 2);
+    // Window reduction: s doublings + 1 add per window.
+    assert_eq!(out.stats.window_pdbls, u64::from(w) * 4);
+    assert_eq!(out.stats.window_padds, u64::from(w));
+    // Accumulation: at most one PADD per (point, window).
+    assert!(out.stats.accumulation_padds <= 64 * u64::from(w));
+
+    // Signed digits halve the buckets.
+    let signed = msm_with_config(
+        &points,
+        &scalars,
+        &MsmConfig {
+            window_bits: Some(4),
+            signed_digits: true,
+            ..MsmConfig::default()
+        },
+    );
+    assert_eq!(signed.stats.buckets_per_window, 8);
+}
+
+#[test]
+fn precomputed_msm_matches_plain() {
+    let (points, scalars) = random_inputs::<bls12_381::G1>(40, 14);
+    let expect = msm(&points, &scalars);
+    for target_windows in [1u32, 2, 4, 7, 64] {
+        let table = PrecomputedPoints::build(&points, 8, target_windows);
+        let got = table.msm(&scalars);
+        assert_eq!(got.point, expect, "target_windows={target_windows}");
+        // Storage grows as copies shrink the window count.
+        let w = zkp_ff::Fr381::modulus_bits().div_ceil(8);
+        assert_eq!(
+            table.stored_points(),
+            40 * (w.div_ceil(target_windows.min(w)) as usize)
+        );
+    }
+}
+
+#[test]
+fn precompute_cost_model_matches_paper_example() {
+    // §IV-D1a: c = 23, 253-bit scalars -> w = 11 windows; each window's
+    // Sum-of-Sums needs 2·2^23 ≈ 16.7M PADDs.
+    let cost = precompute_cost(1 << 26, 253, 23, 11, 10, 48);
+    assert_eq!(cost.windows, 11);
+    let padds_per_window = 2u64 * (1 << 23);
+    assert!((16_000_000..17_000_000).contains(&padds_per_window));
+    assert_eq!(cost.bucket_reduction_ff_muls, 11 * padds_per_window * 10);
+    // Full table (w = 1): 11 copies of 2^26 points.
+    let full = precompute_cost(1 << 26, 253, 23, 1, 10, 48);
+    assert_eq!(full.stored_points, 11 << 26);
+    // Baseline storage (one copy of the points in Affine form) is 6 GiB
+    // for 2^26 points with 48-byte coordinates.
+    let base = precompute_cost(1 << 26, 253, 23, 11, 10, 48);
+    assert_eq!(base.storage_bytes, (1u64 << 26) * 96);
+    assert_eq!(base.storage_bytes, 6 << 30);
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    #[test]
+    fn msm_linear_in_scalars(seed in any::<u64>(), n in 2usize..24) {
+        let (points, s1) = random_inputs::<bls12_381::G1>(n, seed);
+        let (_, s2) = random_inputs::<bls12_381::G1>(n, seed.wrapping_add(1));
+        let sum: Vec<_> = s1.iter().zip(&s2).map(|(a, b)| *a + *b).collect();
+        let lhs = msm(&points, &sum);
+        let rhs = msm(&points, &s1).add(&msm(&points, &s2));
+        prop_assert_eq!(lhs, rhs);
+    }
+
+    #[test]
+    fn window_default_is_sane(n in 1usize..5_000_000) {
+        let w = default_window_bits(n);
+        prop_assert!((3..=16).contains(&w));
+    }
+}

@@ -1,0 +1,259 @@
+//! Optimized NTT paths: precomputed twiddle tables and a multithreaded
+//! transform.
+//!
+//! These mirror the optimizations §IV-A attributes to `cuZK` ("storing
+//! precomputed twiddle factors in device memory") and the stage-parallel
+//! structure every GPU NTT exploits — here realized with a lookup table
+//! and scoped CPU threads, and cross-checked against the textbook radix-2
+//! network.
+
+use crate::domain::Domain;
+use crate::transform::{bit_reverse_permute, NttStats};
+use zkp_ff::PrimeField;
+
+/// Precomputed twiddle factors for one domain: the powers `ω⁰ … ω^(n/2-1)`
+/// (and their inverses), replacing the serial `w *= w_m` chains of the
+/// on-the-fly transform with independent lookups.
+#[derive(Debug, Clone)]
+pub struct TwiddleTable<F: PrimeField> {
+    forward: Vec<F>,
+    inverse: Vec<F>,
+    size: u64,
+}
+
+impl<F: PrimeField> TwiddleTable<F> {
+    /// Builds the table for a domain (O(n) multiplications, done once).
+    pub fn new(domain: &Domain<F>) -> Self {
+        let half = (domain.size() / 2).max(1) as usize;
+        let mut forward = Vec::with_capacity(half);
+        let mut inverse = Vec::with_capacity(half);
+        let (mut fw, mut iv) = (F::one(), F::one());
+        for _ in 0..half {
+            forward.push(fw);
+            inverse.push(iv);
+            fw *= domain.omega();
+            iv *= domain.omega_inv();
+        }
+        Self {
+            forward,
+            inverse,
+            size: domain.size(),
+        }
+    }
+
+    /// Memory the table occupies in bytes (the "device memory" cost cuZK
+    /// pays for this optimization).
+    pub fn bytes(&self) -> usize {
+        (self.forward.len() + self.inverse.len()) * F::NUM_LIMBS * 8
+    }
+
+    fn factors(&self, invert: bool) -> &[F] {
+        if invert {
+            &self.inverse
+        } else {
+            &self.forward
+        }
+    }
+}
+
+/// In-place NTT using table lookups instead of running twiddle products.
+///
+/// # Panics
+///
+/// Panics if `values.len()` differs from the table's domain size.
+pub fn ntt_with_table<F: PrimeField>(
+    values: &mut [F],
+    table: &TwiddleTable<F>,
+    invert: bool,
+) -> NttStats {
+    assert_eq!(
+        values.len() as u64,
+        table.size,
+        "input length must match the table's domain"
+    );
+    let n = values.len();
+    bit_reverse_permute(values);
+    let log_n = n.trailing_zeros();
+    let tw = table.factors(invert);
+    let mut stats = NttStats::default();
+    for s in 1..=log_n {
+        let m = 1usize << s;
+        let stride = n / m;
+        for k in (0..n).step_by(m) {
+            for j in 0..m / 2 {
+                let t = tw[j * stride] * values[k + j + m / 2];
+                let u = values[k + j];
+                values[k + j] = u + t;
+                values[k + j + m / 2] = u - t;
+                stats.butterflies += 1;
+            }
+        }
+        stats.passes += 1;
+    }
+    stats
+}
+
+/// Forward NTT with a table.
+pub fn ntt_tabled<F: PrimeField>(values: &mut [F], table: &TwiddleTable<F>) {
+    ntt_with_table(values, table, false);
+}
+
+/// Inverse NTT with a table (includes the `n⁻¹` scaling).
+pub fn intt_tabled<F: PrimeField>(domain: &Domain<F>, values: &mut [F], table: &TwiddleTable<F>) {
+    ntt_with_table(values, table, true);
+    let n_inv = domain.size_inv();
+    for v in values.iter_mut() {
+        *v *= n_inv;
+    }
+}
+
+/// Multithreaded in-place NTT: every stage's butterflies are independent,
+/// so each stage fans out across `threads` workers with a barrier between
+/// stages (the CPU shape of the GPU's one-thread-per-butterfly mapping).
+///
+/// # Panics
+///
+/// Panics if `values.len()` differs from the table's domain size.
+pub fn ntt_parallel<F: PrimeField>(
+    values: &mut [F],
+    table: &TwiddleTable<F>,
+    invert: bool,
+    threads: usize,
+) {
+    assert_eq!(
+        values.len() as u64,
+        table.size,
+        "input length must match the table's domain"
+    );
+    let n = values.len();
+    let threads = threads.max(1);
+    if threads == 1 || n < 1 << 10 {
+        ntt_with_table(values, table, invert);
+        return;
+    }
+    bit_reverse_permute(values);
+    let log_n = n.trailing_zeros();
+    let tw = table.factors(invert);
+    for s in 1..=log_n {
+        let m = 1usize << s;
+        let stride = n / m;
+        let blocks = n / m;
+        if blocks >= threads {
+            // Parallelize across whole blocks.
+            let per = blocks.div_ceil(threads);
+            std::thread::scope(|scope| {
+                for chunk in values.chunks_mut(per * m) {
+                    scope.spawn(move || {
+                        for block in chunk.chunks_mut(m) {
+                            let (lo, hi) = block.split_at_mut(m / 2);
+                            for j in 0..m / 2 {
+                                let t = tw[j * stride] * hi[j];
+                                let u = lo[j];
+                                lo[j] = u + t;
+                                hi[j] = u - t;
+                            }
+                        }
+                    });
+                }
+            });
+        } else {
+            // Few large blocks: parallelize the lanes inside each block.
+            for block in values.chunks_mut(m) {
+                let (lo, hi) = block.split_at_mut(m / 2);
+                let per = (m / 2).div_ceil(threads);
+                std::thread::scope(|scope| {
+                    for (ci, (lo_c, hi_c)) in
+                        lo.chunks_mut(per).zip(hi.chunks_mut(per)).enumerate()
+                    {
+                        scope.spawn(move || {
+                            for (j, (l, h)) in lo_c.iter_mut().zip(hi_c.iter_mut()).enumerate() {
+                                let idx = ci * per + j;
+                                let t = tw[idx * stride] * *h;
+                                let u = *l;
+                                *l = u + t;
+                                *h = u - t;
+                            }
+                        });
+                    }
+                });
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::transform::{intt, ntt};
+    use rand::{rngs::StdRng, SeedableRng};
+    use zkp_ff::{Field, Fr381};
+
+    fn random_vec(n: usize, seed: u64) -> Vec<Fr381> {
+        let mut rng = StdRng::seed_from_u64(seed);
+        (0..n).map(|_| Fr381::random(&mut rng)).collect()
+    }
+
+    #[test]
+    fn tabled_matches_on_the_fly() {
+        for log_n in [1u32, 4, 10] {
+            let d = Domain::<Fr381>::new(1 << log_n).expect("small domain");
+            let table = TwiddleTable::new(&d);
+            let v = random_vec(1 << log_n, u64::from(log_n));
+            let mut a = v.clone();
+            let mut b = v.clone();
+            ntt(&d, &mut a);
+            ntt_tabled(&mut b, &table);
+            assert_eq!(a, b, "forward 2^{log_n}");
+            intt(&d, &mut a);
+            intt_tabled(&d, &mut b, &table);
+            assert_eq!(a, b, "inverse 2^{log_n}");
+            assert_eq!(b, v);
+        }
+    }
+
+    #[test]
+    fn parallel_matches_serial_across_thread_counts() {
+        let d = Domain::<Fr381>::new(1 << 12).expect("small domain");
+        let table = TwiddleTable::new(&d);
+        let v = random_vec(1 << 12, 3);
+        let mut expect = v.clone();
+        ntt(&d, &mut expect);
+        for threads in [1usize, 2, 3, 7, 32] {
+            let mut got = v.clone();
+            ntt_parallel(&mut got, &table, false, threads);
+            assert_eq!(got, expect, "threads={threads}");
+        }
+    }
+
+    #[test]
+    fn parallel_inverse_round_trips() {
+        let d = Domain::<Fr381>::new(1 << 11).expect("small domain");
+        let table = TwiddleTable::new(&d);
+        let v = random_vec(1 << 11, 4);
+        let mut w = v.clone();
+        ntt_parallel(&mut w, &table, false, 4);
+        ntt_parallel(&mut w, &table, true, 4);
+        let n_inv = d.size_inv();
+        for x in w.iter_mut() {
+            *x *= n_inv;
+        }
+        assert_eq!(w, v);
+    }
+
+    #[test]
+    fn table_memory_accounting() {
+        let d = Domain::<Fr381>::new(1 << 10).expect("small domain");
+        let table = TwiddleTable::new(&d);
+        // n/2 forward + n/2 inverse twiddles of 4 limbs each.
+        assert_eq!(table.bytes(), (1 << 10) * 32);
+    }
+
+    #[test]
+    #[should_panic(expected = "must match")]
+    fn size_mismatch_rejected() {
+        let d = Domain::<Fr381>::new(16).expect("small domain");
+        let table = TwiddleTable::new(&d);
+        let mut v = random_vec(8, 5);
+        ntt_with_table(&mut v, &table, false);
+    }
+}

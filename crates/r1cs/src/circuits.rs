@@ -1,0 +1,200 @@
+//! Benchmark circuits.
+//!
+//! The paper sweeps "the number of constraints … determined by the
+//! complexity of the application" from 2^15 to 2^26. These generators
+//! produce satisfied constraint systems of any requested size with the
+//! dependency structure of real applications: squaring chains (repeated
+//! modular exponentiation), MiMC permutations (the classic zk-SNARK hash
+//! demo), and range proofs by bit decomposition (the workhorse of
+//! confidential-transaction circuits).
+
+use crate::cs::{ConstraintSystem, LinearCombination, Variable};
+use zkp_ff::PrimeField;
+
+/// Proof of knowledge of `x` with `x^(2^k) = y` (a `k`-constraint squaring
+/// chain; `y` public).
+pub fn squaring_chain<F: PrimeField>(x: F, k: usize) -> ConstraintSystem<F> {
+    let mut cs = ConstraintSystem::new();
+    // Compute the claimed output first so it can be allocated public.
+    let mut y = x;
+    for _ in 0..k {
+        y = y.square();
+    }
+    let y_var = cs.alloc_public(y);
+    let mut cur = cs.alloc_private(x);
+    for i in 0..k {
+        if i + 1 == k {
+            // Final square lands on the public output.
+            cs.enforce(
+                LinearCombination::from_var(cur),
+                LinearCombination::from_var(cur),
+                LinearCombination::from_var(y_var),
+            );
+        } else {
+            cur = cs.mul(cur, cur);
+        }
+    }
+    debug_assert!(cs.is_satisfied());
+    cs
+}
+
+/// A MiMC-like permutation: `x_{i+1} = (x_i + c_i)³`, with the final state
+/// public. Produces `2·rounds` constraints (one square + one cube-step
+/// multiply per round).
+pub fn mimc<F: PrimeField>(x: F, rounds: usize) -> ConstraintSystem<F> {
+    let constants: Vec<F> = (0..rounds)
+        .map(|i| F::from_u64(0x9e37_79b9u64.wrapping_mul(i as u64 + 1)))
+        .collect();
+
+    // Evaluate the permutation to learn the public output.
+    let mut state = x;
+    for c in &constants {
+        let t = state + *c;
+        state = t.square() * t;
+    }
+
+    let mut cs = ConstraintSystem::new();
+    let out_var = cs.alloc_public(state);
+    let mut cur = cs.alloc_private(x);
+    let mut cur_val = x;
+    for (i, c) in constants.iter().enumerate() {
+        // t = cur + c (linear, free); sq = t²; next = sq · t.
+        let t_val = cur_val + *c;
+        let t_lc = LinearCombination::from_var(cur).add_term(Variable::One, *c);
+        let sq_val = t_val.square();
+        let sq = cs.alloc_private(sq_val);
+        cs.enforce(
+            t_lc.clone(),
+            t_lc.clone(),
+            LinearCombination::from_var(sq),
+        );
+        let next_val = sq_val * t_val;
+        if i + 1 == rounds {
+            cs.enforce(
+                LinearCombination::from_var(sq),
+                t_lc,
+                LinearCombination::from_var(out_var),
+            );
+        } else {
+            let next = cs.alloc_private(next_val);
+            cs.enforce(
+                LinearCombination::from_var(sq),
+                t_lc,
+                LinearCombination::from_var(next),
+            );
+            cur = next;
+        }
+        cur_val = next_val;
+    }
+    debug_assert!(cs.is_satisfied());
+    cs
+}
+
+/// Range proof: shows the private `x` fits in `bits` bits via bit
+/// decomposition (`bits` booleanity constraints + 1 recomposition).
+///
+/// # Panics
+///
+/// Panics if `x` does not actually fit in `bits` bits.
+pub fn range_proof<F: PrimeField>(x: u64, bits: usize) -> ConstraintSystem<F> {
+    assert!(
+        bits >= 64 || x < (1u64 << bits),
+        "value does not fit the claimed range"
+    );
+    let mut cs = ConstraintSystem::new();
+    let x_var = cs.alloc_public(F::from_u64(x));
+    let mut recompose = LinearCombination::zero();
+    let mut weight = F::one();
+    for i in 0..bits {
+        let bit = (x >> i) & 1;
+        let b = cs.alloc_private(F::from_u64(bit));
+        // b · (b - 1) = 0
+        cs.enforce(
+            LinearCombination::from_var(b),
+            LinearCombination::from_var(b).add_term(Variable::One, -F::one()),
+            LinearCombination::zero(),
+        );
+        recompose = recompose.add_term(b, weight);
+        weight = weight.double();
+    }
+    // Σ bᵢ·2ⁱ = x  (· 1)
+    cs.enforce(
+        recompose,
+        LinearCombination::from_var(Variable::One),
+        LinearCombination::from_var(x_var),
+    );
+    debug_assert!(cs.is_satisfied());
+    cs
+}
+
+/// A generic "application of scale n": a satisfied system with exactly
+/// `n` constraints (squaring chain padded to size), used by the experiment
+/// sweeps.
+pub fn circuit_of_size<F: PrimeField>(n: usize, seed: u64) -> ConstraintSystem<F> {
+    squaring_chain(F::from_u64(seed | 3), n.max(1))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use zkp_ff::{Field, Fr377, Fr381};
+
+    #[test]
+    fn squaring_chain_sizes() {
+        for k in [1usize, 2, 7, 64] {
+            let cs = squaring_chain(Fr381::from_u64(5), k);
+            assert_eq!(cs.num_constraints(), k);
+            assert!(cs.is_satisfied());
+            assert_eq!(cs.num_public(), 1);
+        }
+    }
+
+    #[test]
+    fn squaring_chain_value_correct() {
+        // 3^(2^3) = 3^8 = 6561
+        let cs = squaring_chain(Fr381::from_u64(3), 3);
+        assert_eq!(cs.assignment.public[0], Fr381::from_u64(6561));
+    }
+
+    #[test]
+    fn mimc_satisfied_and_sized() {
+        for rounds in [1usize, 5, 33] {
+            let cs = mimc(Fr381::from_u64(42), rounds);
+            assert_eq!(cs.num_constraints(), 2 * rounds);
+            assert!(cs.is_satisfied());
+        }
+    }
+
+    #[test]
+    fn mimc_both_fields() {
+        assert!(mimc(Fr377::from_u64(9), 10).is_satisfied());
+        assert!(mimc(Fr381::from_u64(9), 10).is_satisfied());
+    }
+
+    #[test]
+    fn range_proof_valid() {
+        let cs = range_proof::<Fr381>(1000, 10);
+        assert_eq!(cs.num_constraints(), 11);
+        assert!(cs.is_satisfied());
+    }
+
+    #[test]
+    #[should_panic(expected = "does not fit")]
+    fn range_proof_rejects_oversized() {
+        let _ = range_proof::<Fr381>(1024, 10);
+    }
+
+    #[test]
+    fn tampered_witness_fails() {
+        let mut cs = mimc(Fr381::from_u64(1), 4);
+        cs.assignment.private[1] += Fr381::one();
+        assert!(!cs.is_satisfied());
+    }
+
+    #[test]
+    fn circuit_of_size_hits_target() {
+        let cs = circuit_of_size::<Fr381>(100, 7);
+        assert_eq!(cs.num_constraints(), 100);
+        assert!(cs.is_satisfied());
+    }
+}

@@ -1,0 +1,280 @@
+//! Rank-1 Constraint Systems.
+//!
+//! An R1CS instance is a set of constraints `⟨Aᵢ, z⟩ · ⟨Bᵢ, z⟩ = ⟨Cᵢ, z⟩`
+//! over the assignment vector `z = (1, x…, w…)` of public inputs `x` and
+//! private witness `w`. "The number of constraints … is determined by the
+//! complexity of the application" (paper §I) — it is the *scale* knob every
+//! experiment sweeps.
+
+use core::fmt;
+use zkp_ff::Field;
+
+/// A variable of the constraint system.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Variable {
+    /// The constant `1`.
+    One,
+    /// The `i`-th public input (instance).
+    Public(usize),
+    /// The `i`-th private witness element.
+    Private(usize),
+}
+
+/// A sparse linear combination `Σ coeff · var`.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct LinearCombination<F: Field> {
+    /// `(variable, coefficient)` terms.
+    pub terms: Vec<(Variable, F)>,
+}
+
+impl<F: Field> LinearCombination<F> {
+    /// The empty (zero) combination.
+    pub fn zero() -> Self {
+        Self { terms: Vec::new() }
+    }
+
+    /// A single variable with coefficient one.
+    pub fn from_var(v: Variable) -> Self {
+        Self {
+            terms: vec![(v, F::one())],
+        }
+    }
+
+    /// A constant `c · 1`.
+    pub fn constant(c: F) -> Self {
+        Self {
+            terms: vec![(Variable::One, c)],
+        }
+    }
+
+    /// Adds a term (builder style).
+    pub fn add_term(mut self, v: Variable, coeff: F) -> Self {
+        self.terms.push((v, coeff));
+        self
+    }
+
+    /// Evaluates against a full assignment.
+    pub fn evaluate(&self, assignment: &Assignment<F>) -> F {
+        self.terms
+            .iter()
+            .map(|(v, c)| assignment.value(*v) * *c)
+            .sum()
+    }
+}
+
+/// One R1CS constraint `a · b = c`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Constraint<F: Field> {
+    /// Left factor.
+    pub a: LinearCombination<F>,
+    /// Right factor.
+    pub b: LinearCombination<F>,
+    /// Product.
+    pub c: LinearCombination<F>,
+}
+
+/// A full variable assignment `z = (1, public…, private…)`.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct Assignment<F: Field> {
+    /// Public input values.
+    pub public: Vec<F>,
+    /// Private witness values.
+    pub private: Vec<F>,
+}
+
+impl<F: Field> Assignment<F> {
+    /// The value of a variable.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the variable is out of range for this assignment.
+    pub fn value(&self, v: Variable) -> F {
+        match v {
+            Variable::One => F::one(),
+            Variable::Public(i) => self.public[i],
+            Variable::Private(i) => self.private[i],
+        }
+    }
+
+    /// `z` as a flat vector `(1, x…, w…)`.
+    pub fn to_vec(&self) -> Vec<F> {
+        let mut z = Vec::with_capacity(1 + self.public.len() + self.private.len());
+        z.push(F::one());
+        z.extend_from_slice(&self.public);
+        z.extend_from_slice(&self.private);
+        z
+    }
+}
+
+/// An R1CS constraint system under construction, with an optional concrete
+/// assignment (the prover carries values; the setup only needs the shape).
+#[derive(Clone, Default)]
+pub struct ConstraintSystem<F: Field> {
+    /// The constraints.
+    pub constraints: Vec<Constraint<F>>,
+    /// The assignment being built alongside.
+    pub assignment: Assignment<F>,
+}
+
+impl<F: Field> ConstraintSystem<F> {
+    /// An empty system.
+    pub fn new() -> Self {
+        Self {
+            constraints: Vec::new(),
+            assignment: Assignment {
+                public: Vec::new(),
+                private: Vec::new(),
+            },
+        }
+    }
+
+    /// Allocates a public input with the given value.
+    pub fn alloc_public(&mut self, value: F) -> Variable {
+        self.assignment.public.push(value);
+        Variable::Public(self.assignment.public.len() - 1)
+    }
+
+    /// Allocates a private witness element.
+    pub fn alloc_private(&mut self, value: F) -> Variable {
+        self.assignment.private.push(value);
+        Variable::Private(self.assignment.private.len() - 1)
+    }
+
+    /// Adds the constraint `a · b = c`.
+    pub fn enforce(
+        &mut self,
+        a: LinearCombination<F>,
+        b: LinearCombination<F>,
+        c: LinearCombination<F>,
+    ) {
+        self.constraints.push(Constraint { a, b, c });
+    }
+
+    /// Allocates `left · right` as a new private variable and constrains it.
+    pub fn mul(&mut self, left: Variable, right: Variable) -> Variable {
+        let value = self.assignment.value(left) * self.assignment.value(right);
+        let out = self.alloc_private(value);
+        self.enforce(
+            LinearCombination::from_var(left),
+            LinearCombination::from_var(right),
+            LinearCombination::from_var(out),
+        );
+        out
+    }
+
+    /// Number of constraints.
+    pub fn num_constraints(&self) -> usize {
+        self.constraints.len()
+    }
+
+    /// Number of public inputs (excluding the constant one).
+    pub fn num_public(&self) -> usize {
+        self.assignment.public.len()
+    }
+
+    /// Number of private witness variables.
+    pub fn num_private(&self) -> usize {
+        self.assignment.private.len()
+    }
+
+    /// Total variables including the constant one.
+    pub fn num_variables(&self) -> usize {
+        1 + self.num_public() + self.num_private()
+    }
+
+    /// Checks every constraint against the carried assignment.
+    pub fn is_satisfied(&self) -> bool {
+        self.constraints.iter().all(|c| {
+            c.a.evaluate(&self.assignment) * c.b.evaluate(&self.assignment)
+                == c.c.evaluate(&self.assignment)
+        })
+    }
+
+    /// Index of a variable in the flat `z` vector.
+    pub fn z_index(&self, v: Variable) -> usize {
+        match v {
+            Variable::One => 0,
+            Variable::Public(i) => 1 + i,
+            Variable::Private(i) => 1 + self.num_public() + i,
+        }
+    }
+}
+
+impl<F: Field> fmt::Debug for ConstraintSystem<F> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "ConstraintSystem(constraints={}, public={}, private={})",
+            self.num_constraints(),
+            self.num_public(),
+            self.num_private()
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use zkp_ff::Fr381;
+
+    #[test]
+    fn simple_multiplication_gate() {
+        // Prove knowledge of a, b with a·b = 15.
+        let mut cs = ConstraintSystem::<Fr381>::new();
+        let c = cs.alloc_public(Fr381::from_u64(15));
+        let a = cs.alloc_private(Fr381::from_u64(3));
+        let b = cs.alloc_private(Fr381::from_u64(5));
+        cs.enforce(
+            LinearCombination::from_var(a),
+            LinearCombination::from_var(b),
+            LinearCombination::from_var(c),
+        );
+        assert!(cs.is_satisfied());
+        assert_eq!(cs.num_variables(), 4);
+        assert_eq!(cs.z_index(Variable::One), 0);
+        assert_eq!(cs.z_index(c), 1);
+        assert_eq!(cs.z_index(a), 2);
+    }
+
+    #[test]
+    fn unsatisfied_detected() {
+        let mut cs = ConstraintSystem::<Fr381>::new();
+        let c = cs.alloc_public(Fr381::from_u64(16)); // wrong product
+        let a = cs.alloc_private(Fr381::from_u64(3));
+        let b = cs.alloc_private(Fr381::from_u64(5));
+        cs.enforce(
+            LinearCombination::from_var(a),
+            LinearCombination::from_var(b),
+            LinearCombination::from_var(c),
+        );
+        assert!(!cs.is_satisfied());
+    }
+
+    #[test]
+    fn mul_helper_allocates_and_constrains() {
+        let mut cs = ConstraintSystem::<Fr381>::new();
+        let a = cs.alloc_private(Fr381::from_u64(7));
+        let sq = cs.mul(a, a);
+        assert_eq!(cs.assignment.value(sq), Fr381::from_u64(49));
+        assert_eq!(cs.num_constraints(), 1);
+        assert!(cs.is_satisfied());
+    }
+
+    #[test]
+    fn linear_combinations_evaluate() {
+        let mut cs = ConstraintSystem::<Fr381>::new();
+        let a = cs.alloc_private(Fr381::from_u64(10));
+        // 2a + 3 = 23
+        let lc = LinearCombination::zero()
+            .add_term(a, Fr381::from_u64(2))
+            .add_term(Variable::One, Fr381::from_u64(3));
+        assert_eq!(lc.evaluate(&cs.assignment), Fr381::from_u64(23));
+    }
+
+    #[test]
+    fn empty_system_is_satisfied() {
+        let cs = ConstraintSystem::<Fr381>::new();
+        assert!(cs.is_satisfied());
+        assert_eq!(cs.num_variables(), 1);
+    }
+}

@@ -1,0 +1,51 @@
+//! One module per paper table/figure; see DESIGN.md's experiment index.
+
+pub mod energy;
+pub mod ff_layer;
+pub mod kernel_layer;
+pub mod microarch;
+pub mod scaling;
+
+use gpu_sim::device::DeviceSpec;
+
+/// Runs every experiment and renders the full report — the
+/// "regenerate the paper" entry point used by the bench harness and the
+/// `prover_pipeline` example.
+pub fn full_report(device: &DeviceSpec) -> String {
+    let mut out = String::new();
+    out += &kernel_layer::render_table2(&kernel_layer::table2(device));
+    out += "\n";
+    out += &kernel_layer::render_fig1(&kernel_layer::fig1(device));
+    out += "\n";
+    out += &kernel_layer::render_fig5(&kernel_layer::fig5(device));
+    out += "\n";
+    out += &kernel_layer::render_fig6(&kernel_layer::fig6(device));
+    out += "\n";
+    out += &kernel_layer::render_fig7(&kernel_layer::fig7(device));
+    out += "\n";
+    out += &energy::render_table3(&energy::table3(device));
+    out += "\n";
+    out += &ff_layer::render_fig8(&ff_layer::fig8());
+    out += "\n";
+    out += &ff_layer::render_table4(&ff_layer::table4());
+    out += "\n";
+    out += &ff_layer::render_table5(&ff_layer::table5());
+    out += "\n";
+    let (roof, pts) = microarch::fig9(device);
+    out += &microarch::render_fig9(&roof, &pts);
+    out += "\n";
+    out += &microarch::render_fig10(&microarch::fig10());
+    out += "\n";
+    out += &microarch::render_table6(&microarch::table6(device));
+    out += "\n";
+    out += &microarch::render_register_pressure(&microarch::register_pressure(device));
+    out += "\n";
+    out += &scaling::render_fig11(&scaling::fig11());
+    out += "\n";
+    out += &scaling::render_fig12(&scaling::fig12());
+    out += "\n";
+    out += &scaling::render_montgomery_trick(&scaling::montgomery_trick());
+    out += "\n";
+    out += &kernel_layer::render_absolute_times(device);
+    out
+}

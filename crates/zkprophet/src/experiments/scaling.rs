@@ -1,0 +1,305 @@
+//! Scaling experiments (§IV-D): Fig. 11 (GPU generations), Fig. 12
+//! (precomputed windows), and the Montgomery-trick analysis (§IV-D1b).
+
+use crate::report::{f, Table};
+use gpu_kernels::{run_ff_op, FfInputs, FfOp, Field32};
+use gpu_sim::device::catalog;
+use gpu_sim::machine::SmspConfig;
+use zkp_ff::Fq381Config;
+use zkp_msm::precompute_cost;
+
+// ---------------------------------------------------------------------------
+// Fig. 11 — FF_mul across GPU generations
+// ---------------------------------------------------------------------------
+
+/// One Fig. 11 row.
+#[derive(Debug, Clone)]
+pub struct Fig11Row {
+    /// Device name.
+    pub device: String,
+    /// Compute capability.
+    pub cc: (u32, u32),
+    /// SM count.
+    pub sm_count: u32,
+    /// Modeled runtime of the fixed FF_mul benchmark (ms).
+    pub runtime_ms: f64,
+    /// Average warp stall latency (cycles/issue).
+    pub warp_stall: f64,
+    /// Cycles per FF_mul.
+    pub cycles_per_op: f64,
+}
+
+/// Reproduces Fig. 11: the same FF_mul benchmark on all eight GPUs. The
+/// per-SMSP simulation is identical across generations (the paper's
+/// finding: per-SM INT32 behaviour is constant); device runtime differs
+/// only through SM count and clock.
+pub fn fig11() -> Vec<Fig11Row> {
+    let field = Field32::of::<Fq381Config, 6>();
+    /// Total FF_mul operations in the fixed benchmark.
+    const TOTAL_OPS: f64 = 1e9;
+    catalog()
+        .into_iter()
+        .map(|d| {
+            let cfg = SmspConfig::from(&d);
+            let inputs = FfInputs::random(&field, 2, 31);
+            let sim = run_ff_op(&field, FfOp::Mul, &cfg, &inputs, 2, 8).sim;
+            let ops = 8.0 * 64.0;
+            let smsp_cycles_per_op = sim.cycles as f64 / ops;
+            let smsps = f64::from(d.sm_count * d.smsp_per_sm);
+            let runtime_s = TOTAL_OPS * smsp_cycles_per_op / smsps / (d.clock_ghz * 1e9);
+            Fig11Row {
+                device: d.name.to_owned(),
+                cc: d.compute_capability,
+                sm_count: d.sm_count,
+                runtime_ms: runtime_s * 1e3,
+                warp_stall: sim.warp_stall_latency(),
+                cycles_per_op: sim.cycles as f64 / 8.0,
+            }
+        })
+        .collect()
+}
+
+/// Renders Fig. 11 (both panels).
+pub fn render_fig11(rows: &[Fig11Row]) -> String {
+    let mut t = Table::new(
+        "Fig 11: FF_mul across GPU generations \
+         (paper: runtime inversely proportional to SM count; stall latency ~6.26 and \
+          ~2660 cycles/op constant)",
+        &["Device", "CC", "SMs", "runtime (ms)", "stall/issue", "cyc/FF_mul"],
+    );
+    for r in rows {
+        t.row(vec![
+            r.device.clone(),
+            format!("{}.{}", r.cc.0, r.cc.1),
+            r.sm_count.to_string(),
+            f(r.runtime_ms),
+            f(r.warp_stall),
+            f(r.cycles_per_op),
+        ]);
+    }
+    t.render()
+}
+
+// ---------------------------------------------------------------------------
+// Fig. 12 — precomputed windows
+// ---------------------------------------------------------------------------
+
+/// One Fig. 12 point.
+#[derive(Debug, Clone)]
+pub struct Fig12Row {
+    /// Windows remaining after precomputation.
+    pub windows: u32,
+    /// Bucket-reduction `FF_mul` count (millions).
+    pub ff_muls_m: f64,
+    /// Precomputed-point storage (GiB).
+    pub storage_gib: f64,
+    /// Devices (from the catalog) whose memory fits this configuration.
+    pub fits: Vec<String>,
+}
+
+/// Reproduces Fig. 12: scale 2^26, window c = 23 bits, 253-bit scalars,
+/// 10 FF_mul per PADD, 48-byte coordinates (§IV-D1a).
+pub fn fig12() -> Vec<Fig12Row> {
+    let devices = catalog();
+    (1..=11u32)
+        .rev()
+        .map(|w| {
+            let cost = precompute_cost(1 << 26, 253, 23, w, 10, 48);
+            let gib = cost.storage_bytes as f64 / (1u64 << 30) as f64;
+            let fits = devices
+                .iter()
+                .filter(|d| f64::from(d.memory_gib) * 0.9 >= gib)
+                .map(|d| d.name.to_owned())
+                .collect();
+            Fig12Row {
+                windows: cost.windows,
+                ff_muls_m: cost.bucket_reduction_ff_muls as f64 / 1e6,
+                storage_gib: gib,
+                fits,
+            }
+        })
+        .collect()
+}
+
+/// Renders Fig. 12.
+pub fn render_fig12(rows: &[Fig12Row]) -> String {
+    let mut t = Table::new(
+        "Fig 12: bucket-reduction FF_muls vs precomputed-point storage \
+         (n=2^26, c=23; paper: w=4 fits the 24GB L40, w=2 the 48GB A40, w=1 the 80GB A100/H100)",
+        &["Windows", "FF_muls (M)", "Storage (GiB)", "Fits on"],
+    );
+    for r in rows {
+        let fits = r
+            .fits
+            .iter()
+            .map(|n| n.replace("NVIDIA ", ""))
+            .collect::<Vec<_>>()
+            .join(", ");
+        t.row(vec![
+            r.windows.to_string(),
+            f(r.ff_muls_m),
+            f(r.storage_gib),
+            if fits.is_empty() { "(none)".into() } else { fits },
+        ]);
+    }
+    t.render()
+}
+
+// ---------------------------------------------------------------------------
+// §IV-D1b — Montgomery trick / Affine representation
+// ---------------------------------------------------------------------------
+
+/// The Affine + batched-inversion analysis.
+#[derive(Debug, Clone)]
+pub struct MontgomeryTrickResult {
+    /// `FF_mul` per addition in XYZZ (mul + sqr).
+    pub xyzz_muls: u64,
+    /// `FF_mul` per addition in Jacobian.
+    pub jacobian_muls: u64,
+    /// `FF_mul` per addition in Affine (the paper's counting).
+    pub affine_muls: u64,
+    /// Reduction factor vs XYZZ (paper: 3.3×).
+    pub vs_xyzz: f64,
+    /// Reduction factor vs Jacobian (paper: 3.6×).
+    pub vs_jacobian: f64,
+    /// Batch-inversion bookkeeping muls per element (the amortized cost).
+    pub batch_overhead_muls: u64,
+    /// Intermediate bytes for a 2^20 batch (paper: ~300 MB).
+    pub intermediate_bytes_2_20: u64,
+}
+
+/// Reproduces the §IV-D1b analysis from Table V counts.
+pub fn montgomery_trick() -> MontgomeryTrickResult {
+    // Table V mul+sqr per PADD.
+    let xyzz = 8 + 2;
+    let jacobian = 7 + 4;
+    let affine = 3; // paper counts the PADD's own multiplies
+    let batch = 3; // Montgomery trick: 3N FF_mul for N inversions
+    // A 2^20 batch stores partial products and inverses: 3 field elements
+    // of 48 B... the paper reports ~300 MB of intermediate data.
+    let batch_elems = 1u64 << 20;
+    let intermediate = batch_elems * 3 * 96;
+    MontgomeryTrickResult {
+        xyzz_muls: xyzz,
+        jacobian_muls: jacobian,
+        affine_muls: affine,
+        vs_xyzz: xyzz as f64 / affine as f64,
+        vs_jacobian: jacobian as f64 / affine as f64,
+        batch_overhead_muls: batch,
+        intermediate_bytes_2_20: intermediate,
+    }
+}
+
+/// Renders the Montgomery-trick analysis.
+pub fn render_montgomery_trick(r: &MontgomeryTrickResult) -> String {
+    let mut t = Table::new(
+        "SIV-D1b: Affine + Montgomery trick (paper: 3.3x / 3.6x fewer FF_mul; \
+         ~300MB intermediates exceed the A100's 40MB / H100's 50MB L2)",
+        &["Metric", "Value"],
+    );
+    t.row(vec!["XYZZ FF_mul/PADD".into(), r.xyzz_muls.to_string()]);
+    t.row(vec![
+        "Jacobian FF_mul/PADD".into(),
+        r.jacobian_muls.to_string(),
+    ]);
+    t.row(vec!["Affine FF_mul/PADD".into(), r.affine_muls.to_string()]);
+    t.row(vec!["Reduction vs XYZZ".into(), f(r.vs_xyzz)]);
+    t.row(vec!["Reduction vs Jacobian".into(), f(r.vs_jacobian)]);
+    t.row(vec![
+        "Batch-inversion overhead (mul/elem)".into(),
+        r.batch_overhead_muls.to_string(),
+    ]);
+    t.row(vec![
+        "2^20-batch intermediates".into(),
+        format!("{} MB", r.intermediate_bytes_2_20 / 1_000_000),
+    ]);
+    t.render()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fig11_runtime_inverse_in_sm_count() {
+        let rows = fig11();
+        assert_eq!(rows.len(), 8);
+        // runtime × SM count × clock = constant (per-SM performance flat).
+        let norm: Vec<f64> = rows
+            .iter()
+            .map(|r| {
+                let d = catalog()
+                    .into_iter()
+                    .find(|d| d.name == r.device)
+                    .expect("device");
+                r.runtime_ms * f64::from(r.sm_count) * d.clock_ghz
+            })
+            .collect();
+        for v in &norm {
+            assert!((v / norm[0] - 1.0).abs() < 0.02, "{norm:?}");
+        }
+        // L40S beats H100 by ~its SM advantage (paper: 1.5× incl clocks).
+        let t = |name: &str| {
+            rows.iter()
+                .find(|r| r.device.contains(name))
+                .expect("device")
+                .runtime_ms
+        };
+        let ratio = t("H100") / t("L40S");
+        assert!((1.3..1.8).contains(&ratio), "H100/L40S = {ratio}");
+    }
+
+    #[test]
+    fn fig11_per_sm_metrics_constant() {
+        let rows = fig11();
+        for r in &rows {
+            assert!((rows[0].warp_stall - r.warp_stall).abs() < 1e-9);
+            assert!((rows[0].cycles_per_op - r.cycles_per_op).abs() < 1e-9);
+        }
+        // In the paper's measured band (~6.26 stall, ~2660 cycles — ours
+        // interleaves two warps, so per-op wall cycles land nearby).
+        assert!((1000.0..4000.0).contains(&rows[0].cycles_per_op));
+    }
+
+    #[test]
+    fn fig12_matches_paper_memory_fits() {
+        let rows = fig12();
+        let at = |w: u32| {
+            rows.iter()
+                .find(|r| r.windows == w)
+                .expect("window count present")
+        };
+        // Baseline storage at w=11 is the 6 GiB of §IV-D1a.
+        assert!((at(11).storage_gib - 6.0).abs() < 0.01);
+        // w=4 fits a 24 GiB L4/L40-class card.
+        assert!(at(4).fits.iter().any(|d| d.contains("L4")));
+        // w=2 fits the 48 GiB A40.
+        assert!(at(2).fits.iter().any(|d| d.contains("A40")));
+        assert!(!at(1).fits.iter().any(|d| d.contains("A40")));
+        // w=1 fits the 80 GiB A100/H100.
+        assert!(at(1).fits.iter().any(|d| d.contains("A100")));
+        assert!(at(1).fits.iter().any(|d| d.contains("H100")));
+        // FF_muls scale linearly with windows.
+        assert!((at(11).ff_muls_m / at(1).ff_muls_m - 11.0).abs() < 0.01);
+    }
+
+    #[test]
+    fn montgomery_factors_match_paper() {
+        let r = montgomery_trick();
+        assert!((r.vs_xyzz - 3.33).abs() < 0.05);
+        assert!((r.vs_jacobian - 3.67).abs() < 0.05);
+        // ~300 MB of intermediates for a 2^20 batch.
+        assert_eq!(r.intermediate_bytes_2_20 / 1_000_000, 301);
+        // Which exceeds every L2 in the catalog (the paper's point).
+        for d in catalog() {
+            assert!(r.intermediate_bytes_2_20 as f64 > d.l2_cache_mib * 1048576.0);
+        }
+    }
+
+    #[test]
+    fn renders_do_not_panic() {
+        assert!(render_fig11(&fig11()).contains("H100"));
+        assert!(render_fig12(&fig12()).contains("GiB"));
+        assert!(render_montgomery_trick(&montgomery_trick()).contains("XYZZ"));
+    }
+}

@@ -1,0 +1,125 @@
+//! Minimal ASCII table rendering for experiment reports.
+
+use core::fmt::Write as _;
+
+/// A rectangular table with a title, headers, and string cells.
+#[derive(Debug, Clone, Default)]
+pub struct Table {
+    /// Report title (printed above the table).
+    pub title: String,
+    /// Column headers.
+    pub headers: Vec<String>,
+    /// Rows of cells; ragged rows are padded when rendered.
+    pub rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// Creates a table with a title and headers.
+    pub fn new(title: &str, headers: &[&str]) -> Self {
+        Self {
+            title: title.to_owned(),
+            headers: headers.iter().map(|s| (*s).to_owned()).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Appends a row.
+    pub fn row(&mut self, cells: Vec<String>) {
+        self.rows.push(cells);
+    }
+
+    /// Renders with aligned columns.
+    pub fn render(&self) -> String {
+        let cols = self
+            .headers
+            .len()
+            .max(self.rows.iter().map(Vec::len).max().unwrap_or(0));
+        let mut widths = vec![0usize; cols];
+        for (i, h) in self.headers.iter().enumerate() {
+            widths[i] = widths[i].max(h.chars().count());
+        }
+        for row in &self.rows {
+            for (i, c) in row.iter().enumerate() {
+                widths[i] = widths[i].max(c.chars().count());
+            }
+        }
+        let mut out = String::new();
+        let _ = writeln!(out, "== {} ==", self.title);
+        let line = |out: &mut String, cells: &[String]| {
+            let mut s = String::from("|");
+            for (i, w) in widths.iter().enumerate() {
+                let c = cells.get(i).map(String::as_str).unwrap_or("");
+                let _ = write!(s, " {c:>w$} |", w = w);
+            }
+            let _ = writeln!(out, "{s}");
+        };
+        line(&mut out, &self.headers);
+        let _ = writeln!(
+            out,
+            "|{}|",
+            widths
+                .iter()
+                .map(|w| "-".repeat(w + 2))
+                .collect::<Vec<_>>()
+                .join("|")
+        );
+        for row in &self.rows {
+            line(&mut out, row);
+        }
+        out
+    }
+}
+
+/// Formats a float with sensible precision for reports.
+pub fn f(v: f64) -> String {
+    if v == 0.0 {
+        "0".into()
+    } else if v.abs() >= 100.0 {
+        format!("{v:.0}")
+    } else if v.abs() >= 1.0 {
+        format!("{v:.1}")
+    } else {
+        format!("{v:.3}")
+    }
+}
+
+/// Formats seconds adaptively (s / ms / µs).
+pub fn secs(v: f64) -> String {
+    if v >= 1.0 {
+        format!("{v:.2}s")
+    } else if v >= 1e-3 {
+        format!("{:.2}ms", v * 1e3)
+    } else {
+        format!("{:.1}us", v * 1e6)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_aligned() {
+        let mut t = Table::new("Demo", &["a", "long-header"]);
+        t.row(vec!["1".into(), "2".into()]);
+        t.row(vec!["100".into(), "x".into()]);
+        let s = t.render();
+        assert!(s.contains("== Demo =="));
+        assert!(s.contains("long-header"));
+        let lines: Vec<_> = s.lines().collect();
+        assert_eq!(lines.len(), 5);
+        // All body lines are the same width.
+        assert_eq!(lines[1].len(), lines[3].len());
+        assert_eq!(lines[3].len(), lines[4].len());
+    }
+
+    #[test]
+    fn float_formatting() {
+        assert_eq!(f(799.5), "800");
+        assert_eq!(f(34.1), "34.1");
+        assert_eq!(f(0.25), "0.250");
+        assert_eq!(secs(2.5), "2.50s");
+        assert_eq!(secs(0.0025), "2.50ms");
+        assert_eq!(secs(2.5e-6), "2.5us");
+    }
+}

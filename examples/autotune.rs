@@ -1,0 +1,36 @@
+//! The §V autotuner: pick kernel libraries, precompute configuration, and
+//! launch shape for a target GPU and circuit size.
+//!
+//! ```sh
+//! cargo run --release -p zkp-examples --bin autotune [device] [log_scale]
+//! ```
+
+use zkp_examples::device_from_args;
+use zkprophet::autotune;
+
+fn main() {
+    let device = device_from_args();
+    let log_scale: u32 = match std::env::args().nth(2) {
+        None => 24,
+        Some(arg) => arg.parse().unwrap_or_else(|_| {
+            eprintln!("could not parse scale {arg:?}; using 2^24");
+            24
+        }),
+    };
+    let rec = autotune::recommend(&device, log_scale);
+    println!("{}", autotune::render(&rec));
+
+    // Show how the recommendation shifts across the catalog.
+    println!("Across the catalog at 2^{log_scale}:");
+    for d in gpu_sim::device::catalog() {
+        let r = autotune::recommend(&d, log_scale);
+        println!(
+            "  {:18} -> MSM {:10} NTT {:10} precompute w={} ({} GiB)",
+            d.name,
+            r.msm_library.name(),
+            r.ntt_library.name(),
+            r.precompute_windows,
+            (r.precompute_gib * 10.0).round() / 10.0,
+        );
+    }
+}

@@ -1,0 +1,23 @@
+//! The finite-field / microarchitecture characterization (§IV-B, §IV-C):
+//! Tables IV–VI and Figs. 9–10, regenerated on the simulator.
+//!
+//! ```sh
+//! cargo run --release -p zkp-examples --bin gpu_characterization [device]
+//! ```
+
+use zkp_examples::device_from_args;
+use zkprophet::experiments::{ff_layer, microarch};
+
+fn main() {
+    let device = device_from_args();
+    println!("target: {}\n", device.name);
+
+    println!("{}", ff_layer::render_table4(&ff_layer::table4()));
+    println!("{}", ff_layer::render_table5(&ff_layer::table5()));
+    println!("{}", ff_layer::render_fig8(&ff_layer::fig8()));
+
+    let (roof, points) = microarch::fig9(&device);
+    println!("{}", microarch::render_fig9(&roof, &points));
+    println!("{}", microarch::render_fig10(&microarch::fig10()));
+    println!("{}", microarch::render_table6(&microarch::table6(&device)));
+}

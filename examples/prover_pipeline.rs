@@ -1,0 +1,35 @@
+//! The kernel-layer study (§IV-A): Table II, Figs. 1/5/6/7, Table III —
+//! the full per-scale sweep of the GPU prover pipeline, plus the
+//! generational study (Fig. 11) and the precompute trade-off (Fig. 12).
+//!
+//! Pass `--all` for the complete report including the FF-op layer.
+//!
+//! ```sh
+//! cargo run --release -p zkp-examples --bin prover_pipeline [device] [--all]
+//! ```
+
+use zkp_examples::device_from_args;
+use zkprophet::experiments::{energy, kernel_layer, scaling};
+use zkprophet::full_report;
+
+fn main() {
+    let device = device_from_args();
+    if std::env::args().any(|a| a == "--all") {
+        println!("{}", full_report(&device));
+        return;
+    }
+    println!("target: {}\n", device.name);
+    println!("{}", kernel_layer::render_table2(&kernel_layer::table2(&device)));
+    println!("{}", kernel_layer::render_fig1(&kernel_layer::fig1(&device)));
+    println!("{}", kernel_layer::render_fig5(&kernel_layer::fig5(&device)));
+    println!("{}", kernel_layer::render_fig6(&kernel_layer::fig6(&device)));
+    println!("{}", kernel_layer::render_fig7(&kernel_layer::fig7(&device)));
+    println!("{}", energy::render_table3(&energy::table3(&device)));
+    println!("{}", scaling::render_fig11(&scaling::fig11()));
+    println!("{}", scaling::render_fig12(&scaling::fig12()));
+    println!(
+        "{}",
+        scaling::render_montgomery_trick(&scaling::montgomery_trick())
+    );
+    println!("{}", kernel_layer::render_absolute_times(&device));
+}

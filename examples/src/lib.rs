@@ -1,0 +1,15 @@
+//! Shared helpers for the ZKProphet examples (see the `[[bin]]` targets in
+//! this crate: `quickstart`, `gpu_characterization`, `prover_pipeline`,
+//! `autotune`, `msm_zoo`).
+
+use gpu_sim::device::{by_name, DeviceSpec};
+
+/// Resolves a device from the first CLI argument, defaulting to the
+/// paper's primary platform (NVIDIA A40).
+pub fn device_from_args() -> DeviceSpec {
+    let name = std::env::args().nth(1).unwrap_or_else(|| "a40".to_owned());
+    by_name(&name).unwrap_or_else(|| {
+        eprintln!("unknown device {name:?}; using the A40 (try: v100, t4, rtx3090, a100, a40, l4, l40s, h100)");
+        gpu_sim::device::a40()
+    })
+}

@@ -1,0 +1,182 @@
+//! Workspace integration tests: exercises spanning multiple crates.
+
+use rand::{rngs::StdRng, SeedableRng};
+use zkp_curves::bls12_381::{Bls12381, G1};
+use zkp_curves::{Affine, Jacobian, SwCurve};
+use zkp_ff::{Field, Fr381, PrimeField};
+use zkp_groth16::{prove, setup, verify};
+use zkp_msm::{msm_with_config, MsmConfig, PrecomputedPoints};
+use zkp_ntt::{intt, ntt, slow_dft, Domain};
+use zkp_r1cs::circuits::{mimc, range_proof};
+
+/// The full proving pipeline at a non-trivial size, exercising every layer
+/// (bigint → ff → curves → msm → ntt → r1cs → groth16) in one pass.
+#[test]
+fn groth16_mimc_256_constraints_end_to_end() {
+    let mut rng = StdRng::seed_from_u64(1);
+    let cs = mimc(Fr381::from_u64(0xfeed), 128); // 256 constraints
+    assert!(cs.is_satisfied());
+    let pk = setup::<Bls12381, _>(&cs, &mut rng);
+    let (proof, stats) = prove(&pk, &cs, &mut rng);
+    assert!(verify(&pk.vk, &proof, &cs.assignment.public));
+    assert_eq!(stats.ntt_count, 7);
+    assert!(stats.domain_size >= 256);
+}
+
+/// Proof components must be independent of the MSM configuration used —
+/// all Pippenger variants compute the same group elements.
+#[test]
+fn msm_variants_agree_inside_prover_sized_workload() {
+    let mut rng = StdRng::seed_from_u64(2);
+    let base = Jacobian::from(G1::generator());
+    let points: Vec<Affine<G1>> = zkp_curves::batch_to_affine(
+        &(0..300)
+            .map(|_| base.mul_scalar(&Fr381::random(&mut rng)))
+            .collect::<Vec<_>>(),
+    );
+    let scalars: Vec<Fr381> = (0..300).map(|_| Fr381::random(&mut rng)).collect();
+    let reference = msm_with_config(&points, &scalars, &MsmConfig::default()).point;
+    for config in [
+        MsmConfig::bellperson_style(),
+        MsmConfig::sppark_style(),
+        MsmConfig::ymc_style(),
+    ] {
+        assert_eq!(
+            msm_with_config(&points, &scalars, &config).point,
+            reference
+        );
+    }
+    let table = PrecomputedPoints::build(&points, 9, 2);
+    assert_eq!(table.msm(&scalars).point, reference);
+}
+
+/// The NTT used by the prover agrees with the quadratic-time DFT and is
+/// invertible — on both proving curves' scalar fields.
+#[test]
+fn ntt_matches_dft_on_both_scalar_fields() {
+    fn check<F: PrimeField>() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let d = Domain::<F>::new(64).expect("small domain");
+        let coeffs: Vec<F> = (0..64).map(|_| F::random(&mut rng)).collect();
+        let mut fast = coeffs.clone();
+        ntt(&d, &mut fast);
+        assert_eq!(fast, slow_dft(&d, &coeffs));
+        intt(&d, &mut fast);
+        assert_eq!(fast, coeffs);
+    }
+    check::<Fr381>();
+    check::<zkp_ff::Fr377>();
+}
+
+/// The GPU kernels and the host field agree through a *composed*
+/// computation: a whole NTT butterfly layer evaluated lane by lane on the
+/// simulated GPU.
+#[test]
+fn gpu_kernels_compose_a_butterfly_correctly() {
+    use gpu_kernels::{run_ff_op, FfInputs, FfOp, Field32};
+    use gpu_sim::machine::SmspConfig;
+
+    let field = Field32::of::<zkp_ff::Fr381Config, 4>();
+    let mut rng = StdRng::seed_from_u64(4);
+    let a: Vec<Fr381> = (0..64).map(|_| Fr381::random(&mut rng)).collect();
+    let b: Vec<Fr381> = (0..64).map(|_| Fr381::random(&mut rng)).collect();
+    let w = Fr381::root_of_unity(1 << 8).expect("two-adic");
+
+    // GPU: t = w*b (Mul with b fed as the multiplicand against broadcast w).
+    let inputs = FfInputs {
+        a: b
+            .iter()
+            .map(|x| gpu_kernels::split_limbs(x.montgomery_repr().limbs()))
+            .collect(),
+        b: (0..64)
+            .map(|_| gpu_kernels::split_limbs(w.montgomery_repr().limbs()))
+            .collect(),
+    };
+    let t_gpu = run_ff_op(&field, FfOp::Mul, &SmspConfig::default(), &inputs, 2, 1);
+
+    // GPU: lo = a + t, hi = a - t, built from the GPU's own Mul output.
+    let add_inputs = FfInputs {
+        a: a
+            .iter()
+            .map(|x| gpu_kernels::split_limbs(x.montgomery_repr().limbs()))
+            .collect(),
+        b: t_gpu.outputs.clone(),
+    };
+    let lo = run_ff_op(&field, FfOp::Add, &SmspConfig::default(), &add_inputs, 2, 1);
+    let hi = run_ff_op(&field, FfOp::Sub, &SmspConfig::default(), &add_inputs, 2, 1);
+
+    for i in 0..64 {
+        let t = b[i] * w;
+        assert_eq!(
+            lo.outputs[i],
+            gpu_kernels::split_limbs((a[i] + t).montgomery_repr().limbs())
+        );
+        assert_eq!(
+            hi.outputs[i],
+            gpu_kernels::split_limbs((a[i] - t).montgomery_repr().limbs())
+        );
+    }
+}
+
+/// Experiment reports are deterministic run to run.
+#[test]
+fn experiments_are_deterministic() {
+    let d = gpu_sim::device::a40();
+    let t2a = zkprophet::experiments::kernel_layer::render_table2(
+        &zkprophet::experiments::kernel_layer::table2(&d),
+    );
+    let t2b = zkprophet::experiments::kernel_layer::render_table2(
+        &zkprophet::experiments::kernel_layer::table2(&d),
+    );
+    assert_eq!(t2a, t2b);
+    let f10a = zkprophet::experiments::microarch::render_fig10(
+        &zkprophet::experiments::microarch::fig10(),
+    );
+    let f10b = zkprophet::experiments::microarch::render_fig10(
+        &zkprophet::experiments::microarch::fig10(),
+    );
+    assert_eq!(f10a, f10b);
+}
+
+/// The autotuner's choices agree with the Table II sweep it is built on.
+#[test]
+fn autotuner_consistent_with_table2() {
+    let d = gpu_sim::device::a40();
+    let rows = zkprophet::experiments::kernel_layer::table2(&d);
+    for lg in [15u32, 20, 26] {
+        let rec = zkprophet::autotune::recommend(&d, lg);
+        let row = rows
+            .iter()
+            .find(|r| r.log_scale == lg)
+            .expect("scale in sweep");
+        assert_eq!(rec.msm_library, row.msm_lib, "at 2^{lg}");
+    }
+}
+
+/// Range proofs — the third circuit family — also flow through the whole
+/// pipeline on BLS12-377.
+#[test]
+fn range_proof_on_bls12_377() {
+    use zkp_curves::bls12_377::Bls12377;
+    use zkp_ff::Fr377;
+    let mut rng = StdRng::seed_from_u64(5);
+    let cs = range_proof::<Fr377>(0xdead, 16);
+    let pk = setup::<Bls12377, _>(&cs, &mut rng);
+    let (proof, _) = prove(&pk, &cs, &mut rng);
+    assert!(verify(&pk.vk, &proof, &cs.assignment.public));
+}
+
+/// The simulated-GPU Table IV ordering is consistent with the *real* CPU
+/// ordering measured on this host: mul ≫ add, dbl ≤ add.
+#[test]
+fn gpu_and_cpu_op_orderings_agree() {
+    let rows = zkprophet::experiments::ff_layer::table4();
+    let get = |name: &str| {
+        rows.iter()
+            .find(|r| r.op.name() == name)
+            .expect("op present")
+    };
+    assert!(get("FF_mul").gpu_cycles > 5.0 * get("FF_add").gpu_cycles);
+    assert!(get("FF_mul").cpu_ns > 2.0 * get("FF_add").cpu_ns);
+    assert!(get("FF_dbl").gpu_cycles <= get("FF_add").gpu_cycles);
+}
