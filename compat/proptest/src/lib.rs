@@ -1,0 +1,377 @@
+//! First-party stand-in for the `proptest` crate.
+//!
+//! Like `compat/rand`, this exists so the workspace builds in fully offline
+//! environments. It implements the subset of the proptest API the test
+//! suites use: the [`proptest!`] macro, [`Strategy`] with `prop_map`,
+//! [`any`], integer-range strategies, `prop::collection::vec`,
+//! `prop::array::uniform4`, [`ProptestConfig`], and the `prop_assert*` /
+//! `prop_assume!` macros.
+//!
+//! Semantics deliberately simplified relative to crates.io proptest:
+//! cases are generated from a deterministic per-test seed, failures panic
+//! immediately (no shrinking), and `prop_assume!` skips the current case.
+
+use core::marker::PhantomData;
+use core::ops::{Range, RangeInclusive};
+
+/// Deterministic generator driving the test cases (xoshiro256**).
+#[derive(Debug, Clone)]
+pub struct TestRng {
+    s: [u64; 4],
+}
+
+impl TestRng {
+    /// Builds a generator from a seed (SplitMix64-expanded).
+    pub fn from_seed(state: u64) -> Self {
+        let mut sm = state;
+        let mut next = || {
+            sm = sm.wrapping_add(0x9e37_79b9_7f4a_7c15);
+            let mut z = sm;
+            z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+            z ^ (z >> 31)
+        };
+        Self {
+            s: [next(), next(), next(), next()],
+        }
+    }
+
+    /// The next 64 random bits.
+    pub fn next_u64(&mut self) -> u64 {
+        let s = &mut self.s;
+        let result = s[1].wrapping_mul(5).rotate_left(7).wrapping_mul(9);
+        let t = s[1] << 17;
+        s[2] ^= s[0];
+        s[3] ^= s[1];
+        s[1] ^= s[2];
+        s[0] ^= s[3];
+        s[2] ^= t;
+        s[3] = s[3].rotate_left(45);
+        result
+    }
+}
+
+/// Stable per-test seed derived from the test's name (FNV-1a).
+pub fn fn_seed(name: &str) -> u64 {
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    for b in name.bytes() {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x100_0000_01b3);
+    }
+    h
+}
+
+/// Execution configuration for one `proptest!` block.
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    /// Number of cases generated per test.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// A config running `cases` cases per test.
+    pub fn with_cases(cases: u32) -> Self {
+        Self { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        Self { cases: 32 }
+    }
+}
+
+/// A generator of test-case values.
+pub trait Strategy {
+    /// The type of generated values.
+    type Value;
+
+    /// Draws one value.
+    fn generate(&self, rng: &mut TestRng) -> Self::Value;
+
+    /// Maps generated values through `f`.
+    fn prop_map<O, F: Fn(Self::Value) -> O>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+    {
+        Map { inner: self, f }
+    }
+}
+
+/// The [`Strategy::prop_map`] adapter.
+#[derive(Debug, Clone)]
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S: Strategy, O, F: Fn(S::Value) -> O> Strategy for Map<S, F> {
+    type Value = O;
+    fn generate(&self, rng: &mut TestRng) -> O {
+        (self.f)(self.inner.generate(rng))
+    }
+}
+
+/// Types with a canonical whole-domain strategy.
+pub trait Arbitrary: Sized {
+    /// Draws one value from the full domain.
+    fn arbitrary(rng: &mut TestRng) -> Self;
+}
+
+macro_rules! impl_arbitrary_int {
+    ($($t:ty),*) => {$(
+        impl Arbitrary for $t {
+            fn arbitrary(rng: &mut TestRng) -> Self {
+                rng.next_u64() as $t
+            }
+        }
+    )*};
+}
+impl_arbitrary_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl Arbitrary for bool {
+    fn arbitrary(rng: &mut TestRng) -> Self {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+/// Strategy for the whole domain of `T` (crates.io `any::<T>()`).
+pub fn any<T: Arbitrary>() -> AnyStrategy<T> {
+    AnyStrategy(PhantomData)
+}
+
+/// The [`any`] strategy.
+#[derive(Debug, Clone, Copy)]
+pub struct AnyStrategy<T>(PhantomData<T>);
+
+impl<T: Arbitrary> Strategy for AnyStrategy<T> {
+    type Value = T;
+    fn generate(&self, rng: &mut TestRng) -> T {
+        T::arbitrary(rng)
+    }
+}
+
+macro_rules! impl_range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                assert!(self.start < self.end, "cannot sample empty range");
+                let width = (self.end - self.start) as u64;
+                self.start + (rng.next_u64() % width) as $t
+            }
+        }
+        impl Strategy for RangeInclusive<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                let (lo, hi) = (*self.start(), *self.end());
+                assert!(lo <= hi, "cannot sample empty range");
+                let width = (hi - lo) as u64;
+                if width == u64::MAX {
+                    return lo + rng.next_u64() as $t;
+                }
+                lo + (rng.next_u64() % (width + 1)) as $t
+            }
+        }
+    )*};
+}
+impl_range_strategy!(u8, u16, u32, u64, usize, i32, i64);
+
+/// Collection and composite strategies, mirroring crates.io's `prop` module.
+pub mod prop {
+    /// Vec strategies.
+    pub mod collection {
+        use crate::{Strategy, TestRng};
+        use core::ops::Range;
+
+        /// Length specification for [`vec`].
+        #[derive(Debug, Clone)]
+        pub struct SizeRange {
+            lo: usize,
+            hi: usize, // exclusive
+        }
+
+        impl From<Range<usize>> for SizeRange {
+            fn from(r: Range<usize>) -> Self {
+                Self {
+                    lo: r.start,
+                    hi: r.end,
+                }
+            }
+        }
+
+        impl From<usize> for SizeRange {
+            fn from(n: usize) -> Self {
+                Self { lo: n, hi: n + 1 }
+            }
+        }
+
+        /// Strategy producing `Vec`s of `elem` with lengths in `size`.
+        pub fn vec<S: Strategy>(elem: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+            VecStrategy {
+                elem,
+                size: size.into(),
+            }
+        }
+
+        /// The [`vec`] strategy.
+        #[derive(Debug, Clone)]
+        pub struct VecStrategy<S> {
+            elem: S,
+            size: SizeRange,
+        }
+
+        impl<S: Strategy> Strategy for VecStrategy<S> {
+            type Value = Vec<S::Value>;
+            fn generate(&self, rng: &mut TestRng) -> Vec<S::Value> {
+                assert!(self.size.lo < self.size.hi, "empty size range");
+                let width = (self.size.hi - self.size.lo) as u64;
+                let len = self.size.lo + (rng.next_u64() % width) as usize;
+                (0..len).map(|_| self.elem.generate(rng)).collect()
+            }
+        }
+    }
+
+    /// Fixed-size array strategies.
+    pub mod array {
+        use crate::{Strategy, TestRng};
+
+        /// Strategy producing `[T; 4]` from four draws of `elem`.
+        pub fn uniform4<S: Strategy>(elem: S) -> Uniform4<S> {
+            Uniform4(elem)
+        }
+
+        /// The [`uniform4`] strategy.
+        #[derive(Debug, Clone)]
+        pub struct Uniform4<S>(S);
+
+        impl<S: Strategy> Strategy for Uniform4<S> {
+            type Value = [S::Value; 4];
+            fn generate(&self, rng: &mut TestRng) -> [S::Value; 4] {
+                [
+                    self.0.generate(rng),
+                    self.0.generate(rng),
+                    self.0.generate(rng),
+                    self.0.generate(rng),
+                ]
+            }
+        }
+    }
+}
+
+/// Everything a test module needs, mirroring `proptest::prelude::*`.
+pub mod prelude {
+    pub use crate::{
+        any, prop, prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, proptest,
+        ProptestConfig, Strategy,
+    };
+}
+
+/// Asserts a condition inside a property test (panics on failure).
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => { assert!($cond) };
+    ($cond:expr, $($fmt:tt)*) => { assert!($cond, $($fmt)*) };
+}
+
+/// Asserts equality inside a property test.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($a:expr, $b:expr) => { assert_eq!($a, $b) };
+    ($a:expr, $b:expr, $($fmt:tt)*) => { assert_eq!($a, $b, $($fmt)*) };
+}
+
+/// Asserts inequality inside a property test.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($a:expr, $b:expr) => { assert_ne!($a, $b) };
+    ($a:expr, $b:expr, $($fmt:tt)*) => { assert_ne!($a, $b, $($fmt)*) };
+}
+
+/// Skips the current case when the assumption does not hold.
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr) => {
+        if !($cond) {
+            return;
+        }
+    };
+}
+
+/// Declares property tests: each `fn name(pat in strategy, ...) { body }`
+/// becomes a `#[test]` running `config.cases` deterministic cases.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_impl!(($cfg) $($rest)*);
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_impl!(($crate::ProptestConfig::default()) $($rest)*);
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_impl {
+    (($cfg:expr) $($(#[$attr:meta])* fn $name:ident($($pat:pat_param in $strat:expr),+ $(,)?) $body:block)*) => {
+        $(
+            $(#[$attr])*
+            fn $name() {
+                let config: $crate::ProptestConfig = $cfg;
+                let mut rng =
+                    $crate::TestRng::from_seed($crate::fn_seed(stringify!($name)));
+                for _case in 0..config.cases {
+                    $(let $pat = $crate::Strategy::generate(&($strat), &mut rng);)+
+                    // One case per closure call; `prop_assume!` skips by
+                    // returning early from the closure.
+                    #[allow(clippy::redundant_closure_call)]
+                    (move || $body)();
+                }
+            }
+        )*
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    proptest! {
+        #[test]
+        fn addition_commutes(a in any::<u64>(), b in any::<u64>()) {
+            prop_assert_eq!(a.wrapping_add(b), b.wrapping_add(a));
+        }
+
+        #[test]
+        fn ranges_hold(n in 3usize..10, w in 1u32..=4) {
+            prop_assert!((3..10).contains(&n));
+            prop_assert!((1..=4).contains(&w));
+        }
+
+        #[test]
+        fn assume_skips(mut v in prop::collection::vec(any::<u64>(), 0..5)) {
+            prop_assume!(!v.is_empty());
+            v.sort_unstable();
+            prop_assert!(v.first() <= v.last());
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(4))]
+
+        #[test]
+        fn mapped_strategies(x in any::<u64>().prop_map(|v| v % 7)) {
+            prop_assert!(x < 7);
+        }
+
+        #[test]
+        fn arrays(a in prop::array::uniform4(any::<u8>())) {
+            prop_assert_eq!(a.len(), 4);
+        }
+    }
+
+    #[test]
+    fn seeds_differ_by_name() {
+        assert_ne!(super::fn_seed("a"), super::fn_seed("b"));
+    }
+}

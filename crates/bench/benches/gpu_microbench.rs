@@ -15,15 +15,9 @@ fn bench_ff_kernels(c: &mut Criterion) {
     for (label, field) in [("fq_12limb", &fq), ("fr_8limb", &fr)] {
         let inputs = FfInputs::random(field, 2, 99);
         for op in [FfOp::Add, FfOp::Mul] {
-            g.bench_with_input(
-                BenchmarkId::new(label, op.name()),
-                &op,
-                |b, &op| {
-                    b.iter(|| {
-                        run_ff_op(field, op, &SmspConfig::default(), &inputs, 2, 4)
-                    })
-                },
-            );
+            g.bench_with_input(BenchmarkId::new(label, op.name()), &op, |b, &op| {
+                b.iter(|| run_ff_op(field, op, &SmspConfig::default(), &inputs, 2, 4))
+            });
         }
     }
     g.finish();

@@ -4,10 +4,10 @@
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use rand::{rngs::StdRng, SeedableRng};
 use zkp_curves::bls12_381::Bls12381;
+use zkp_ff::Field;
 use zkp_ff::Fr381;
 use zkp_groth16::{prove, setup, verify};
 use zkp_r1cs::circuits::{mimc, squaring_chain};
-use zkp_ff::Field;
 
 fn bench_prover_scales(c: &mut Criterion) {
     let mut g = c.benchmark_group("groth16/prove");

@@ -80,5 +80,10 @@ fn bench_coset_and_quotient(c: &mut Criterion) {
     g.finish();
 }
 
-criterion_group!(benches, bench_ntt_scales, bench_staged_radices, bench_coset_and_quotient);
+criterion_group!(
+    benches,
+    bench_ntt_scales,
+    bench_staged_radices,
+    bench_coset_and_quotient
+);
 criterion_main!(benches);

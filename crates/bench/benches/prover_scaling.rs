@@ -1,0 +1,151 @@
+//! Thread-scaling benchmark for the parallel prover stack: MSM, NTT, and
+//! the full Groth16 prove at 1, 2, 4, and all hardware threads, emitting
+//! machine-readable JSON to `BENCH_prover.json` at the repository root.
+//!
+//! Run with:
+//!
+//! ```sh
+//! cargo bench -p zkp-bench --bench prover_scaling
+//! ```
+//!
+//! Pass `quick` after `--` to shrink the problem sizes (CI smoke run).
+
+use rand::{rngs::StdRng, SeedableRng};
+use std::time::Instant;
+use zkp_bench::random_pairs;
+use zkp_curves::bls12_381::{Bls12381, G1};
+use zkp_ff::{Field, Fr381};
+use zkp_groth16::{prove_on, setup};
+use zkp_msm::{msm_parallel_with_config, MsmConfig};
+use zkp_ntt::{ntt_parallel_on, Domain, TwiddleTable};
+use zkp_r1cs::circuits::mimc;
+use zkp_runtime::ThreadPool;
+
+/// Best-of-`reps` wall time of `f`, in seconds.
+fn time_best<F: FnMut()>(reps: usize, mut f: F) -> f64 {
+    let mut best = f64::INFINITY;
+    for _ in 0..reps {
+        let t0 = Instant::now();
+        f();
+        best = best.min(t0.elapsed().as_secs_f64());
+    }
+    best
+}
+
+struct Row {
+    bench: &'static str,
+    size: usize,
+    threads: usize,
+    seconds: f64,
+}
+
+fn thread_counts() -> Vec<usize> {
+    let all = std::thread::available_parallelism()
+        .map(std::num::NonZeroUsize::get)
+        .unwrap_or(1);
+    let mut counts = vec![1, 2, 4, all];
+    counts.retain(|&t| t <= all || t <= 4);
+    counts.dedup();
+    counts.sort_unstable();
+    counts.dedup();
+    counts
+}
+
+fn main() {
+    let quick = std::env::args().any(|a| a == "quick");
+    let (msm_log, ntt_log, mimc_rounds, reps) = if quick {
+        (12u32, 14u32, 64usize, 2usize)
+    } else {
+        (16, 18, 1 << 11, 3)
+    };
+    let counts = thread_counts();
+    let mut rows: Vec<Row> = Vec::new();
+
+    // --- MSM ---------------------------------------------------------------
+    let n = 1usize << msm_log;
+    let (points, scalars) = random_pairs::<G1>(n, 41);
+    let config = MsmConfig::default();
+    println!("msm 2^{msm_log} ({n} pairs)");
+    for &t in &counts {
+        let pool = ThreadPool::with_threads(t);
+        let secs = time_best(reps, || {
+            std::hint::black_box(msm_parallel_with_config(&points, &scalars, &config, &pool));
+        });
+        println!("  threads={t:<3} {secs:.4}s");
+        rows.push(Row {
+            bench: "msm",
+            size: n,
+            threads: t,
+            seconds: secs,
+        });
+    }
+
+    // --- NTT ---------------------------------------------------------------
+    let n = 1usize << ntt_log;
+    let domain = Domain::<Fr381>::new(n as u64).expect("within two-adicity");
+    let table = TwiddleTable::new(&domain);
+    let mut rng = StdRng::seed_from_u64(42);
+    let input: Vec<Fr381> = (0..n).map(|_| Fr381::random(&mut rng)).collect();
+    println!("ntt 2^{ntt_log} ({n} elements)");
+    for &t in &counts {
+        let pool = ThreadPool::with_threads(t);
+        let secs = time_best(reps, || {
+            let mut v = input.clone();
+            ntt_parallel_on(&mut v, &table, false, &pool);
+            std::hint::black_box(&v);
+        });
+        println!("  threads={t:<3} {secs:.4}s");
+        rows.push(Row {
+            bench: "ntt",
+            size: n,
+            threads: t,
+            seconds: secs,
+        });
+    }
+
+    // --- Groth16 prove -----------------------------------------------------
+    let cs = mimc(Fr381::from_u64(7), mimc_rounds);
+    let mut rng = StdRng::seed_from_u64(43);
+    let pk = setup::<Bls12381, _>(&cs, &mut rng);
+    let constraints = cs.num_constraints();
+    println!("prove mimc ({constraints} constraints)");
+    for &t in &counts {
+        let pool = ThreadPool::with_threads(t);
+        let secs = time_best(reps, || {
+            let mut prove_rng = StdRng::seed_from_u64(44);
+            std::hint::black_box(prove_on(&pk, &cs, &mut prove_rng, &pool));
+        });
+        println!("  threads={t:<3} {secs:.4}s");
+        rows.push(Row {
+            bench: "prove",
+            size: constraints,
+            threads: t,
+            seconds: secs,
+        });
+    }
+
+    // --- JSON report -------------------------------------------------------
+    let base: std::collections::HashMap<&str, f64> = rows
+        .iter()
+        .filter(|r| r.threads == 1)
+        .map(|r| (r.bench, r.seconds))
+        .collect();
+    let mut json = String::from("{\n  \"results\": [\n");
+    for (i, r) in rows.iter().enumerate() {
+        let speedup = base[r.bench] / r.seconds;
+        json.push_str(&format!(
+            "    {{\"bench\": \"{}\", \"size\": {}, \"threads\": {}, \
+             \"seconds\": {:.6}, \"speedup_vs_1\": {:.3}}}{}\n",
+            r.bench,
+            r.size,
+            r.threads,
+            r.seconds,
+            speedup,
+            if i + 1 < rows.len() { "," } else { "" }
+        ));
+    }
+    json.push_str("  ]\n}\n");
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_prover.json");
+    std::fs::write(path, &json).expect("write BENCH_prover.json");
+    println!("wrote {path}");
+}

@@ -89,7 +89,7 @@ impl UBig {
 
     /// Returns `true` if the lowest bit is clear (zero is even).
     pub fn is_even(&self) -> bool {
-        self.limbs.first().map_or(true, |l| l & 1 == 0)
+        self.limbs.first().is_none_or(|l| l & 1 == 0)
     }
 
     /// Number of significant bits (`0` for zero).
@@ -130,9 +130,9 @@ impl UBig {
         };
         let mut out = Vec::with_capacity(long.len() + 1);
         let mut carry = 0;
-        for i in 0..long.len() {
+        for (i, a) in long.iter().enumerate() {
             let b = short.get(i).copied().unwrap_or(0);
-            let (l, c) = adc(long[i], b, carry);
+            let (l, c) = adc(*a, b, carry);
             out.push(l);
             carry = c;
         }
@@ -501,8 +501,13 @@ mod tests {
     fn modpow_edge_cases() {
         let m = ub("7");
         assert_eq!(UBig::from(10u64).modpow(&UBig::zero(), &m), UBig::one());
-        assert!(UBig::from(10u64).modpow(&UBig::from(3u64), &UBig::one()).is_zero());
-        assert_eq!(UBig::from(2u64).modpow(&UBig::from(5u64), &m), UBig::from(4u64));
+        assert!(UBig::from(10u64)
+            .modpow(&UBig::from(3u64), &UBig::one())
+            .is_zero());
+        assert_eq!(
+            UBig::from(2u64).modpow(&UBig::from(5u64), &m),
+            UBig::from(4u64)
+        );
     }
 
     #[test]

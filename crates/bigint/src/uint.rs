@@ -139,9 +139,9 @@ impl<const N: usize> Uint<N> {
     pub fn adc(&self, rhs: &Self) -> (Self, u64) {
         let mut out = [0u64; N];
         let mut carry = 0;
-        for i in 0..N {
+        for (i, o) in out.iter_mut().enumerate() {
             let (l, c) = adc(self.0[i], rhs.0[i], carry);
-            out[i] = l;
+            *o = l;
             carry = c;
         }
         (Self(out), carry)
@@ -151,9 +151,9 @@ impl<const N: usize> Uint<N> {
     pub fn sbb(&self, rhs: &Self) -> (Self, u64) {
         let mut out = [0u64; N];
         let mut borrow = 0;
-        for i in 0..N {
+        for (i, o) in out.iter_mut().enumerate() {
             let (l, b) = sbb(self.0[i], rhs.0[i], borrow);
-            out[i] = l;
+            *o = l;
             borrow = b;
         }
         (Self(out), borrow)
@@ -208,8 +208,8 @@ impl<const N: usize> Uint<N> {
     pub fn shl1(&self) -> (Self, u64) {
         let mut out = [0u64; N];
         let mut carry = 0;
-        for i in 0..N {
-            out[i] = (self.0[i] << 1) | carry;
+        for (i, o) in out.iter_mut().enumerate() {
+            *o = (self.0[i] << 1) | carry;
             carry = self.0[i] >> 63;
         }
         (Self(out), carry)
@@ -264,7 +264,10 @@ impl<const N: usize> Uint<N> {
     ///
     /// Panics if `width == 0` or `width > 64`.
     pub fn bits_at(&self, lo: u32, width: u32) -> u64 {
-        assert!(width > 0 && width <= 64, "bit window width must be in 1..=64");
+        assert!(
+            width > 0 && width <= 64,
+            "bit window width must be in 1..=64"
+        );
         let mut v = 0u64;
         for i in 0..width {
             if self.bit(lo + i) {

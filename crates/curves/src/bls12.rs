@@ -243,10 +243,7 @@ fn line_eval<C: Bls12Config>(
 ///
 /// Returns `Fq12::one()` if either input is the identity (so that the
 /// pairing of identities is the unit, as Groth16 verification expects).
-pub fn miller_loop<C: Bls12Config>(
-    p: &Affine<G1Curve<C>>,
-    q: &Affine<G2Curve<C>>,
-) -> Fq12<C> {
+pub fn miller_loop<C: Bls12Config>(p: &Affine<G1Curve<C>>, q: &Affine<G2Curve<C>>) -> Fq12<C> {
     if p.is_identity() || q.is_identity() {
         return Fq12::one();
     }
@@ -275,7 +272,7 @@ pub fn miller_loop<C: Bls12Config>(
                 * (q12.x - t.x)
                     .inverse()
                     .expect("T != ±Q inside the Miller loop");
-            f = f * line_eval(&t, lambda, xp, yp);
+            f *= line_eval(&t, lambda, xp, yp);
             let x3 = lambda.square() - t.x - q12.x;
             let y3 = lambda * (t.x - x3) - t.y;
             t = TwistedPoint { x: x3, y: y3 };
@@ -311,18 +308,16 @@ pub fn final_exponentiation<C: Bls12Config>(f: &Fq12<C>) -> Fq12<C> {
 /// let e = pairing(&G1::generator(), &G2::generator());
 /// assert!(!e.is_one());
 /// ```
-pub fn pairing<C: Bls12Config>(
-    p: &Affine<G1Curve<C>>,
-    q: &Affine<G2Curve<C>>,
-) -> Fq12<C> {
+pub fn pairing<C: Bls12Config>(p: &Affine<G1Curve<C>>, q: &Affine<G2Curve<C>>) -> Fq12<C> {
     final_exponentiation(&miller_loop(p, q))
 }
 
+/// A G1/G2 point pair, as consumed by [`multi_pairing`].
+pub type PairingInput<C> = (Affine<G1Curve<C>>, Affine<G2Curve<C>>);
+
 /// Product of pairings `Π e(pᵢ, qᵢ)` with a single shared final
 /// exponentiation — the shape of the Groth16 verification equation.
-pub fn multi_pairing<C: Bls12Config>(
-    pairs: &[(Affine<G1Curve<C>>, Affine<G2Curve<C>>)],
-) -> Fq12<C> {
+pub fn multi_pairing<C: Bls12Config>(pairs: &[PairingInput<C>]) -> Fq12<C> {
     let mut f = Fq12::one();
     for (p, q) in pairs {
         f *= miller_loop(p, q);

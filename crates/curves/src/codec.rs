@@ -54,11 +54,7 @@ impl core::fmt::Display for DecodePointError {
 impl std::error::Error for DecodePointError {}
 
 fn fq_to_be_bytes<F: PrimeField>(v: &F) -> Vec<u8> {
-    let mut le: Vec<u8> = v
-        .to_uint()
-        .iter()
-        .flat_map(|l| l.to_le_bytes())
-        .collect();
+    let mut le: Vec<u8> = v.to_uint().iter().flat_map(|l| l.to_le_bytes()).collect();
     le.reverse();
     le
 }
@@ -115,8 +111,7 @@ pub fn decompress_g1<C: Bls12Config>(
         }
         return Ok(Affine::identity());
     }
-    let x: C::Fq =
-        fq_from_be_bytes(&payload).ok_or(DecodePointError::NonCanonicalX)?;
+    let x: C::Fq = fq_from_be_bytes(&payload).ok_or(DecodePointError::NonCanonicalX)?;
     let rhs = x.square() * x + C::g1_b();
     let y0 = rhs.sqrt().ok_or(DecodePointError::NotOnCurve)?;
     let y = if is_odd(&y0) == y_odd { y0 } else { -y0 };
@@ -172,10 +167,8 @@ pub fn decompress_g2<C: Bls12Config>(
         }
         return Ok(Affine::identity());
     }
-    let c1: C::Fq =
-        fq_from_be_bytes(&payload[..48]).ok_or(DecodePointError::NonCanonicalX)?;
-    let c0: C::Fq =
-        fq_from_be_bytes(&payload[48..]).ok_or(DecodePointError::NonCanonicalX)?;
+    let c1: C::Fq = fq_from_be_bytes(&payload[..48]).ok_or(DecodePointError::NonCanonicalX)?;
+    let c0: C::Fq = fq_from_be_bytes(&payload[48..]).ok_or(DecodePointError::NonCanonicalX)?;
     let x = Fq2::<C>::new(c0, c1);
     let rhs = x.square() * x + G2Curve::<C>::b();
     let units: &UBig = &C::derived().fq2_units;

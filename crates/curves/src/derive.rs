@@ -257,10 +257,7 @@ pub fn bls_orders(x_abs: u64, x_is_negative: bool, q: &UBig, r: &UBig) -> BlsOrd
 ///
 /// Panics if neither candidate annihilates the sample (wrong twist
 /// coefficient) or if `r` does not divide the selected order.
-pub fn select_twist_order<Cu: SwCurve>(
-    orders: &BlsOrders,
-    r: &UBig,
-) -> (UBig, UBig) {
+pub fn select_twist_order<Cu: SwCurve>(orders: &BlsOrders, r: &UBig) -> (UBig, UBig) {
     // A deterministic sample point on the twist.
     let sample: Affine<Cu> = {
         let mut found = None;

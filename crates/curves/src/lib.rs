@@ -31,8 +31,8 @@
 
 pub mod bls12;
 pub mod bls12_377;
-pub mod codec;
 pub mod bls12_381;
+pub mod codec;
 pub mod derive;
 pub mod sw;
 pub mod tower;
@@ -41,6 +41,8 @@ pub use bls12::{
     final_exponentiation, g1_in_subgroup, g2_in_subgroup, miller_loop, multi_pairing, pairing,
     Bls12Config, Derived, G1Curve, G2Curve,
 };
-pub use codec::{compress_g1, compress_g2, decompress_g1, decompress_g2, DecodePointError, G1_BYTES, G2_BYTES};
+pub use codec::{
+    compress_g1, compress_g2, decompress_g1, decompress_g2, DecodePointError, G1_BYTES, G2_BYTES,
+};
 pub use sw::{batch_to_affine, Affine, Jacobian, SwCurve, Xyzz};
 pub use tower::{Fq12, Fq2, Fq6, TowerConfig};

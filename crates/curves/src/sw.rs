@@ -569,10 +569,7 @@ impl<Cu: SwCurve> PartialEq for Xyzz<Cu> {
         match (self.is_identity(), other.is_identity()) {
             (true, true) => true,
             (true, false) | (false, true) => false,
-            _ => {
-                self.x * other.zz == other.x * self.zz
-                    && self.y * other.zzz == other.y * self.zzz
-            }
+            _ => self.x * other.zz == other.x * self.zz && self.y * other.zzz == other.y * self.zzz,
         }
     }
 }

@@ -131,7 +131,8 @@ impl<C: TowerConfig> Field for Fq2<C> {
     fn inverse(&self) -> Option<Self> {
         // 1/(c0 + c1 u) = (c0 - c1 u) / (c0² - β c1²)
         let n = self.norm();
-        n.inverse().map(|ninv| Self::new(self.c0 * ninv, -(self.c1 * ninv)))
+        n.inverse()
+            .map(|ninv| Self::new(self.c0 * ninv, -(self.c1 * ninv)))
     }
     fn from_u64(v: u64) -> Self {
         Self::from_base(C::Fq::from_u64(v))
@@ -237,9 +238,7 @@ impl<C: TowerConfig> Field for Fq6<C> {
         let t1 = xi * self.c2.square() - self.c0 * self.c1;
         let t2 = self.c1.square() - self.c0 * self.c2;
         let denom = self.c0 * t0 + xi * (self.c2 * t1) + xi * (self.c1 * t2);
-        denom
-            .inverse()
-            .map(|d| Self::new(t0 * d, t1 * d, t2 * d))
+        denom.inverse().map(|d| Self::new(t0 * d, t1 * d, t2 * d))
     }
     fn from_u64(v: u64) -> Self {
         Self::from_fq2(Fq2::from_u64(v))

@@ -125,10 +125,7 @@ fn standard_generators_pair_bilinearly() {
 fn derived_cofactors_match_published_values() {
     // BLS12-381 cofactors as published in the zkcrypto spec.
     let d = Bls12381::derived();
-    assert_eq!(
-        format!("{:x}", d.h1),
-        "396c8c005555e1568c00aaab0000aaab"
-    );
+    assert_eq!(format!("{:x}", d.h1), "396c8c005555e1568c00aaab0000aaab");
     assert_eq!(
         format!("{:x}", d.h2),
         "5d543a95414e7f1091d50792876a202cd91de4547085abaa68a205b2e5a7ddfa\

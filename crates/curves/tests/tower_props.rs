@@ -127,8 +127,5 @@ fn embeddings_are_ring_homomorphisms() {
     let lift = Fq12::<Bls12381>::from_base;
     assert_eq!(lift(a) * lift(b), lift(a * b));
     assert_eq!(lift(a) + lift(b), lift(a + b));
-    assert_eq!(
-        lift(a).inverse(),
-        a.inverse().map(lift),
-    );
+    assert_eq!(lift(a).inverse(), a.inverse().map(lift),);
 }

@@ -138,7 +138,11 @@ mod tests {
             .mul(&r)
             .checked_exact_div(&UBig::from(3u64))
             .expect("(x-1)^2 * r divisible by 3");
-        let p = if x_negative { base.sub(&x) } else { base.add(&x) };
+        let p = if x_negative {
+            base.sub(&x)
+        } else {
+            base.add(&x)
+        };
         assert_eq!(p, UBig::from_hex(p_hex), "p != (x-1)^2 r / 3 + x");
     }
 

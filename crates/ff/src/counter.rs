@@ -172,6 +172,8 @@ impl<F: Field> Add for Counted<F> {
 
 impl<F: Field> Sub for Counted<F> {
     type Output = Self;
+    // The `+` is on the op counter, not the wrapped value.
+    #[allow(clippy::suspicious_arithmetic_impl)]
     fn sub(self, rhs: Self) -> Self {
         bump(|c| c.sub += 1);
         Counted(self.0 - rhs.0)
@@ -180,6 +182,8 @@ impl<F: Field> Sub for Counted<F> {
 
 impl<F: Field> Mul for Counted<F> {
     type Output = Self;
+    // The `+` is on the op counter, not the wrapped value.
+    #[allow(clippy::suspicious_arithmetic_impl)]
     fn mul(self, rhs: Self) -> Self {
         bump(|c| c.mul += 1);
         Counted(self.0 * rhs.0)

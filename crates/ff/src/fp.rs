@@ -21,7 +21,9 @@ use zkp_bigint::Uint;
 /// Implementors are zero-sized marker types; all numeric parameters are
 /// derived once (lazily) by [`FieldParams::derive`]. The modulus must leave
 /// at least one spare bit in `N` limbs (all BLS12 fields do).
-pub trait FpConfig<const N: usize>: 'static + Copy + Clone + Send + Sync + fmt::Debug + Eq + core::hash::Hash + Default {
+pub trait FpConfig<const N: usize>:
+    'static + Copy + Clone + Send + Sync + fmt::Debug + Eq + core::hash::Hash + Default
+{
     /// Big-endian hex encoding of the modulus.
     const MODULUS_HEX: &'static str;
     /// A small multiplicative generator of `F_p*` (must be a non-residue).
@@ -118,11 +120,11 @@ pub(crate) fn mont_mul<const N: usize>(a: &Uint<N>, b: &Uint<N>, p: &Uint<N>, in
     let pl = p.limbs();
     let mut t = [0u64; N];
     let mut t_n = 0u64; // t[N]
-    for i in 0..N {
+    for &ai in a.iter().take(N) {
         // t += a[i] * b
         let mut carry = 0;
         for j in 0..N {
-            let (l, c) = mac(t[j], a[i], b[j], carry);
+            let (l, c) = mac(t[j], ai, b[j], carry);
             t[j] = l;
             carry = c;
         }

@@ -35,10 +35,8 @@ mod fp;
 mod params;
 mod traits;
 
-pub use batch::{batch_inverse, batch_inverse_counted};
-pub use configs::{
-    Fq377, Fq377Config, Fq381, Fq381Config, Fr377, Fr377Config, Fr381, Fr381Config,
-};
+pub use batch::{batch_inverse, batch_inverse_counted, batch_inverse_parallel};
+pub use configs::{Fq377, Fq377Config, Fq381, Fq381Config, Fr377, Fr377Config, Fr381, Fr381Config};
 pub use counter::{Counted, OpCounts};
 pub use fp::{Fp, FpConfig};
 pub use params::FieldParams;

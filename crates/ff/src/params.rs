@@ -54,7 +54,10 @@ impl<const N: usize> FieldParams<N> {
             num_bits < 64 * N as u32,
             "modulus must leave a spare bit for carry-free addition"
         );
-        assert!(!p_big.is_even() && !p_big.is_one(), "modulus must be an odd prime");
+        assert!(
+            !p_big.is_even() && !p_big.is_one(),
+            "modulus must be an odd prime"
+        );
 
         // inv = -p^{-1} mod 2^64 by Newton iteration (5 steps double precision
         // from 2^4 to 2^64 since p is odd).

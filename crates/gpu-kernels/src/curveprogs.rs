@@ -113,7 +113,12 @@ fn ff_sub(b: &mut ProgramBuilder, f: &Field32, banks: &Banks, out: u16, x: u16, 
     let n = banks.n;
     // out = x + ~y + 1; borrow means add p back.
     for j in 0..n {
-        b.lop3(banks.cmp + j, r(y + j), imm(u32::MAX), gpu_sim::isa::LogicOp::Xor);
+        b.lop3(
+            banks.cmp + j,
+            r(y + j),
+            imm(u32::MAX),
+            gpu_sim::isa::LogicOp::Xor,
+        );
     }
     b.iadd3(out, r(x), r(banks.cmp), imm(1), true, false);
     for j in 1..n {
@@ -125,7 +130,14 @@ fn ff_sub(b: &mut ProgramBuilder, f: &Field32, banks: &Banks, out: u16, x: u16, 
     b.bra(done, Some((0, true)));
     b.iadd3(out, r(out), imm(f.modulus[0]), imm(0), true, false);
     for j in 1..n {
-        b.iadd3(out + j, r(out + j), imm(f.modulus[j as usize]), imm(0), true, true);
+        b.iadd3(
+            out + j,
+            r(out + j),
+            imm(f.modulus[j as usize]),
+            imm(0),
+            true,
+            true,
+        );
     }
     b.place(done);
 }
@@ -155,7 +167,15 @@ fn ff_mul(b: &mut ProgramBuilder, f: &Field32, banks: &Banks, out: u16, x: u16, 
         b.iadd3(t_n1, r(t_n1), imm(0), imm(0), false, true);
 
         b.imad(banks.m, r(t), imm(f.inv32), imm(0), false, false, false);
-        b.imad(banks.ge, r(banks.m), imm(f.modulus[0]), r(t), false, true, false);
+        b.imad(
+            banks.ge,
+            r(banks.m),
+            imm(f.modulus[0]),
+            r(t),
+            false,
+            true,
+            false,
+        );
         for j in 1..n {
             b.imad(
                 t + j - 1,
@@ -309,7 +329,7 @@ pub fn butterfly_program(f: &Field32) -> (Program, ButterflyLayout) {
         b.ldg(w + j, addr_w, u32::from(j));
     }
     ff_mul(&mut b, f, &banks, bb, bb, w); // t = ω·b (into b's bank)
-    // hi = a - t into the ω bank (ω no longer needed).
+                                          // hi = a - t into the ω bank (ω no longer needed).
     ff_sub(&mut b, f, &banks, w, a, bb);
     // lo = a + t in place.
     ff_add(&mut b, f, &banks, a, a, bb);
@@ -360,7 +380,10 @@ mod tests {
         let fq = Field32::of::<Fq381Config, 6>();
         let (p, _) = xyzz_madd_program(&fq);
         let mix = p.static_mix();
-        let imad = mix.iter().find(|(m, _)| *m == "IMAD").map_or(0, |(_, c)| *c);
+        let imad = mix
+            .iter()
+            .find(|(m, _)| *m == "IMAD")
+            .map_or(0, |(_, c)| *c);
         let total: u64 = mix.iter().map(|(_, c)| *c).sum();
         assert!(imad as f64 / total as f64 > 0.55, "{imad}/{total}");
     }

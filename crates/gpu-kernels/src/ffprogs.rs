@@ -160,7 +160,14 @@ fn emit_add_chain(b: &mut ProgramBuilder, field: &Field32, a0: u16, b0: u16) {
 fn emit_compare_and_reduce(b: &mut ProgramBuilder, field: &Field32, v0: u16) {
     let n = field.num_limbs() as u16;
     // s = v - p with a borrow chain into the scratch bank.
-    b.iadd3(regs::CMP0, r(v0), imm(!field.modulus[0]), imm(1), true, false);
+    b.iadd3(
+        regs::CMP0,
+        r(v0),
+        imm(!field.modulus[0]),
+        imm(1),
+        true,
+        false,
+    );
     for j in 1..n {
         b.iadd3(
             regs::CMP0 + j,
@@ -190,15 +197,29 @@ fn emit_sub(b: &mut ProgramBuilder, field: &Field32) {
     b.iadd3(regs::A0, r(regs::A0), r(regs::S0), imm(1), true, false);
     for j in 1..n {
         b.lop3(regs::S0, r(regs::B0 + j), imm(u32::MAX), LogicOp::Xor);
-        b.iadd3(regs::A0 + j, r(regs::A0 + j), r(regs::S0), imm(0), true, true);
+        b.iadd3(
+            regs::A0 + j,
+            r(regs::A0 + j),
+            r(regs::S0),
+            imm(0),
+            true,
+            true,
+        );
     }
     // Capture the final carry.
     b.iadd3(regs::S1, imm(0), imm(0), imm(0), false, true);
     let done = b.label();
     b.setp(0, r(regs::S1), imm(1), CmpOp::Eq);
     b.bra(done, Some((0, true))); // no borrow -> done
-    // Borrowed: add p back.
-    b.iadd3(regs::A0, r(regs::A0), imm(field.modulus[0]), imm(0), true, false);
+                                  // Borrowed: add p back.
+    b.iadd3(
+        regs::A0,
+        r(regs::A0),
+        imm(field.modulus[0]),
+        imm(0),
+        true,
+        false,
+    );
     for j in 1..n {
         b.iadd3(
             regs::A0 + j,
@@ -299,14 +320,30 @@ fn emit_cios(b: &mut ProgramBuilder, field: &Field32, b_base: u16) {
         // High-product pass: t[j+1] += hi(a_i·b_j).
         b.imad(t + 1, a_i, r(b_base), r(t + 1), true, true, false);
         for j in 1..n {
-            b.imad(t + j + 1, a_i, r(b_base + j), r(t + j + 1), true, true, true);
+            b.imad(
+                t + j + 1,
+                a_i,
+                r(b_base + j),
+                r(t + j + 1),
+                true,
+                true,
+                true,
+            );
         }
         b.iadd3(t_n1, r(t_n1), imm(0), imm(0), false, true);
 
         // Montgomery reduction row: m = t[0]·inv32 mod 2^32.
         b.imad(regs::M, r(t), imm(field.inv32), imm(0), false, false, false);
         // Low pass of m·p, shifting t down one word.
-        b.imad(regs::S0, r(regs::M), imm(field.modulus[0]), r(t), false, true, false);
+        b.imad(
+            regs::S0,
+            r(regs::M),
+            imm(field.modulus[0]),
+            r(t),
+            false,
+            true,
+            false,
+        );
         for j in 1..n {
             b.imad(
                 t + j - 1,
@@ -322,7 +359,15 @@ fn emit_cios(b: &mut ProgramBuilder, field: &Field32, b_base: u16) {
         b.iadd3(t_n, r(t_n1), imm(0), imm(0), false, true);
         b.mov(t_n1, imm(0));
         // High pass of m·p (indices already shifted down).
-        b.imad(t, r(regs::M), imm(field.modulus[0]), r(t), true, true, false);
+        b.imad(
+            t,
+            r(regs::M),
+            imm(field.modulus[0]),
+            r(t),
+            true,
+            true,
+            false,
+        );
         for j in 1..n {
             b.imad(
                 t + j,

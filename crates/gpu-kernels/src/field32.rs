@@ -70,7 +70,7 @@ pub fn split_limbs(limbs64: &[u64]) -> Vec<u32> {
 ///
 /// Panics if the length is odd.
 pub fn join_limbs(limbs32: &[u32]) -> Vec<u64> {
-    assert!(limbs32.len() % 2 == 0, "odd 32-bit limb count");
+    assert!(limbs32.len().is_multiple_of(2), "odd 32-bit limb count");
     limbs32
         .chunks(2)
         .map(|c| u64::from(c[0]) | (u64::from(c[1]) << 32))

@@ -14,5 +14,8 @@ pub mod microbench;
 
 pub use ffprogs::{ff_program, FfOp};
 pub use field32::{join_limbs, split_limbs, Field32};
-pub use libraries::{cpu_msm_seconds, cpu_ntt_seconds, kernel_costs, msm_estimate, ntt_estimate, KernelCosts, LibraryId, PhaseEstimate};
+pub use libraries::{
+    cpu_msm_seconds, cpu_ntt_seconds, kernel_costs, msm_estimate, ntt_estimate, KernelCosts,
+    LibraryId, PhaseEstimate,
+};
 pub use microbench::{bench_ff_op, run_ff_op, FfInputs, FfOpReport};

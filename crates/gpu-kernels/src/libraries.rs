@@ -241,7 +241,11 @@ pub fn msm_estimate(lib: LibraryId, device: &DeviceSpec, log_n: u32) -> Option<P
         _ => TransferMode::Synchronous,
     };
     let launches = u64::from(w) * 2 + 4;
-    let time = combine(compute_s + launches as f64 * LAUNCH_OVERHEAD_S, transfer_s, mode);
+    let time = combine(
+        compute_s + launches as f64 * LAUNCH_OVERHEAD_S,
+        transfer_s,
+        mode,
+    );
     Some(PhaseEstimate {
         time,
         launches,
@@ -310,8 +314,7 @@ pub fn ntt_estimate(lib: LibraryId, device: &DeviceSpec, log_n: u32) -> Option<P
     let transfer_s = if per_pass_copies {
         // Up-and-down around every pass, through pageable buffers, with a
         // ~0.5 ms queue-synchronization cost per round trip.
-        launches as f64
-            * (2.0 * (n * SCALAR_BYTES) as f64 / (PAGEABLE_GBS * 1e9) + 5.0e-4)
+        launches as f64 * (2.0 * (n * SCALAR_BYTES) as f64 / (PAGEABLE_GBS * 1e9) + 5.0e-4)
     } else {
         transfer_seconds(device, n * SCALAR_BYTES)
     };
@@ -351,8 +354,7 @@ pub fn cpu_msm_seconds(log_n: u32) -> f64 {
     let (acc, red, _) = pippenger_padds(n, c, false);
     // Table V Jacobian mixed add weighted by Table IV costs, with the
     // ~2× squaring/lazy-reduction savings real arkworks code achieves.
-    let padd_cycles =
-        0.5 * (11.0 * CPU_MUL_CYCLES + 9.0 * CPU_ADD_CYCLES + 5.0 * CPU_DBL_CYCLES);
+    let padd_cycles = 0.5 * (11.0 * CPU_MUL_CYCLES + 9.0 * CPU_ADD_CYCLES + 5.0 * CPU_DBL_CYCLES);
     (acc + red) * padd_cycles / CPU_CLOCK_HZ
 }
 
@@ -395,7 +397,10 @@ mod tests {
         assert!(ntt_estimate(LibraryId::Yrrid, &d, 20).is_none());
         assert!(ntt_estimate(LibraryId::Ymc, &d, 20).is_none());
         assert!(ntt_estimate(LibraryId::Cuzk, &d, 23).is_some());
-        assert!(ntt_estimate(LibraryId::Cuzk, &d, 24).is_none(), "cuZK OOMs past 2^23");
+        assert!(
+            ntt_estimate(LibraryId::Cuzk, &d, 24).is_none(),
+            "cuZK OOMs past 2^23"
+        );
         assert!(ntt_estimate(LibraryId::Bellperson, &d, 26).is_some());
     }
 

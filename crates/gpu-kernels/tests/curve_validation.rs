@@ -23,7 +23,9 @@ fn xyzz_madd_kernel_matches_host_curve() {
     let (program, layout) = xyzz_madd_program(&field);
 
     // 32 lanes, each with its own (bucket, point) pair.
-    let buckets: Vec<Xyzz<G1>> = (0..32).map(|i| Xyzz::from(random_point(i)).double()).collect();
+    let buckets: Vec<Xyzz<G1>> = (0..32)
+        .map(|i| Xyzz::from(random_point(i)).double())
+        .collect();
     let points: Vec<Affine<G1>> = (0..32).map(|i| random_point(100 + i)).collect();
 
     let words_bucket = 4 * n;

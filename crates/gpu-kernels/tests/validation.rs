@@ -50,7 +50,8 @@ fn validate<C: FpConfig<N>, const N: usize>(seed: u64) {
             }
             let expect = gpu_kernels::split_limbs(acc.montgomery_repr().limbs());
             assert_eq!(
-                report.outputs[t], expect,
+                report.outputs[t],
+                expect,
                 "{} {} lane {t} diverged from host",
                 field.name,
                 op.name()

@@ -127,43 +127,146 @@ macro_rules! device {
     };
 }
 
-device!(v100, "NVIDIA V100", Volta, (7, 0), sm = 80, warps = 64, blocks = 32,
-    shared = 96, l2 = 6.0, mem = 32, bw = 900.0, pcie = 16.0, clock = 1.38,
-    tdp = 300.0, async_copy = false);
-device!(t4, "NVIDIA T4", Turing, (7, 5), sm = 40, warps = 32, blocks = 16,
-    shared = 64, l2 = 4.0, mem = 16, bw = 320.0, pcie = 16.0, clock = 1.59,
-    tdp = 70.0, async_copy = false);
-device!(rtx3090, "NVIDIA RTX 3090", Ampere, (8, 6), sm = 82, warps = 48, blocks = 16,
-    shared = 100, l2 = 6.0, mem = 24, bw = 936.0, pcie = 16.0, clock = 1.70,
-    tdp = 350.0, async_copy = true);
-device!(a100, "NVIDIA A100", Ampere, (8, 0), sm = 108, warps = 64, blocks = 32,
-    shared = 164, l2 = 40.0, mem = 80, bw = 2039.0, pcie = 32.0, clock = 1.41,
-    tdp = 400.0, async_copy = true);
-device!(a40, "NVIDIA A40", Ampere, (8, 6), sm = 84, warps = 48, blocks = 16,
-    shared = 100, l2 = 6.0, mem = 48, bw = 696.0, pcie = 32.0, clock = 1.74,
-    tdp = 300.0, async_copy = true);
-device!(l4, "NVIDIA L4", Ada, (8, 9), sm = 58, warps = 48, blocks = 24,
-    shared = 100, l2 = 48.0, mem = 24, bw = 300.0, pcie = 32.0, clock = 2.04,
-    tdp = 72.0, async_copy = true);
-device!(l40s, "NVIDIA L40S", Ada, (8, 9), sm = 142, warps = 48, blocks = 24,
-    shared = 100, l2 = 96.0, mem = 48, bw = 864.0, pcie = 32.0, clock = 2.52,
-    tdp = 350.0, async_copy = true);
-device!(h100, "NVIDIA H100", Hopper, (9, 0), sm = 114, warps = 64, blocks = 32,
-    shared = 228, l2 = 50.0, mem = 80, bw = 2000.0, pcie = 64.0, clock = 1.98,
-    tdp = 350.0, async_copy = true);
+device!(
+    v100,
+    "NVIDIA V100",
+    Volta,
+    (7, 0),
+    sm = 80,
+    warps = 64,
+    blocks = 32,
+    shared = 96,
+    l2 = 6.0,
+    mem = 32,
+    bw = 900.0,
+    pcie = 16.0,
+    clock = 1.38,
+    tdp = 300.0,
+    async_copy = false
+);
+device!(
+    t4,
+    "NVIDIA T4",
+    Turing,
+    (7, 5),
+    sm = 40,
+    warps = 32,
+    blocks = 16,
+    shared = 64,
+    l2 = 4.0,
+    mem = 16,
+    bw = 320.0,
+    pcie = 16.0,
+    clock = 1.59,
+    tdp = 70.0,
+    async_copy = false
+);
+device!(
+    rtx3090,
+    "NVIDIA RTX 3090",
+    Ampere,
+    (8, 6),
+    sm = 82,
+    warps = 48,
+    blocks = 16,
+    shared = 100,
+    l2 = 6.0,
+    mem = 24,
+    bw = 936.0,
+    pcie = 16.0,
+    clock = 1.70,
+    tdp = 350.0,
+    async_copy = true
+);
+device!(
+    a100,
+    "NVIDIA A100",
+    Ampere,
+    (8, 0),
+    sm = 108,
+    warps = 64,
+    blocks = 32,
+    shared = 164,
+    l2 = 40.0,
+    mem = 80,
+    bw = 2039.0,
+    pcie = 32.0,
+    clock = 1.41,
+    tdp = 400.0,
+    async_copy = true
+);
+device!(
+    a40,
+    "NVIDIA A40",
+    Ampere,
+    (8, 6),
+    sm = 84,
+    warps = 48,
+    blocks = 16,
+    shared = 100,
+    l2 = 6.0,
+    mem = 48,
+    bw = 696.0,
+    pcie = 32.0,
+    clock = 1.74,
+    tdp = 300.0,
+    async_copy = true
+);
+device!(
+    l4,
+    "NVIDIA L4",
+    Ada,
+    (8, 9),
+    sm = 58,
+    warps = 48,
+    blocks = 24,
+    shared = 100,
+    l2 = 48.0,
+    mem = 24,
+    bw = 300.0,
+    pcie = 32.0,
+    clock = 2.04,
+    tdp = 72.0,
+    async_copy = true
+);
+device!(
+    l40s,
+    "NVIDIA L40S",
+    Ada,
+    (8, 9),
+    sm = 142,
+    warps = 48,
+    blocks = 24,
+    shared = 100,
+    l2 = 96.0,
+    mem = 48,
+    bw = 864.0,
+    pcie = 32.0,
+    clock = 2.52,
+    tdp = 350.0,
+    async_copy = true
+);
+device!(
+    h100,
+    "NVIDIA H100",
+    Hopper,
+    (9, 0),
+    sm = 114,
+    warps = 64,
+    blocks = 32,
+    shared = 228,
+    l2 = 50.0,
+    mem = 80,
+    bw = 2000.0,
+    pcie = 64.0,
+    clock = 1.98,
+    tdp = 350.0,
+    async_copy = true
+);
 
 /// All eight devices of the §IV-D generational study, oldest first.
 pub fn catalog() -> Vec<DeviceSpec> {
-    vec![
-        v100(),
-        t4(),
-        rtx3090(),
-        a100(),
-        a40(),
-        l4(),
-        l40s(),
-        h100(),
-    ]
+    vec![v100(), t4(), rtx3090(), a100(), a40(), l4(), l40s(), h100()]
 }
 
 /// Looks a device up by (case-insensitive) name fragment.
@@ -181,11 +284,10 @@ mod tests {
     #[test]
     fn catalog_covers_the_paper() {
         let names: Vec<_> = catalog().iter().map(|d| d.name).collect();
-        for expect in ["V100", "T4", "RTX 3090", "A100", "A40", "L4", "L40S", "H100"] {
-            assert!(
-                names.iter().any(|n| n.contains(expect)),
-                "missing {expect}"
-            );
+        for expect in [
+            "V100", "T4", "RTX 3090", "A100", "A40", "L4", "L40S", "H100",
+        ] {
+            assert!(names.iter().any(|n| n.contains(expect)), "missing {expect}");
         }
     }
 
@@ -233,7 +335,10 @@ mod tests {
     #[test]
     fn lookup_by_name() {
         assert_eq!(by_name("a40").expect("exists").sm_count, 84);
-        assert_eq!(by_name("H100").expect("exists").architecture, Architecture::Hopper);
+        assert_eq!(
+            by_name("H100").expect("exists").architecture,
+            Architecture::Hopper
+        );
         assert!(by_name("MI300").is_none());
     }
 

@@ -322,7 +322,13 @@ impl ProgramBuilder {
 
     /// Emits `SHF` (funnel shift; pass `b = Src::Imm(0)` for plain shift).
     pub fn shf(&mut self, dst: Reg, a: Src, b: Src, sh: Src, right: bool) {
-        self.instrs.push(Instr::Shf { dst, a, b, sh, right });
+        self.instrs.push(Instr::Shf {
+            dst,
+            a,
+            b,
+            sh,
+            right,
+        });
     }
 
     /// Emits `LOP3`.
@@ -445,8 +451,24 @@ mod tests {
     fn static_mix_counts() {
         let mut b = ProgramBuilder::new();
         b.mov(0, Src::Imm(1));
-        b.imad(1, Src::Reg(0), Src::Reg(0), Src::Imm(0), false, false, false);
-        b.imad(2, Src::Reg(1), Src::Reg(0), Src::Imm(0), false, false, false);
+        b.imad(
+            1,
+            Src::Reg(0),
+            Src::Reg(0),
+            Src::Imm(0),
+            false,
+            false,
+            false,
+        );
+        b.imad(
+            2,
+            Src::Reg(1),
+            Src::Reg(0),
+            Src::Imm(0),
+            false,
+            false,
+            false,
+        );
         b.exit();
         let mix = b.build().static_mix();
         assert!(mix.contains(&("IMAD", 2)));

@@ -360,9 +360,7 @@ impl Machine {
                 match st {
                     None => {}
                     Some(Status::Wait) => result.stalls.wait += 1,
-                    Some(Status::MemWait) | Some(Status::MemThrottle) => {
-                        result.stalls.other += 1
-                    }
+                    Some(Status::MemWait) | Some(Status::MemThrottle) => result.stalls.other += 1,
                     Some(Status::Throttle) => result.stalls.math_pipe_throttle += 1,
                     Some(Status::Eligible) => {
                         if Some(i) == pick {
@@ -391,20 +389,17 @@ impl Machine {
                 // Structural occupancy.
                 if inst.uses_int32_pipe() {
                     int32_free_at = cycle + int32_interval;
-                    let weight = if matches!(inst, Instr::Imad { .. }) { 2 } else { 1 };
+                    let weight = if matches!(inst, Instr::Imad { .. }) {
+                        2
+                    } else {
+                        1
+                    };
                     result.int_ops += weight * active_count;
                 } else if matches!(inst, Instr::Ldg { .. } | Instr::Stg { .. }) {
                     mem_free_at = cycle + int32_interval;
                 }
 
-                execute(
-                    w,
-                    &inst,
-                    cycle,
-                    &cfg,
-                    &mut self.global_mem,
-                    &mut result,
-                );
+                execute(w, &inst, cycle, &cfg, &mut self.global_mem, &mut result);
             } else if statuses.iter().any(|s| s.is_some()) {
                 result.no_eligible_cycles += 1;
             }
@@ -430,7 +425,12 @@ fn dep_ready(w: &Warp, inst: &Instr) -> (u64, bool) {
         }
     };
     match inst {
-        Instr::Imad { a, b, c, use_cc, .. } | Instr::Iadd3 { a, b, c, use_cc, .. } => {
+        Instr::Imad {
+            a, b, c, use_cc, ..
+        }
+        | Instr::Iadd3 {
+            a, b, c, use_cc, ..
+        } => {
             see(a, w, &mut ready, &mut mem);
             see(b, w, &mut ready, &mut mem);
             see(c, w, &mut ready, &mut mem);
@@ -506,9 +506,8 @@ fn execute(
             for &t in &lanes {
                 let prod = u64::from(src_val(w, &a, t)) * u64::from(src_val(w, &b, t));
                 let part = if hi { prod >> 32 } else { prod & 0xffff_ffff };
-                let sum = part
-                    + u64::from(src_val(w, &c, t))
-                    + u64::from(use_cc && (w.cc >> t) & 1 == 1);
+                let sum =
+                    part + u64::from(src_val(w, &c, t)) + u64::from(use_cc && (w.cc >> t) & 1 == 1);
                 w.regs[dst as usize][t] = sum as u32;
                 if set_cc {
                     w.cc = (w.cc & !(1 << t)) | ((((sum >> 32) & 1) as u32) << t);

@@ -60,17 +60,14 @@ pub fn occupancy(device: &DeviceSpec, launch: &LaunchConfig) -> Occupancy {
         .max(32)
         .saturating_mul(device.warp_size)
         .saturating_mul(warps_per_block);
-    let by_regs = if regs_per_block == 0 {
-        device.max_blocks_per_sm
-    } else {
-        device.registers_per_sm / regs_per_block
-    };
+    let by_regs = device
+        .registers_per_sm
+        .checked_div(regs_per_block)
+        .unwrap_or(device.max_blocks_per_sm);
     // Shared memory limit.
-    let by_shared = if launch.shared_mem_per_block == 0 {
-        device.max_blocks_per_sm
-    } else {
-        (device.shared_mem_per_sm_kib * 1024) / launch.shared_mem_per_block
-    };
+    let by_shared = (device.shared_mem_per_sm_kib * 1024)
+        .checked_div(launch.shared_mem_per_block)
+        .unwrap_or(device.max_blocks_per_sm);
     let by_blocks = device.max_blocks_per_sm;
 
     let blocks_per_sm = by_warps.min(by_regs).min(by_shared).min(by_blocks);

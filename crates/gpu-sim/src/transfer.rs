@@ -63,7 +63,7 @@ pub fn combine(compute_s: f64, transfer_s: f64, mode: TransferMode) -> PhaseTime
         TransferMode::Synchronous => compute_s + transfer_s,
         TransferMode::Overlapped => {
             let exposed = 0.05 * transfer_s;
-            compute_s.max(transfer_s) .max(compute_s + exposed)
+            compute_s.max(transfer_s).max(compute_s + exposed)
         }
     };
     PhaseTime {

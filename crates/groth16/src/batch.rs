@@ -9,10 +9,10 @@
 
 use crate::protocol::{Proof, VerifyingKey};
 use rand::Rng;
-use zkp_curves::tower::Fq12;
-use zkp_curves::{miller_loop, Affine, Bls12Config, G1Curve, Jacobian, SwCurve};
-use zkp_ff::{pow_uint, Field, PrimeField};
 use zkp_bigint::Uint;
+use zkp_curves::tower::Fq12;
+use zkp_curves::{miller_loop, Affine, Bls12Config, G1Curve, Jacobian};
+use zkp_ff::{pow_uint, Field, PrimeField};
 
 /// Verifies `k` (proof, public inputs) pairs with one combined check.
 ///
@@ -92,7 +92,14 @@ mod tests {
     use zkp_ff::Fr381;
     use zkp_r1cs::circuits::squaring_chain;
 
-    fn make_batch(k: usize, seed: u64) -> (crate::ProvingKey<Bls12381>, Vec<(Proof<Bls12381>, Vec<Fr381>)>) {
+    #[allow(clippy::type_complexity)]
+    fn make_batch(
+        k: usize,
+        seed: u64,
+    ) -> (
+        crate::ProvingKey<Bls12381>,
+        Vec<(Proof<Bls12381>, Vec<Fr381>)>,
+    ) {
         let mut rng = StdRng::seed_from_u64(seed);
         let cs = squaring_chain(Fr381::from_u64(3), 6);
         let pk = setup::<Bls12381, _>(&cs, &mut rng);

@@ -29,6 +29,6 @@ mod qap;
 mod serialize;
 
 pub use batch::verify_batch;
-pub use protocol::{prove, setup, verify, Proof, ProverStats, ProvingKey, VerifyingKey};
-pub use serialize::PROOF_BYTES;
+pub use protocol::{prove, prove_on, setup, verify, Proof, ProverStats, ProvingKey, VerifyingKey};
 pub use qap::Qap;
+pub use serialize::PROOF_BYTES;

@@ -3,15 +3,16 @@
 use crate::qap::Qap;
 use core::fmt;
 use rand::Rng;
+use zkp_curves::batch_to_affine;
+use zkp_curves::tower::Fq12;
 use zkp_curves::{
     multi_pairing, pairing, Affine, Bls12Config, G1Curve, G2Curve, Jacobian, SwCurve,
 };
-use zkp_curves::batch_to_affine;
-use zkp_curves::tower::Fq12;
 use zkp_ff::Field;
-use zkp_msm::{msm_parallel, FixedBase, MsmConfig};
-use zkp_ntt::quotient_poly;
+use zkp_msm::{msm_parallel_with_config, FixedBase, MsmConfig};
+use zkp_ntt::{quotient_poly_on, TwiddleTable};
 use zkp_r1cs::ConstraintSystem;
+use zkp_runtime::ThreadPool;
 
 /// The proving key `𝒫` — "consists of large integers (e.g., 377-bit)"
 /// elliptic-curve points (paper §II); its length tracks the constraint
@@ -131,10 +132,7 @@ pub fn setup<C: Bls12Config, R: Rng + ?Sized>(
         .zip(&w)
         .map(|((ui, vi), wi)| beta * *ui + alpha * *vi + *wi)
         .collect();
-    let gamma_abc_scalars: Vec<C::Fr> = abc[..=num_public]
-        .iter()
-        .map(|x| *x * gamma_inv)
-        .collect();
+    let gamma_abc_scalars: Vec<C::Fr> = abc[..=num_public].iter().map(|x| *x * gamma_inv).collect();
     let l_scalars: Vec<C::Fr> = abc[num_public + 1..]
         .iter()
         .map(|x| *x * delta_inv)
@@ -195,6 +193,28 @@ pub fn prove<C: Bls12Config, R: Rng + ?Sized>(
     cs: &ConstraintSystem<C::Fr>,
     rng: &mut R,
 ) -> (Proof<C>, ProverStats) {
+    prove_on(pk, cs, rng, zkp_runtime::global())
+}
+
+/// [`prove`] on an explicit thread pool.
+///
+/// The prover runs as a task graph: the 7-transform NTT pipeline — and the
+/// h-query MSM that consumes its output — executes concurrently with the
+/// four witness MSMs (A, B₁, B₂, L), each of which fans out internally.
+/// The proof is identical at any thread count given the same `rng` stream,
+/// because the blinding factors are drawn before the graph is spawned and
+/// every parallel kernel is schedule-deterministic.
+///
+/// # Panics
+///
+/// Panics if the system's shape disagrees with the proving key or the
+/// assignment does not satisfy the constraints (checked in debug builds).
+pub fn prove_on<C: Bls12Config, R: Rng + ?Sized>(
+    pk: &ProvingKey<C>,
+    cs: &ConstraintSystem<C::Fr>,
+    rng: &mut R,
+    pool: &ThreadPool,
+) -> (Proof<C>, ProverStats) {
     debug_assert!(cs.is_satisfied(), "witness does not satisfy the circuit");
     assert_eq!(
         cs.num_variables(),
@@ -203,37 +223,72 @@ pub fn prove<C: Bls12Config, R: Rng + ?Sized>(
     );
     let qap = Qap::for_system(cs);
     let z = cs.assignment.to_vec();
+    let priv_z = &z[1 + cs.num_public()..];
 
-    // --- NTT phase: compute h = (a·b - c)/Z (7 transforms, Fig. 3). ---
-    let (a_evals, b_evals, c_evals) = qap.witness_maps(cs);
-    let (h_coeffs, ntt_count) = quotient_poly(&qap.domain, &a_evals, &b_evals, &c_evals);
-
+    // Blinding factors come out of the RNG before any parallel work so the
+    // transcript does not depend on scheduling.
     let r = C::Fr::random(rng);
     let s = C::Fr::random(rng);
 
-    let threads = std::thread::available_parallelism().map_or(1, |n| n.get());
     let msm_cfg = MsmConfig::default();
+    let (a_evals, b_evals, c_evals) = qap.witness_maps(cs);
+    let table = TwiddleTable::new(&qap.domain);
 
-    // --- MSM phase. ---
+    let g1_msm = |points: &[Affine<G1Curve<C>>], scalars: &[C::Fr]| {
+        msm_parallel_with_config(points, scalars, &msm_cfg, pool).point
+    };
+
+    // --- Task graph. ---
+    // ntt(h pipeline) ──► h-MSM ─┐
+    // A-MSM ─────────────────────┤
+    // B₁-MSM ────────────────────┼──► assemble A, B, C
+    // B₂-MSM (G2) ───────────────┤
+    // L-MSM ─────────────────────┘
+    let ((h_acc, ntt_count, h_len), (a_msm, (b1_msm, (b2_msm, l_acc)))) = pool.join(
+        || {
+            // NTT phase: h = (a·b - c)/Z (7 transforms, Fig. 3), then the
+            // one MSM that needs h's coefficients.
+            let (h_coeffs, ntt_count) =
+                quotient_poly_on(&qap.domain, &table, &a_evals, &b_evals, &c_evals, pool);
+            let h_len = pk.h_query.len().min(h_coeffs.len());
+            let h_acc = g1_msm(&pk.h_query[..h_len], &h_coeffs[..h_len]);
+            (h_acc, ntt_count, h_len)
+        },
+        || {
+            pool.join(
+                || g1_msm(&pk.a_query, &z),
+                || {
+                    pool.join(
+                        || g1_msm(&pk.b_g1_query, &z),
+                        || {
+                            pool.join(
+                                || {
+                                    msm_parallel_with_config(&pk.b_g2_query, &z, &msm_cfg, pool)
+                                        .point
+                                },
+                                || g1_msm(&pk.l_query, priv_z),
+                            )
+                        },
+                    )
+                },
+            )
+        },
+    );
+
     // A = α + Σ zᵢ·uᵢ(τ) + r·δ
-    let a_acc = msm_parallel(&pk.a_query, &z, &msm_cfg, threads)
+    let a_acc = a_msm
         .add_affine(&pk.alpha_g1)
         .add(&Jacobian::from(pk.delta_g1).mul_scalar(&r));
 
     // B = β + Σ zᵢ·vᵢ(τ) + s·δ  (G2, with a G1 twin for C)
-    let b_g2_acc = msm_parallel(&pk.b_g2_query, &z, &msm_cfg, threads)
+    let b_g2_acc = b2_msm
         .add_affine(&pk.beta_g2)
         .add(&Jacobian::from(pk.delta_g2).mul_scalar(&s));
-    let b_g1_acc = msm_parallel(&pk.b_g1_query, &z, &msm_cfg, threads)
+    let b_g1_acc = b1_msm
         .add_affine(&pk.beta_g1)
         .add(&Jacobian::from(pk.delta_g1).mul_scalar(&s));
 
     // C = Σ_priv zᵢ·lᵢ + Σ hᵢ·(τⁱZ(τ)/δ) + s·A + r·B₁ - r·s·δ
-    let priv_z = &z[1 + cs.num_public()..];
-    let l_acc = msm_parallel(&pk.l_query, priv_z, &msm_cfg, threads);
-    let h_len = pk.h_query.len().min(h_coeffs.len());
-    let h_acc = msm_parallel(&pk.h_query[..h_len], &h_coeffs[..h_len], &msm_cfg, threads);
-
     let rs = r * s;
     let c_acc = l_acc
         .add(&h_acc)

@@ -41,11 +41,7 @@ impl<F: PrimeField> Qap<F> {
     /// # Panics
     ///
     /// Panics if `tau` lies inside the evaluation domain (re-sample it).
-    pub fn evaluate_at(
-        &self,
-        cs: &ConstraintSystem<F>,
-        tau: &F,
-    ) -> (Vec<F>, Vec<F>, Vec<F>) {
+    pub fn evaluate_at(&self, cs: &ConstraintSystem<F>, tau: &F) -> (Vec<F>, Vec<F>, Vec<F>) {
         let lagrange = self.lagrange_coeffs_at(tau);
         let nv = cs.num_variables();
         let mut u = vec![F::zero(); nv];
@@ -131,11 +127,7 @@ mod tests {
         // Interpolating the identity function recovers τ:
         // Σ ω^j · L_j(τ) = τ.
         let omegas = qap.domain.elements();
-        let interp: Fr381 = omegas
-            .iter()
-            .zip(&lagrange)
-            .map(|(w, l)| *w * *l)
-            .sum();
+        let interp: Fr381 = omegas.iter().zip(&lagrange).map(|(w, l)| *w * *l).sum();
         assert_eq!(interp, tau);
     }
 

@@ -58,7 +58,6 @@ mod tests {
     fn proofs_are_under_200_bytes() {
         // The paper's §II claim, on the wire.
         assert_eq!(PROOF_BYTES, 192);
-        assert!(PROOF_BYTES < 200);
     }
 
     #[test]

@@ -5,8 +5,8 @@ use rand::{rngs::StdRng, SeedableRng};
 use zkp_curves::bls12_377::Bls12377;
 use zkp_curves::bls12_381::Bls12381;
 use zkp_curves::{Bls12Config, Jacobian};
-use zkp_ff::{Field, Fr377, Fr381, PrimeField};
-use zkp_groth16::{prove, setup, verify};
+use zkp_ff::{Field, Fr377, Fr381};
+use zkp_groth16::{prove, prove_on, setup, verify};
 use zkp_r1cs::circuits::{mimc, range_proof, squaring_chain};
 use zkp_r1cs::ConstraintSystem;
 
@@ -118,11 +118,7 @@ fn wrong_arity_inputs_rejected() {
     let pk = setup::<Bls12381, _>(&cs, &mut rng);
     let (proof, _) = prove(&pk, &cs, &mut rng);
     assert!(!verify(&pk.vk, &proof, &[]));
-    assert!(!verify(
-        &pk.vk,
-        &proof,
-        &[Fr381::one(), Fr381::one()]
-    ));
+    assert!(!verify(&pk.vk, &proof, &[Fr381::one(), Fr381::one()]));
 }
 
 #[test]
@@ -137,4 +133,28 @@ fn msm_sizes_scale_with_circuit() {
     assert_eq!(stats.g1_msm_sizes[2], cs.num_private() as u64);
     // h MSM covers the domain minus one.
     assert_eq!(stats.g1_msm_sizes[3], stats.domain_size - 1);
+}
+
+#[test]
+fn proof_is_deterministic_across_thread_counts() {
+    // The prover's blinding draws happen before the task graph and every
+    // parallel kernel is schedule-invariant, so the same RNG seed must
+    // yield the same proof — and the same stats — at any pool width.
+    let cs = mimc(Fr381::from_u64(42), 24);
+    let mut rng = StdRng::seed_from_u64(11);
+    let pk = setup::<Bls12381, _>(&cs, &mut rng);
+    let mut reference = None;
+    for threads in [1usize, 2, 3, 8] {
+        let pool = zkp_runtime::ThreadPool::with_threads(threads);
+        let mut prove_rng = StdRng::seed_from_u64(12);
+        let (proof, stats) = prove_on(&pk, &cs, &mut prove_rng, &pool);
+        assert!(verify(&pk.vk, &proof, &cs.assignment.public));
+        match &reference {
+            None => reference = Some((proof, stats)),
+            Some((p, s)) => {
+                assert_eq!(*p, proof, "proof diverged at {threads} threads");
+                assert_eq!(*s, stats, "stats diverged at {threads} threads");
+            }
+        }
+    }
 }

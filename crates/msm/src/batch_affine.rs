@@ -14,7 +14,7 @@
 
 use crate::pippenger::{default_window_bits, num_windows};
 use zkp_curves::{Affine, Jacobian, SwCurve};
-use zkp_ff::{batch_inverse, Field, PrimeField};
+use zkp_ff::{batch_inverse_parallel, Field, PrimeField};
 
 /// Execution statistics of a batch-affine MSM.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -55,7 +55,11 @@ pub fn msm_batch_affine<Cu: SwCurve>(
     scalars: &[Cu::Scalar],
     window_bits: Option<u32>,
 ) -> BatchAffineOutput<Cu> {
-    assert_eq!(points.len(), scalars.len(), "points and scalars must pair up");
+    assert_eq!(
+        points.len(),
+        scalars.len(),
+        "points and scalars must pair up"
+    );
     let mut stats = BatchAffineStats::default();
     if points.is_empty() {
         return BatchAffineOutput {
@@ -128,7 +132,9 @@ pub fn msm_batch_affine<Cu: SwCurve>(
             })
             .collect();
         if !denoms.is_empty() {
-            batch_inverse(&mut denoms);
+            // Chunk-parallel Montgomery trick; inverses are exact, so the
+            // values (and the per-round accounting) match the serial run.
+            batch_inverse_parallel(zkp_runtime::global(), &mut denoms);
             stats.batch_inversions += 1;
         }
 

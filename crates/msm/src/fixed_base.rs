@@ -81,8 +81,19 @@ impl<Cu: SwCurve> FixedBase<Cu> {
     }
 
     /// Multiplies the base by every scalar, normalizing in one batch.
+    /// Runs on the process-wide [`zkp_runtime::global`] pool.
     pub fn batch_mul(&self, scalars: &[Cu::Scalar]) -> Vec<Affine<Cu>> {
-        let jac: Vec<Jacobian<Cu>> = scalars.iter().map(|k| self.mul(k)).collect();
+        self.batch_mul_on(zkp_runtime::global(), scalars)
+    }
+
+    /// [`Self::batch_mul`] on an explicit pool. Output order is by scalar
+    /// index regardless of scheduling.
+    pub fn batch_mul_on(
+        &self,
+        pool: &zkp_runtime::ThreadPool,
+        scalars: &[Cu::Scalar],
+    ) -> Vec<Affine<Cu>> {
+        let jac: Vec<Jacobian<Cu>> = pool.map(scalars.len(), 32, |i| self.mul(&scalars[i]));
         batch_to_affine(&jac)
     }
 }
@@ -121,10 +132,7 @@ mod tests {
     fn zero_and_one() {
         let table = FixedBase::new(G1::generator(), 4);
         assert!(table.mul(&Fr381::zero()).is_identity());
-        assert_eq!(
-            table.mul(&Fr381::one()).to_affine(),
-            G1::generator()
-        );
+        assert_eq!(table.mul(&Fr381::one()).to_affine(), G1::generator());
     }
 
     #[test]

@@ -38,7 +38,7 @@ pub use batch_affine::{msm_batch_affine, BatchAffineOutput, BatchAffineStats};
 pub use config::{BucketRepr, MsmConfig};
 pub use fixed_base::FixedBase;
 pub use pippenger::{
-    default_window_bits, msm, msm_parallel, msm_serial, msm_with_config, num_windows, MsmOutput,
-    MsmStats,
+    default_window_bits, msm, msm_parallel, msm_parallel_with_config, msm_serial, msm_with_config,
+    num_windows, MsmOutput, MsmStats,
 };
 pub use precompute::{precompute_cost, PrecomputeCost, PrecomputedPoints};

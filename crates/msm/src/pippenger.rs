@@ -6,13 +6,31 @@
 //! with the running *Sum-of-Sums* trick (*Bucket Reduction*, `2·2^s` PADDs
 //! per window), and finally combine window sums with doublings (*Window
 //! Reduction* — the serial part, "often performed on the CPU").
+//!
+//! # Parallel decomposition
+//!
+//! Every MSM runs on a [`zkp_runtime::ThreadPool`] over a task grid of
+//! `windows × chunks`: each task accumulates one window's buckets over one
+//! contiguous chunk of the input, per-chunk partial buckets are merged
+//! bucket-wise *before* the sum-of-sums, and the window reduction happens
+//! exactly once. (The previous scheme ran a complete Pippenger per chunk
+//! and paid the `2·2^s` bucket reduction plus `s·w` doublings again in
+//! every chunk.) The grid shape is a pure function of the problem size —
+//! never the thread count — so the computation DAG, the resulting point,
+//! and the [`MsmStats`] are bit-identical at any pool width.
 
 use crate::config::{BucketRepr, MsmConfig};
 use core::marker::PhantomData;
 use zkp_curves::{Affine, Jacobian, SwCurve, Xyzz};
 use zkp_ff::PrimeField;
+use zkp_runtime::ThreadPool;
 
 /// Execution statistics of one MSM, consumed by the GPU kernel models.
+///
+/// Counters describe the canonical serial Pippenger schedule (one bucket
+/// array per window); the chunk-merge additions the parallel engine
+/// performs are an implementation detail and are excluded, which is what
+/// keeps the stats identical at every thread count.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub struct MsmStats {
     /// Mixed point additions performed during bucket accumulation.
@@ -45,18 +63,19 @@ pub struct MsmOutput<Cu: SwCurve> {
     pub stats: MsmStats,
 }
 
-/// Chooses the window size the way CPU/GPU Pippenger implementations do:
-/// roughly `ln(n)` bits, clamped to a practical range.
+/// Chooses the window size by balancing accumulation (`w·n` PADDs) against
+/// bucket reduction (`w·2^(s+1)` PADDs): `s ≈ log2(n) - 3`, clamped to a
+/// practical range.
 pub fn default_window_bits(n: usize) -> u32 {
     match n {
         0..=1 => 3,
-        _ => ((n as f64).ln().ceil() as u32).clamp(3, 16),
+        _ => n.ilog2().saturating_sub(3).clamp(3, 16),
     }
 }
 
 /// Generic bucket accumulator abstracting the point representation
 /// (Jacobian vs XYZZ — the choice `sppark` made for its speedups, §IV-A).
-trait Accumulator<Cu: SwCurve>: Clone {
+trait Accumulator<Cu: SwCurve>: Clone + Send + Sync {
     fn identity() -> Self;
     fn add_affine(&mut self, p: &Affine<Cu>);
     fn add_acc(&mut self, other: &Self);
@@ -99,26 +118,18 @@ impl<Cu: SwCurve> Accumulator<Cu> for XyzzAcc<Cu> {
     }
 }
 
-/// A window digit in signed or unsigned form.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-struct Digit {
-    /// Bucket index minus one (`None` for digit 0).
-    bucket: Option<usize>,
-    /// Whether the point should be subtracted instead of added.
-    negate: bool,
-}
-
-/// Decomposes a scalar into window digits.
+/// Decomposes one scalar into its row of the signed-digit matrix.
 ///
-/// With `signed`, digits are recoded into `[-2^(s-1), 2^(s-1)]`, halving
-/// the bucket count — the signed-digit trick `ymc` uses (§IV-A).
-fn decompose<F: PrimeField>(scalar: &F, window_bits: u32, num_windows: u32, signed: bool) -> Vec<Digit> {
+/// A digit `d` is stored as a plain `i32`: `d > 0` adds the point to
+/// bucket `d - 1`, `d < 0` adds its negation to bucket `-d - 1`, `0` is
+/// skipped. With `signed`, digits are recoded into `[-2^(s-1), 2^(s-1)]`,
+/// halving the bucket count — the signed-digit trick `ymc` uses (§IV-A).
+fn decompose_row<F: PrimeField>(scalar: &F, window_bits: u32, signed: bool, row: &mut [i32]) {
     let limbs = scalar.to_uint();
-    let mut digits = Vec::with_capacity(num_windows as usize);
     let mut carry = 0u64;
     let base = 1u64 << window_bits;
-    for w in 0..num_windows {
-        let lo = w * window_bits;
+    for (w, slot) in row.iter_mut().enumerate() {
+        let lo = w as u32 * window_bits;
         let mut d = carry;
         carry = 0;
         // Extract the raw window bits.
@@ -131,31 +142,68 @@ fn decompose<F: PrimeField>(scalar: &F, window_bits: u32, num_windows: u32, sign
             }
         }
         d += raw;
-        if signed && d > base / 2 {
-            // Recode: d - 2^s, carry 1 into the next window.
-            let neg_mag = base - d;
+        *slot = if signed && d > base / 2 {
+            // Recode: d - 2^s (zero when d accumulated to exactly 2^s via
+            // the incoming carry), carry 1 into the next window.
             carry = 1;
-            digits.push(Digit {
-                bucket: (neg_mag != 0).then(|| neg_mag as usize - 1),
-                negate: true,
-            });
-        } else if signed && d == base {
-            // d accumulated to exactly 2^s via carry: digit 0, carry 1.
-            carry = 1;
-            digits.push(Digit {
-                bucket: None,
-                negate: false,
-            });
+            -((base - d) as i32)
         } else {
-            digits.push(Digit {
-                bucket: (d != 0).then(|| d as usize - 1),
-                negate: false,
-            });
-        }
+            d as i32
+        };
     }
     debug_assert_eq!(carry, 0, "top window must absorb the final carry");
+}
+
+/// Fills the flat `n × w` signed-digit matrix (scalar-major rows) in
+/// parallel and returns it with the number of non-zero digits.
+fn decompose_matrix<F: PrimeField>(
+    pool: &ThreadPool,
+    scalars: &[F],
+    window_bits: u32,
+    num_windows: u32,
+    signed: bool,
+) -> Vec<i32> {
+    let n = scalars.len();
+    let w = num_windows as usize;
+    let mut digits = vec![0i32; n * w];
+    let base = MatPtr(digits.as_mut_ptr());
+    pool.parallel_for(n, usize::MAX, 128, |_, range| {
+        // SAFETY: row ranges are contiguous, in bounds, and pairwise
+        // disjoint across chunks, and `digits` outlives the call.
+        let rows =
+            unsafe { std::slice::from_raw_parts_mut(base.at(range.start * w), range.len() * w) };
+        for (row, i) in rows.chunks_exact_mut(w).zip(range) {
+            decompose_row(&scalars[i], window_bits, signed, row);
+        }
+    });
     digits
 }
+
+struct MatPtr(*mut i32);
+
+impl MatPtr {
+    /// Pointer to element `i`. A method keeps closure capture on the whole
+    /// `MatPtr` (which is `Sync`) rather than the bare field.
+    ///
+    /// # Safety
+    ///
+    /// `i` must be in bounds of the underlying allocation.
+    unsafe fn at(&self, i: usize) -> *mut i32 {
+        unsafe { self.0.add(i) }
+    }
+}
+
+impl Clone for MatPtr {
+    fn clone(&self) -> Self {
+        *self
+    }
+}
+impl Copy for MatPtr {}
+
+// SAFETY: only used to hand disjoint, in-bounds row ranges to pool tasks
+// while the owning frame keeps the matrix alive.
+unsafe impl Send for MatPtr {}
+unsafe impl Sync for MatPtr {}
 
 /// How many windows a scalar field needs at a given window size.
 ///
@@ -165,7 +213,17 @@ pub fn num_windows<F: PrimeField>(window_bits: u32, signed: bool) -> u32 {
     bits.div_ceil(window_bits)
 }
 
-/// Pippenger MSM with an explicit configuration.
+/// Input chunks per window. A chunk costs one bucket-wise merge
+/// (`2^s` PADDs), so chunks are only opened once the per-window
+/// accumulation work dwarfs that; the cap bounds partial-bucket memory.
+/// Purely a function of problem shape — never thread count — so results
+/// stay bit-identical across pool widths.
+fn chunk_grid(n: usize, buckets_per_window: u64) -> usize {
+    let merge_cost = 8 * buckets_per_window as usize;
+    (n / merge_cost.max(1)).clamp(1, 8)
+}
+
+/// Pippenger MSM with an explicit configuration (serial schedule).
 ///
 /// # Panics
 ///
@@ -175,21 +233,43 @@ pub fn msm_with_config<Cu: SwCurve>(
     scalars: &[Cu::Scalar],
     config: &MsmConfig,
 ) -> MsmOutput<Cu> {
+    msm_parallel_with_config(points, scalars, config, &ThreadPool::with_threads(1))
+}
+
+/// Pippenger MSM on an explicit thread pool.
+///
+/// The resulting point and statistics are bit-identical to
+/// [`msm_with_config`] regardless of the pool's thread count.
+///
+/// # Panics
+///
+/// Panics if `points` and `scalars` differ in length.
+pub fn msm_parallel_with_config<Cu: SwCurve>(
+    points: &[Affine<Cu>],
+    scalars: &[Cu::Scalar],
+    config: &MsmConfig,
+    pool: &ThreadPool,
+) -> MsmOutput<Cu> {
     assert_eq!(
         points.len(),
         scalars.len(),
         "points and scalars must pair up"
     );
     match config.bucket_repr {
-        BucketRepr::Jacobian => msm_impl::<Cu, JacAcc<Cu>>(points, scalars, config, PhantomData),
-        BucketRepr::Xyzz => msm_impl::<Cu, XyzzAcc<Cu>>(points, scalars, config, PhantomData),
+        BucketRepr::Jacobian => {
+            msm_engine::<Cu, JacAcc<Cu>>(points, scalars, config, pool, PhantomData)
+        }
+        BucketRepr::Xyzz => {
+            msm_engine::<Cu, XyzzAcc<Cu>>(points, scalars, config, pool, PhantomData)
+        }
     }
 }
 
-fn msm_impl<Cu: SwCurve, Acc: Accumulator<Cu>>(
+fn msm_engine<Cu: SwCurve, Acc: Accumulator<Cu>>(
     points: &[Affine<Cu>],
     scalars: &[Cu::Scalar],
     config: &MsmConfig,
+    pool: &ThreadPool,
     _acc: PhantomData<Acc>,
 ) -> MsmOutput<Cu> {
     let n = points.len();
@@ -199,9 +279,7 @@ fn msm_impl<Cu: SwCurve, Acc: Accumulator<Cu>>(
             stats: MsmStats::default(),
         };
     }
-    let s = config
-        .window_bits
-        .unwrap_or_else(|| default_window_bits(n));
+    let s = config.window_bits.unwrap_or_else(|| default_window_bits(n));
     let w = num_windows::<Cu::Scalar>(s, config.signed_digits);
     let buckets_per_window = if config.signed_digits {
         1u64 << (s - 1)
@@ -209,55 +287,78 @@ fn msm_impl<Cu: SwCurve, Acc: Accumulator<Cu>>(
         (1u64 << s) - 1
     };
 
-    let mut stats = MsmStats {
-        windows: w,
-        buckets_per_window,
-        ..MsmStats::default()
-    };
+    // Flat compact signed-digit matrix: row i holds scalar i's w digits.
+    let digits = decompose_matrix(pool, scalars, s, w, config.signed_digits);
 
-    // Decompose all scalars once.
-    let digits: Vec<Vec<Digit>> = scalars
-        .iter()
-        .map(|k| decompose(k, s, w, config.signed_digits))
-        .collect();
-
-    // Per-window bucket accumulation + sum-of-sums reduction.
-    let mut window_sums: Vec<Jacobian<Cu>> = Vec::with_capacity(w as usize);
-    for win in 0..w as usize {
-        let mut buckets: Vec<Acc> = vec![Acc::identity(); buckets_per_window as usize];
-        for (p, d) in points.iter().zip(&digits) {
-            let digit = d[win];
-            if let Some(b) = digit.bucket {
-                if digit.negate {
-                    buckets[b].add_affine(&p.neg());
-                } else {
-                    buckets[b].add_affine(p);
-                }
-                stats.accumulation_padds += 1;
+    // Bucket accumulation over the windows × chunks task grid. Each task
+    // returns its partial buckets plus the non-zero digits it consumed
+    // (the canonical accumulation-PADD count, summed deterministically).
+    let chunks = chunk_grid(n, buckets_per_window);
+    let chunk_len = n.div_ceil(chunks);
+    let wu = w as usize;
+    let partials: Vec<(Vec<Acc>, u64)> = pool.map(wu * chunks, 1, |t| {
+        let win = t / chunks;
+        let lo = (t % chunks) * chunk_len;
+        let hi = (lo + chunk_len).min(n);
+        let mut buckets = vec![Acc::identity(); buckets_per_window as usize];
+        let mut nonzero = 0u64;
+        for i in lo..hi {
+            let d = digits[i * wu + win];
+            if d > 0 {
+                buckets[d as usize - 1].add_affine(&points[i]);
+                nonzero += 1;
+            } else if d < 0 {
+                buckets[(-d) as usize - 1].add_affine(&points[i].neg());
+                nonzero += 1;
             }
         }
-        // Sum-of-Sums: Σ (i+1)·B_i via running suffix sums.
-        let mut running = Acc::identity();
-        let mut sum = Acc::identity();
-        for b in buckets.iter().rev() {
-            running.add_acc(b);
-            sum.add_acc(&running);
-            stats.reduction_padds += 2;
+        (buckets, nonzero)
+    });
+    let accumulation_padds = partials.iter().map(|(_, c)| c).sum();
+
+    // Per-window: merge chunk partials bucket-wise (in chunk order), then
+    // Sum-of-Sums Σ (i+1)·B_i via running suffix sums.
+    let window_sums: Vec<Jacobian<Cu>> = pool.map(wu, 1, |win| {
+        let parts = &partials[win * chunks..(win + 1) * chunks];
+        let sum_of_sums = |buckets: &[Acc]| {
+            let mut running = Acc::identity();
+            let mut sum = Acc::identity();
+            for b in buckets.iter().rev() {
+                running.add_acc(b);
+                sum.add_acc(&running);
+            }
+            sum.into_jacobian()
+        };
+        if chunks == 1 {
+            sum_of_sums(&parts[0].0)
+        } else {
+            let mut merged = parts[0].0.clone();
+            for (part, _) in &parts[1..] {
+                for (m, p) in merged.iter_mut().zip(part) {
+                    m.add_acc(p);
+                }
+            }
+            sum_of_sums(&merged)
         }
-        window_sums.push(sum.into_jacobian());
-    }
+    });
 
     // Window reduction (serial; Fig. 4a bottom): Horner over 2^s.
     let mut acc = Jacobian::identity();
     for ws in window_sums.iter().rev() {
         for _ in 0..s {
             acc = acc.double();
-            stats.window_pdbls += 1;
         }
         acc = acc.add(ws);
-        stats.window_padds += 1;
     }
 
+    let stats = MsmStats {
+        accumulation_padds,
+        reduction_padds: 2 * buckets_per_window * u64::from(w),
+        window_padds: u64::from(w),
+        window_pdbls: u64::from(s) * u64::from(w),
+        windows: w,
+        buckets_per_window,
+    };
     MsmOutput { point: acc, stats }
 }
 
@@ -266,36 +367,20 @@ pub fn msm<Cu: SwCurve>(points: &[Affine<Cu>], scalars: &[Cu::Scalar]) -> Jacobi
     msm_with_config(points, scalars, &MsmConfig::default()).point
 }
 
-/// Multi-threaded MSM: splits the input across `threads` chunks, runs
-/// Pippenger on each, and adds the partial results ("the N points and
-/// scalars processed within each window can be split into multiple
-/// sub-tasks", §II-A).
+/// Multi-threaded MSM on a transient pool of `threads` threads ("the N
+/// points and scalars processed within each window can be split into
+/// multiple sub-tasks", §II-A).
+///
+/// Prefer [`msm_parallel_with_config`] with a long-lived pool; this
+/// wrapper exists for call sites that only have a thread count.
 pub fn msm_parallel<Cu: SwCurve>(
     points: &[Affine<Cu>],
     scalars: &[Cu::Scalar],
     config: &MsmConfig,
     threads: usize,
 ) -> Jacobian<Cu> {
-    assert_eq!(points.len(), scalars.len());
-    let threads = threads.max(1).min(points.len().max(1));
-    if threads <= 1 {
-        return msm_with_config(points, scalars, config).point;
-    }
-    let chunk = points.len().div_ceil(threads);
-    let partials = std::thread::scope(|scope| {
-        let handles: Vec<_> = points
-            .chunks(chunk)
-            .zip(scalars.chunks(chunk))
-            .map(|(ps, ks)| scope.spawn(move || msm_with_config(ps, ks, config).point))
-            .collect();
-        handles
-            .into_iter()
-            .map(|h| h.join().expect("MSM worker panicked"))
-            .collect::<Vec<_>>()
-    });
-    partials
-        .into_iter()
-        .fold(Jacobian::identity(), |acc, p| acc.add(&p))
+    let pool = ThreadPool::with_threads(threads.max(1));
+    msm_parallel_with_config(points, scalars, config, &pool).point
 }
 
 /// Reference serial MSM (`Σ kᵢ·Pᵢ` by double-and-add), for cross-checking.

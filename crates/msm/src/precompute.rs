@@ -89,7 +89,7 @@ impl<Cu: SwCurve> PrecomputedPoints<Cu> {
         assert_eq!(scalars.len(), self.n, "scalar count must match the table");
         let c = self.window_bits;
         let big_window = c * self.target_windows; // bits covered per copy
-        // Pseudo-scalar for copy j = bits [j*W*c, (j+1)*W*c) of the scalar.
+                                                  // Pseudo-scalar for copy j = bits [j*W*c, (j+1)*W*c) of the scalar.
         let mut pseudo: Vec<Cu::Scalar> = Vec::with_capacity(self.expanded.len());
         for j in 0..self.copies {
             for k in scalars {

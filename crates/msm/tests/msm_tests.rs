@@ -13,10 +13,7 @@ fn random_inputs<Cu: SwCurve>(n: usize, seed: u64) -> (Vec<Affine<Cu>>, Vec<Cu::
     let mut rng = StdRng::seed_from_u64(seed);
     let g = Jacobian::from(Cu::generator());
     let points = (0..n)
-        .map(|_| {
-            g.mul_scalar(&Cu::Scalar::random(&mut rng))
-                .to_affine()
-        })
+        .map(|_| g.mul_scalar(&Cu::Scalar::random(&mut rng)).to_affine())
         .collect();
     let scalars = (0..n).map(|_| Cu::Scalar::random(&mut rng)).collect();
     (points, scalars)

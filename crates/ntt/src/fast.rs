@@ -107,18 +107,20 @@ pub fn intt_tabled<F: PrimeField>(domain: &Domain<F>, values: &mut [F], table: &
     }
 }
 
-/// Multithreaded in-place NTT: every stage's butterflies are independent,
-/// so each stage fans out across `threads` workers with a barrier between
-/// stages (the CPU shape of the GPU's one-thread-per-butterfly mapping).
+/// Multithreaded in-place NTT on a [`zkp_runtime::ThreadPool`]: every
+/// stage's butterflies are independent, so each stage fans out across the
+/// pool with a barrier between stages (the CPU shape of the GPU's
+/// one-thread-per-butterfly mapping). Butterfly values are exact, so the
+/// output is bit-identical to [`ntt_with_table`] at any thread count.
 ///
 /// # Panics
 ///
 /// Panics if `values.len()` differs from the table's domain size.
-pub fn ntt_parallel<F: PrimeField>(
+pub fn ntt_parallel_on<F: PrimeField>(
     values: &mut [F],
     table: &TwiddleTable<F>,
     invert: bool,
-    threads: usize,
+    pool: &zkp_runtime::ThreadPool,
 ) {
     assert_eq!(
         values.len() as u64,
@@ -126,59 +128,58 @@ pub fn ntt_parallel<F: PrimeField>(
         "input length must match the table's domain"
     );
     let n = values.len();
-    let threads = threads.max(1);
-    if threads == 1 || n < 1 << 10 {
+    if pool.num_threads() == 1 || n < 1 << 10 {
         ntt_with_table(values, table, invert);
         return;
     }
     bit_reverse_permute(values);
     let log_n = n.trailing_zeros();
     let tw = table.factors(invert);
+    // Tasks below ~2^11 butterflies are dominated by scheduling overhead.
+    const MIN_ELEMS: usize = 1 << 12;
     for s in 1..=log_n {
         let m = 1usize << s;
         let stride = n / m;
         let blocks = n / m;
-        if blocks >= threads {
-            // Parallelize across whole blocks.
-            let per = blocks.div_ceil(threads);
-            std::thread::scope(|scope| {
-                for chunk in values.chunks_mut(per * m) {
-                    scope.spawn(move || {
-                        for block in chunk.chunks_mut(m) {
-                            let (lo, hi) = block.split_at_mut(m / 2);
-                            for j in 0..m / 2 {
-                                let t = tw[j * stride] * hi[j];
-                                let u = lo[j];
-                                lo[j] = u + t;
-                                hi[j] = u - t;
-                            }
-                        }
-                    });
+        if blocks >= pool.num_threads() {
+            // Early stages: parallelize across whole blocks.
+            pool.for_each_block_mut(values, m, (MIN_ELEMS / m).max(1), |_, block| {
+                let (lo, hi) = block.split_at_mut(m / 2);
+                for j in 0..m / 2 {
+                    let t = tw[j * stride] * hi[j];
+                    let u = lo[j];
+                    lo[j] = u + t;
+                    hi[j] = u - t;
                 }
             });
         } else {
-            // Few large blocks: parallelize the lanes inside each block.
+            // Late stages, few large blocks: parallelize the lanes inside
+            // each block across aligned half-slices.
             for block in values.chunks_mut(m) {
                 let (lo, hi) = block.split_at_mut(m / 2);
-                let per = (m / 2).div_ceil(threads);
-                std::thread::scope(|scope| {
-                    for (ci, (lo_c, hi_c)) in
-                        lo.chunks_mut(per).zip(hi.chunks_mut(per)).enumerate()
-                    {
-                        scope.spawn(move || {
-                            for (j, (l, h)) in lo_c.iter_mut().zip(hi_c.iter_mut()).enumerate() {
-                                let idx = ci * per + j;
-                                let t = tw[idx * stride] * *h;
-                                let u = *l;
-                                *l = u + t;
-                                *h = u - t;
-                            }
-                        });
+                pool.zip_chunks_mut(lo, hi, MIN_ELEMS / 2, |_, offset, lo_c, hi_c| {
+                    for (j, (l, h)) in lo_c.iter_mut().zip(hi_c.iter_mut()).enumerate() {
+                        let t = tw[(offset + j) * stride] * *h;
+                        let u = *l;
+                        *l = u + t;
+                        *h = u - t;
                     }
                 });
             }
         }
     }
+}
+
+/// [`ntt_parallel_on`] on a transient pool of `threads` threads. Prefer
+/// the pool variant in loops — it reuses workers across transforms.
+pub fn ntt_parallel<F: PrimeField>(
+    values: &mut [F],
+    table: &TwiddleTable<F>,
+    invert: bool,
+    threads: usize,
+) {
+    let pool = zkp_runtime::ThreadPool::with_threads(threads.max(1));
+    ntt_parallel_on(values, table, invert, &pool);
 }
 
 #[cfg(test)]

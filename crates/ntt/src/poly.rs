@@ -2,8 +2,10 @@
 //! quotient computation (Fig. 3: the `h` polynomial pipeline).
 
 use crate::domain::Domain;
-use crate::transform::{coset_intt, coset_ntt, intt, ntt};
+use crate::fast::{ntt_parallel_on, TwiddleTable};
+use crate::transform::{coset_intt, coset_ntt, distribute_powers_parallel, intt, ntt};
 use zkp_ff::{Field, PrimeField};
+use zkp_runtime::ThreadPool;
 
 /// A dense polynomial in coefficient form (index = degree).
 #[derive(Debug, Clone, PartialEq, Eq, Default)]
@@ -120,6 +122,69 @@ pub fn quotient_poly<F: PrimeField>(
     (a, 7)
 }
 
+/// [`quotient_poly`] on a thread pool with precomputed twiddles: the same
+/// 7-transform pipeline, with every transform stage-parallel, the coset
+/// scalings chunk-parallel, and the element-wise quotient chunk-parallel.
+/// Output is bit-identical to the serial version at any thread count.
+///
+/// # Panics
+///
+/// Panics if the slices or the table differ in length from the domain size.
+pub fn quotient_poly_on<F: PrimeField>(
+    domain: &Domain<F>,
+    table: &TwiddleTable<F>,
+    a_evals: &[F],
+    b_evals: &[F],
+    c_evals: &[F],
+    pool: &ThreadPool,
+) -> (Vec<F>, u32) {
+    let n = domain.size() as usize;
+    assert!(
+        a_evals.len() == n && b_evals.len() == n && c_evals.len() == n,
+        "evaluation vectors must match the domain size"
+    );
+    let n_inv = domain.size_inv();
+    // (1–3) INTT + (4–6) coset NTT per input vector. The three vectors are
+    // independent, so their pipelines run concurrently; each transform
+    // also fans out internally (the pool supports nesting).
+    let intt_then_coset = |evals: &[F]| {
+        let mut v = evals.to_vec();
+        ntt_parallel_on(&mut v, table, true, pool);
+        // Fold the INTT's n⁻¹ into the coset scaling: gᵢ·n⁻¹ per element.
+        distribute_powers_parallel(pool, &mut v, domain.coset_gen());
+        pool.for_each_chunk_mut(&mut v, 4096, |_, _, chunk| {
+            for x in chunk.iter_mut() {
+                *x *= n_inv;
+            }
+        });
+        ntt_parallel_on(&mut v, table, false, pool);
+        v
+    };
+    let (mut a, (b, c)) = pool.join(
+        || intt_then_coset(a_evals),
+        || pool.join(|| intt_then_coset(b_evals), || intt_then_coset(c_evals)),
+    );
+    // Element-wise (a·b - c) / Z — Z is the constant gⁿ - 1 on the coset.
+    let z_inv = domain
+        .vanishing_on_coset()
+        .inverse()
+        .expect("coset avoids the domain");
+    pool.for_each_chunk_mut(&mut a, 4096, |_, offset, chunk| {
+        for (j, x) in chunk.iter_mut().enumerate() {
+            *x = (*x * b[offset + j] - c[offset + j]) * z_inv;
+        }
+    });
+    // (7) coset INTT: back to coefficients of h.
+    ntt_parallel_on(&mut a, table, true, pool);
+    distribute_powers_parallel(pool, &mut a, domain.coset_gen_inv());
+    pool.for_each_chunk_mut(&mut a, 4096, |_, _, chunk| {
+        for x in chunk.iter_mut() {
+            *x *= n_inv;
+        }
+    });
+    (a, 7)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -168,11 +233,7 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(4);
         let a_evals: Vec<Fr381> = (0..16).map(|_| Fr381::random(&mut rng)).collect();
         let b_evals: Vec<Fr381> = (0..16).map(|_| Fr381::random(&mut rng)).collect();
-        let c_evals: Vec<Fr381> = a_evals
-            .iter()
-            .zip(&b_evals)
-            .map(|(x, y)| *x * *y)
-            .collect();
+        let c_evals: Vec<Fr381> = a_evals.iter().zip(&b_evals).map(|(x, y)| *x * *y).collect();
         let (h, transforms) = quotient_poly(&d, &a_evals, &b_evals, &c_evals);
         assert_eq!(transforms, 7);
 

@@ -164,6 +164,25 @@ pub fn distribute_powers<F: Field>(values: &mut [F], g: F) {
     }
 }
 
+/// [`distribute_powers`] on a thread pool: each chunk seeds its own running
+/// power with `g^offset` and scans locally. Field multiplication is exact,
+/// so the result is bit-identical to the serial scan at any thread count.
+pub fn distribute_powers_parallel<F: Field>(
+    pool: &zkp_runtime::ThreadPool,
+    values: &mut [F],
+    g: F,
+) {
+    // One `pow` per chunk; only worth fanning out on sizable scans.
+    const MIN_CHUNK: usize = 4096;
+    pool.for_each_chunk_mut(values, MIN_CHUNK, |_, offset, chunk| {
+        let mut acc = g.pow(&[offset as u64]);
+        for v in chunk.iter_mut() {
+            *v *= acc;
+            acc *= g;
+        }
+    });
+}
+
 /// Reference quadratic-time DFT, for cross-checking the fast transforms.
 pub fn slow_dft<F: PrimeField>(domain: &Domain<F>, values: &[F]) -> Vec<F> {
     let n = values.len() as u64;

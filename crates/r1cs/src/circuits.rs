@@ -63,11 +63,7 @@ pub fn mimc<F: PrimeField>(x: F, rounds: usize) -> ConstraintSystem<F> {
         let t_lc = LinearCombination::from_var(cur).add_term(Variable::One, *c);
         let sq_val = t_val.square();
         let sq = cs.alloc_private(sq_val);
-        cs.enforce(
-            t_lc.clone(),
-            t_lc.clone(),
-            LinearCombination::from_var(sq),
-        );
+        cs.enforce(t_lc.clone(), t_lc.clone(), LinearCombination::from_var(sq));
         let next_val = sq_val * t_val;
         if i + 1 == rounds {
             cs.enforce(

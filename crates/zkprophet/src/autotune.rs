@@ -90,7 +90,11 @@ pub fn render(rec: &Recommendation) -> String {
     t.row(vec!["NTT library".into(), rec.ntt_library.name().into()]);
     t.row(vec![
         "Precompute windows (c=23)".into(),
-        format!("{} ({} GiB table)", rec.precompute_windows, f(rec.precompute_gib)),
+        format!(
+            "{} ({} GiB table)",
+            rec.precompute_windows,
+            f(rec.precompute_gib)
+        ),
     ]);
     t.row(vec![
         "MSM launch".into(),

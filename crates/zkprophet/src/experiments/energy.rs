@@ -63,8 +63,7 @@ pub fn table3(device: &DeviceSpec) -> Vec<Table3Row> {
             let e_cpu_msm = cpu_energy_joules(&cpu, cpu_msm_seconds(lg), 1);
             let (_, msm) = best_msm(device, lg);
             let wall = msm.seconds() + GPU_MSM_TAIL_S;
-            let e_gpu_msm =
-                gpu_energy_joules(device, wall, 0.0, 0.5) + 90.0 * wall;
+            let e_gpu_msm = gpu_energy_joules(device, wall, 0.0, 0.5) + 90.0 * wall;
 
             Table3Row {
                 log_scale: lg,
@@ -113,10 +112,7 @@ mod tests {
                 r.ntt_ratio
             );
         }
-        let spread = rows
-            .iter()
-            .map(|r| r.ntt_ratio)
-            .fold(f64::MIN, f64::max)
+        let spread = rows.iter().map(|r| r.ntt_ratio).fold(f64::MIN, f64::max)
             / rows.iter().map(|r| r.ntt_ratio).fold(f64::MAX, f64::min);
         assert!(spread < 6.0, "NTT ratios should stay in one band: {spread}");
     }
@@ -127,7 +123,10 @@ mod tests {
         let first = rows.first().expect("rows").msm_ratio;
         let last = rows.last().expect("rows").msm_ratio;
         assert!(last > 30.0 * first, "{first} -> {last}");
-        assert!(last > 150.0, "MSM at 2^26 should be in the hundreds: {last}");
+        assert!(
+            last > 150.0,
+            "MSM at 2^26 should be in the hundreds: {last}"
+        );
         // Monotone growth like the paper's column.
         for w in rows.windows(2) {
             assert!(w[1].msm_ratio > w[0].msm_ratio);

@@ -120,7 +120,17 @@ pub fn render_table5(rows: &[Table5Row]) -> String {
     let mut t = Table::new(
         "Table V: FF-op counts for PADD/PDBL per coordinate representation \
          (measured on the production formulas; paper counts in parentheses)",
-        &["Op", "add", "sub", "dbl", "mul", "sqr", "inv", "total", "mul+sqr %"],
+        &[
+            "Op",
+            "add",
+            "sub",
+            "dbl",
+            "mul",
+            "sqr",
+            "inv",
+            "total",
+            "mul+sqr %",
+        ],
     );
     for r in rows {
         let p = PAPER_TABLE5
@@ -213,9 +223,7 @@ pub fn fig8() -> Vec<Fig8Row> {
 
     // MSM: 192 points on the counted curve, XYZZ buckets like sppark.
     let points: Vec<Affine<CountedG1>> = (0..192).map(|i| counted_point(100 + i)).collect();
-    let scalars: Vec<Fr381> = (0..192)
-        .map(|_| zkp_ff::Field::random(&mut rng))
-        .collect();
+    let scalars: Vec<Fr381> = (0..192).map(|_| zkp_ff::Field::random(&mut rng)).collect();
     let config = MsmConfig {
         window_bits: Some(8),
         bucket_repr: BucketRepr::Xyzz,
@@ -324,7 +332,12 @@ pub fn render_table4(rows: &[Table4Row]) -> String {
     let mut t = Table::new(
         "Table IV: FF-op latencies (CPU measured live on this host; GPU simulated)",
         &[
-            "Op", "CPU ns", "CPU cyc@2.25GHz", "paper CPU", "GPU cyc", "paper GPU",
+            "Op",
+            "CPU ns",
+            "CPU cyc@2.25GHz",
+            "paper CPU",
+            "GPU cyc",
+            "paper GPU",
         ],
     );
     for r in rows {
@@ -359,13 +372,22 @@ mod tests {
         };
         // XYZZ PADD: exact EFD madd-2008-s counts.
         let c = get("XYZZ PADD");
-        assert_eq!((c.add, c.sub, c.dbl, c.mul, c.sqr, c.inv), (0, 6, 1, 8, 2, 0));
+        assert_eq!(
+            (c.add, c.sub, c.dbl, c.mul, c.sqr, c.inv),
+            (0, 6, 1, 8, 2, 0)
+        );
         // XYZZ PDBL: exact.
         let c = get("XYZZ PDBL");
-        assert_eq!((c.add, c.sub, c.dbl, c.mul, c.sqr, c.inv), (1, 3, 3, 6, 3, 0));
+        assert_eq!(
+            (c.add, c.sub, c.dbl, c.mul, c.sqr, c.inv),
+            (1, 3, 3, 6, 3, 0)
+        );
         // Jacobian PADD: exact madd-2007-bl counts.
         let c = get("Jacobian PADD");
-        assert_eq!((c.add, c.sub, c.dbl, c.mul, c.sqr, c.inv), (1, 8, 5, 7, 4, 0));
+        assert_eq!(
+            (c.add, c.sub, c.dbl, c.mul, c.sqr, c.inv),
+            (1, 8, 5, 7, 4, 0)
+        );
         // Affine PADD: 6 sub, 3 mul (λ·λ counted as mul), 1 inv.
         let c = get("Affine PADD");
         assert_eq!((c.sub, c.mul, c.inv), (6, 3, 1));
@@ -380,7 +402,13 @@ mod tests {
                 .expect("paper row");
             let paper_total = p.1 + p.2 + p.3 + p.4 + p.5 + p.6;
             let diff = r.counts.total().abs_diff(paper_total);
-            assert!(diff <= 1, "{}: {} vs {}", r.name, r.counts.total(), paper_total);
+            assert!(
+                diff <= 1,
+                "{}: {} vs {}",
+                r.name,
+                r.counts.total(),
+                paper_total
+            );
         }
     }
 
@@ -401,11 +429,7 @@ mod tests {
     #[test]
     fn table4_orderings_match_paper() {
         let rows = table4();
-        let get = |op: FfOp| {
-            rows.iter()
-                .find(|r| r.op == op)
-                .expect("op present")
-        };
+        let get = |op: FfOp| rows.iter().find(|r| r.op == op).expect("op present");
         // GPU: mul/sqr ~10-20x add; dbl cheaper than add.
         let add = get(FfOp::Add).gpu_cycles;
         let mul = get(FfOp::Mul).gpu_cycles;

@@ -79,7 +79,14 @@ pub fn render_table2(rows: &[Table2Row]) -> String {
     let mut t = Table::new(
         "Table II: speedup over CPU for the fastest MSM and NTT implementations",
         &[
-            "Scale", "MSM x", "lib", "paper x", "paper lib", "NTT x", "lib", "paper x",
+            "Scale",
+            "MSM x",
+            "lib",
+            "paper x",
+            "paper lib",
+            "NTT x",
+            "lib",
+            "paper x",
             "paper lib",
         ],
     );
@@ -281,8 +288,16 @@ pub fn render_fig7(r: &Fig7Result) -> String {
          (paper: MSM hides transfers, NTT does not)",
         &["Kernel", "Compute %", "Transfer %"],
     );
-    t.row(vec!["MSM".into(), f(r.msm_compute_pct), f(r.msm_transfer_pct)]);
-    t.row(vec!["NTT".into(), f(r.ntt_compute_pct), f(r.ntt_transfer_pct)]);
+    t.row(vec![
+        "MSM".into(),
+        f(r.msm_compute_pct),
+        f(r.msm_transfer_pct),
+    ]);
+    t.row(vec![
+        "NTT".into(),
+        f(r.ntt_compute_pct),
+        f(r.ntt_transfer_pct),
+    ]);
     t.render()
 }
 

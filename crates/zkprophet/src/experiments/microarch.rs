@@ -103,7 +103,15 @@ pub fn render_fig10(rows: &[Fig10Row]) -> String {
     let mut t = Table::new(
         "Fig 10: FF_mul warp-stall latency vs warps/SMSP \
          (paper: Wait ~4 constant; MathPipeThrottle & NotSelected grow with warps)",
-        &["Warps", "Wait", "Selected", "PipeThrottle", "NotSelected", "Other", "Total"],
+        &[
+            "Warps",
+            "Wait",
+            "Selected",
+            "PipeThrottle",
+            "NotSelected",
+            "Other",
+            "Total",
+        ],
     );
     for r in rows {
         let get = |k: &str| {
@@ -193,13 +201,9 @@ pub fn table6(device: &DeviceSpec) -> Vec<Table6Row> {
 pub fn render_table6(rows: &[Table6Row]) -> String {
     let mut t = Table::new(
         "Table VI: GPU microarchitecture metrics for FF ops",
-        &[
-            "Metric", "FF_add", "FF_sub", "FF_dbl", "FF_mul", "FF_sqr",
-        ],
+        &["Metric", "FF_add", "FF_sub", "FF_dbl", "FF_mul", "FF_sqr"],
     );
-    let cell = |g: &dyn Fn(&Table6Row) -> String| -> Vec<String> {
-        rows.iter().map(|r| g(r)).collect()
-    };
+    let cell = |g: &dyn Fn(&Table6Row) -> String| -> Vec<String> { rows.iter().map(g).collect() };
     let mut row = vec!["Branch eff (%)".to_owned()];
     row.extend(cell(&|r| f(r.branch_efficiency)));
     t.row(row);
@@ -293,7 +297,11 @@ mod tests {
     fn register_pressure_bands() {
         let r = register_pressure(&a40());
         // Same bands as §IV-C4: MSM kernels an order denser than NTT.
-        assert!((150..=250).contains(&r.msm_madd_regs), "{}", r.msm_madd_regs);
+        assert!(
+            (150..=250).contains(&r.msm_madd_regs),
+            "{}",
+            r.msm_madd_regs
+        );
         assert!((40..=70).contains(&r.ntt_butterfly_regs));
         // And the occupancy consequence: the MSM kernel fits far fewer
         // warps per SM.
@@ -342,9 +350,7 @@ mod tests {
         }
         // Throttle and NotSelected grow with warps.
         for pair in rows.windows(2) {
-            assert!(
-                get(&pair[1], "MathPipeThrottle") >= get(&pair[0], "MathPipeThrottle") - 1e-9
-            );
+            assert!(get(&pair[1], "MathPipeThrottle") >= get(&pair[0], "MathPipeThrottle") - 1e-9);
             assert!(get(&pair[1], "NotSelected") >= get(&pair[0], "NotSelected") - 1e-9);
         }
         // Selected is exactly the 1-cycle issue.
@@ -361,9 +367,7 @@ mod tests {
     #[test]
     fn table6_trends() {
         let rows = table6(&a40());
-        let get = |op: FfOp| {
-            rows.iter().find(|r| r.op == op).expect("op present")
-        };
+        let get = |op: FfOp| rows.iter().find(|r| r.op == op).expect("op present");
         // Every op is INT32-pipe bound (paper: "Pipeline Bottleneck:
         // Integer" across the board).
         for r in &rows {

@@ -65,7 +65,14 @@ pub fn render_fig11(rows: &[Fig11Row]) -> String {
         "Fig 11: FF_mul across GPU generations \
          (paper: runtime inversely proportional to SM count; stall latency ~6.26 and \
           ~2660 cycles/op constant)",
-        &["Device", "CC", "SMs", "runtime (ms)", "stall/issue", "cyc/FF_mul"],
+        &[
+            "Device",
+            "CC",
+            "SMs",
+            "runtime (ms)",
+            "stall/issue",
+            "cyc/FF_mul",
+        ],
     );
     for r in rows {
         t.row(vec![
@@ -139,7 +146,11 @@ pub fn render_fig12(rows: &[Fig12Row]) -> String {
             r.windows.to_string(),
             f(r.ff_muls_m),
             f(r.storage_gib),
-            if fits.is_empty() { "(none)".into() } else { fits },
+            if fits.is_empty() {
+                "(none)".into()
+            } else {
+                fits
+            },
         ]);
     }
     t.render()
@@ -175,8 +186,8 @@ pub fn montgomery_trick() -> MontgomeryTrickResult {
     let jacobian = 7 + 4;
     let affine = 3; // paper counts the PADD's own multiplies
     let batch = 3; // Montgomery trick: 3N FF_mul for N inversions
-    // A 2^20 batch stores partial products and inverses: 3 field elements
-    // of 48 B... the paper reports ~300 MB of intermediate data.
+                   // A 2^20 batch stores partial products and inverses: 3 field elements
+                   // of 48 B... the paper reports ~300 MB of intermediate data.
     let batch_elems = 1u64 << 20;
     let intermediate = batch_elems * 3 * 96;
     MontgomeryTrickResult {

@@ -81,7 +81,10 @@ fn main() {
     let t = Instant::now();
     let par = msm_parallel(&points, &scalars, &MsmConfig::default(), threads);
     assert_eq!(par, reference.point);
-    println!("parallel x{threads:<2}                       {:>10.1?}", t.elapsed());
+    println!(
+        "parallel x{threads:<2}                       {:>10.1?}",
+        t.elapsed()
+    );
 
     // Precomputed windows (Fig. 12's trade-off, on the CPU).
     for target_windows in [4u32, 1] {

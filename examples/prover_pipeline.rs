@@ -19,11 +19,26 @@ fn main() {
         return;
     }
     println!("target: {}\n", device.name);
-    println!("{}", kernel_layer::render_table2(&kernel_layer::table2(&device)));
-    println!("{}", kernel_layer::render_fig1(&kernel_layer::fig1(&device)));
-    println!("{}", kernel_layer::render_fig5(&kernel_layer::fig5(&device)));
-    println!("{}", kernel_layer::render_fig6(&kernel_layer::fig6(&device)));
-    println!("{}", kernel_layer::render_fig7(&kernel_layer::fig7(&device)));
+    println!(
+        "{}",
+        kernel_layer::render_table2(&kernel_layer::table2(&device))
+    );
+    println!(
+        "{}",
+        kernel_layer::render_fig1(&kernel_layer::fig1(&device))
+    );
+    println!(
+        "{}",
+        kernel_layer::render_fig5(&kernel_layer::fig5(&device))
+    );
+    println!(
+        "{}",
+        kernel_layer::render_fig6(&kernel_layer::fig6(&device))
+    );
+    println!(
+        "{}",
+        kernel_layer::render_fig7(&kernel_layer::fig7(&device))
+    );
     println!("{}", energy::render_table3(&energy::table3(&device)));
     println!("{}", scaling::render_fig11(&scaling::fig11()));
     println!("{}", scaling::render_fig12(&scaling::fig12()));

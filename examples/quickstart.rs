@@ -43,7 +43,11 @@ fn main() {
 
     let t = Instant::now();
     let ok = verify(&pk.vk, &proof, &cs.assignment.public);
-    println!("verify: {:?} -> {}", t.elapsed(), if ok { "ACCEPT" } else { "REJECT" });
+    println!(
+        "verify: {:?} -> {}",
+        t.elapsed(),
+        if ok { "ACCEPT" } else { "REJECT" }
+    );
     assert!(ok, "honest proof must verify");
 
     // And the soundness side: a wrong public input is rejected.

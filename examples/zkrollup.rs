@@ -111,8 +111,7 @@ fn main() {
         let new_from = *from_bal - amt; // u64 arithmetic panics on overdraft
         let new_from_var = cs.alloc_private(Fr381::from_u64(new_from));
         cs.enforce(
-            LinearCombination::from_var(new_from_var)
-                .add_term(amt_var, Fr381::one()),
+            LinearCombination::from_var(new_from_var).add_term(amt_var, Fr381::one()),
             LinearCombination::from_var(Variable::One),
             LinearCombination::from_var(*from),
         );
@@ -163,7 +162,11 @@ fn main() {
     );
     let t = Instant::now();
     let ok = verify(&pk.vk, &proof, &cs.assignment.public);
-    println!("verify: {:?} -> {}", t.elapsed(), if ok { "ACCEPT" } else { "REJECT" });
+    println!(
+        "verify: {:?} -> {}",
+        t.elapsed(),
+        if ok { "ACCEPT" } else { "REJECT" }
+    );
     assert!(ok);
     println!(
         "proof wire size: {} bytes (paper SII: \"less than 200 bytes\")",

@@ -41,10 +41,7 @@ fn msm_variants_agree_inside_prover_sized_workload() {
         MsmConfig::sppark_style(),
         MsmConfig::ymc_style(),
     ] {
-        assert_eq!(
-            msm_with_config(&points, &scalars, &config).point,
-            reference
-        );
+        assert_eq!(msm_with_config(&points, &scalars, &config).point, reference);
     }
     let table = PrecomputedPoints::build(&points, 9, 2);
     assert_eq!(table.msm(&scalars).point, reference);
@@ -84,8 +81,7 @@ fn gpu_kernels_compose_a_butterfly_correctly() {
 
     // GPU: t = w*b (Mul with b fed as the multiplicand against broadcast w).
     let inputs = FfInputs {
-        a: b
-            .iter()
+        a: b.iter()
             .map(|x| gpu_kernels::split_limbs(x.montgomery_repr().limbs()))
             .collect(),
         b: (0..64)
@@ -96,8 +92,7 @@ fn gpu_kernels_compose_a_butterfly_correctly() {
 
     // GPU: lo = a + t, hi = a - t, built from the GPU's own Mul output.
     let add_inputs = FfInputs {
-        a: a
-            .iter()
+        a: a.iter()
             .map(|x| gpu_kernels::split_limbs(x.montgomery_repr().limbs()))
             .collect(),
         b: t_gpu.outputs.clone(),
