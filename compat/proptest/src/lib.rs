@@ -184,7 +184,7 @@ pub mod prop {
         use crate::{Strategy, TestRng};
         use core::ops::Range;
 
-        /// Length specification for [`vec`].
+        /// Length specification for [`vec()`](fn@vec).
         #[derive(Debug, Clone)]
         pub struct SizeRange {
             lo: usize,
@@ -214,7 +214,7 @@ pub mod prop {
             }
         }
 
-        /// The [`vec`] strategy.
+        /// The [`vec()`](fn@vec) strategy.
         #[derive(Debug, Clone)]
         pub struct VecStrategy<S> {
             elem: S,

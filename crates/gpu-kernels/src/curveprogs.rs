@@ -154,17 +154,24 @@ fn ff_mul(b: &mut ProgramBuilder, f: &Field32, banks: &Banks, out: u16, x: u16, 
     }
     for i in 0..n {
         let a_i = r(x + i);
+        // Final row: the t[n]/t[n+1] overflow words are never read again
+        // (spare-bit moduli), so their bookkeeping would be dead writes.
+        let last = i == n - 1;
         b.imad(t, a_i, r(y), r(t), false, true, false);
         for j in 1..n {
             b.imad(t + j, a_i, r(y + j), r(t + j), false, true, true);
         }
         b.iadd3(t_n, r(t_n), imm(0), imm(0), true, true);
-        b.iadd3(t_n1, r(t_n1), imm(0), imm(0), false, true);
+        if !last {
+            b.iadd3(t_n1, r(t_n1), imm(0), imm(0), false, true);
+        }
         b.imad(t + 1, a_i, r(y), r(t + 1), true, true, false);
         for j in 1..n {
             b.imad(t + j + 1, a_i, r(y + j), r(t + j + 1), true, true, true);
         }
-        b.iadd3(t_n1, r(t_n1), imm(0), imm(0), false, true);
+        if !last {
+            b.iadd3(t_n1, r(t_n1), imm(0), imm(0), false, true);
+        }
 
         b.imad(banks.m, r(t), imm(f.inv32), imm(0), false, false, false);
         b.imad(
@@ -188,8 +195,14 @@ fn ff_mul(b: &mut ProgramBuilder, f: &Field32, banks: &Banks, out: u16, x: u16, 
             );
         }
         b.iadd3(t_n - 1, r(t_n), imm(0), imm(0), true, true);
-        b.iadd3(t_n, r(t_n1), imm(0), imm(0), false, true);
-        b.mov(t_n1, imm(0));
+        if !last {
+            b.iadd3(t_n, r(t_n1), imm(0), imm(0), false, true);
+            // Re-zero t[n+1] for the next row — unless the next row is the
+            // last, which never accumulates into it.
+            if i + 2 < n {
+                b.mov(t_n1, imm(0));
+            }
+        }
         b.imad(t, r(banks.m), imm(f.modulus[0]), r(t), true, true, false);
         for j in 1..n {
             b.imad(
@@ -202,7 +215,9 @@ fn ff_mul(b: &mut ProgramBuilder, f: &Field32, banks: &Banks, out: u16, x: u16, 
                 true,
             );
         }
-        b.iadd3(t_n, r(t_n), imm(0), imm(0), false, true);
+        if !last {
+            b.iadd3(t_n, r(t_n), imm(0), imm(0), false, true);
+        }
     }
     reduce(b, f, banks, t);
     for j in 0..n {
@@ -219,6 +234,14 @@ pub struct XyzzMaddLayout {
     pub addr_point: u16,
     /// Registers the kernel touches (the §IV-C4 pressure number).
     pub registers_used: u16,
+}
+
+impl XyzzMaddLayout {
+    /// The registers the launch environment initializes (pointer
+    /// parameters) — the `inputs` for `gpu_sim::analysis::lint`.
+    pub fn entry_regs(&self) -> Vec<u16> {
+        vec![self.addr_bucket, self.addr_point]
+    }
 }
 
 /// Emits the XYZZ ← XYZZ + Affine kernel (EFD `madd-2008-s`, Table V row
@@ -306,6 +329,14 @@ pub struct ButterflyLayout {
     pub addr_w: u16,
     /// Registers the kernel touches.
     pub registers_used: u16,
+}
+
+impl ButterflyLayout {
+    /// The registers the launch environment initializes (pointer
+    /// parameters) — the `inputs` for `gpu_sim::analysis::lint`.
+    pub fn entry_regs(&self) -> Vec<u16> {
+        vec![self.addr_a, self.addr_b, self.addr_w]
+    }
 }
 
 /// Emits the radix-2 NTT butterfly kernel (Fig. 4b): `t = ω·b;

@@ -1,0 +1,161 @@
+//! Static-analysis gate: every kernel the generators emit — all five
+//! `FfOp`s over all four fields, plus both curve kernels — must pass the
+//! `gpu_sim::analysis` lint suite with zero diagnostics, and deliberately
+//! broken programs must be rejected with diagnostics naming the pc and
+//! register. This is the micro-ISA's substitute for a compiler front end.
+
+use gpu_kernels::curveprogs::{butterfly_program, xyzz_madd_program};
+use gpu_kernels::ffprogs::{ff_program, ff_program_inputs, FfOp};
+use gpu_kernels::field32::Field32;
+use gpu_sim::analysis::{self, LintKind};
+use gpu_sim::isa::{CmpOp, ProgramBuilder, Src};
+use zkp_ff::{Fq377Config, Fq381Config, Fr377Config, Fr381Config};
+
+fn fields() -> Vec<(&'static str, Field32)> {
+    vec![
+        ("Fr381", Field32::of::<Fr381Config, 4>()),
+        ("Fq381", Field32::of::<Fq381Config, 6>()),
+        ("Fr377", Field32::of::<Fr377Config, 4>()),
+        ("Fq377", Field32::of::<Fq377Config, 6>()),
+    ]
+}
+
+#[test]
+fn every_ff_program_is_lint_clean() {
+    for (name, f) in fields() {
+        for op in FfOp::all() {
+            for iters in [1u32, 4] {
+                let p = ff_program(&f, op, iters);
+                let diags = analysis::lint(&p, &ff_program_inputs(op));
+                assert!(
+                    diags.is_empty(),
+                    "{name}/{op:?} iters={iters}:\n{}",
+                    diags
+                        .iter()
+                        .map(|d| d.to_string())
+                        .collect::<Vec<_>>()
+                        .join("\n")
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn curve_programs_are_lint_clean() {
+    for (name, f) in fields() {
+        let (p, layout) = xyzz_madd_program(&f);
+        let diags = analysis::lint(&p, &layout.entry_regs());
+        assert!(
+            diags.is_empty(),
+            "{name}/xyzz_madd:\n{}",
+            diags
+                .iter()
+                .map(|d| d.to_string())
+                .collect::<Vec<_>>()
+                .join("\n")
+        );
+        let (p, layout) = butterfly_program(&f);
+        let diags = analysis::lint(&p, &layout.entry_regs());
+        assert!(
+            diags.is_empty(),
+            "{name}/butterfly:\n{}",
+            diags
+                .iter()
+                .map(|d| d.to_string())
+                .collect::<Vec<_>>()
+                .join("\n")
+        );
+    }
+}
+
+#[test]
+fn declared_inputs_match_inferred_entry_liveness() {
+    // The analyzer's entry-live set must be exactly the declared pointer
+    // parameters — no forgotten input, no over-declared one.
+    for (name, f) in fields() {
+        for op in FfOp::all() {
+            let p = ff_program(&f, op, 2);
+            let mut inferred = analysis::entry_live_registers(&p);
+            inferred.sort_unstable();
+            let mut declared = ff_program_inputs(op);
+            declared.sort_unstable();
+            assert_eq!(inferred, declared, "{name}/{op:?}");
+        }
+    }
+}
+
+#[test]
+fn dangling_carry_is_rejected_with_pc() {
+    let mut b = ProgramBuilder::new();
+    b.ldg(0, 8, 0);
+    // use_cc at pc 1; no set_cc anywhere: a broken carry chain.
+    b.iadd3(1, Src::Reg(0), Src::Imm(1), Src::Imm(0), false, true);
+    b.stg(1, 8, 0);
+    b.exit();
+    let diags = analysis::lint(&b.build(), &[8]);
+    assert_eq!(diags.len(), 1);
+    assert_eq!(diags[0].kind, LintKind::DanglingCarry);
+    assert_eq!(diags[0].pc, 1);
+}
+
+#[test]
+fn uninitialized_read_is_rejected_with_register() {
+    let mut b = ProgramBuilder::new();
+    // r42 is read but never written and not a declared input.
+    b.imad(
+        0,
+        Src::Reg(42),
+        Src::Imm(3),
+        Src::Imm(0),
+        false,
+        false,
+        false,
+    );
+    b.stg(0, 8, 0);
+    b.exit();
+    let diags = analysis::lint(&b.build(), &[8]);
+    assert_eq!(diags.len(), 1);
+    assert_eq!(diags[0].kind, LintKind::UninitRegRead);
+    assert_eq!(diags[0].pc, 0);
+    assert!(diags[0].message.contains("r42"), "{}", diags[0].message);
+}
+
+#[test]
+fn bad_branch_is_rejected_at_build_time() {
+    // A label placed past the last instruction resolves out of range.
+    let mut b = ProgramBuilder::new();
+    let l = b.label();
+    b.setp(0, Src::Reg(8), Src::Imm(1), CmpOp::Lt);
+    b.bra(l, Some((0, true)));
+    b.exit();
+    b.place(l);
+    let err = b.try_build().expect_err("target past end must be rejected");
+    let msg = err.to_string();
+    assert!(msg.contains("pc 1"), "{msg}");
+    assert!(msg.contains('3'), "{msg}");
+}
+
+#[test]
+fn ff_mul_static_mix_regression() {
+    // Satellite check: the analyzer's IMAD share for FF_mul must agree
+    // with Program::static_mix and stay in the paper's ~70% ballpark
+    // (Table VI: FF_mul is 70.8% IMAD).
+    for (name, f) in fields() {
+        let p = ff_program(&f, FfOp::Mul, 1);
+        let metrics = analysis::analyze(&p).metrics;
+        let mix = p.static_mix();
+        assert_eq!(metrics.mix, mix, "{name}");
+        let imad = mix
+            .iter()
+            .find(|(m, _)| *m == "IMAD")
+            .map_or(0, |(_, c)| *c);
+        let total: u64 = mix.iter().map(|(_, c)| *c).sum();
+        let share = imad as f64 / total as f64;
+        assert!((share - metrics.imad_share).abs() < 1e-12, "{name}");
+        assert!(
+            (0.60..=0.80).contains(&share),
+            "{name}: IMAD share {share:.3} outside the paper ballpark"
+        );
+    }
+}

@@ -1,0 +1,215 @@
+//! Control-flow graph construction over [`Program`]s.
+//!
+//! Basic blocks are maximal straight-line instruction runs; edges follow
+//! the micro-ISA's control transfers: `BRA` (conditional branches get both
+//! the target edge and the fall-through edge — the reconvergence structure
+//! the SIMT machine relies on), implicit fall-through between blocks, and
+//! `EXIT` (no successors). The graph also records whether a block can
+//! *fall off the end* of the program — statically reachable code with no
+//! `EXIT` on the path, which the simulator would turn into a fetch panic.
+
+use crate::isa::{Instr, Program};
+
+/// One basic block: instructions `start..end` (end exclusive).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BasicBlock {
+    /// Index of the first instruction.
+    pub start: usize,
+    /// One past the last instruction.
+    pub end: usize,
+    /// Successor block ids (branch targets and fall-throughs).
+    pub succs: Vec<usize>,
+    /// Whether control can run past the last instruction of the program
+    /// from this block (no `EXIT`, no branch — a missing-exit bug).
+    pub falls_off_end: bool,
+}
+
+impl BasicBlock {
+    /// The index of the block's terminator (its last instruction).
+    pub fn terminator_pc(&self) -> usize {
+        self.end - 1
+    }
+}
+
+/// The control-flow graph of a program.
+#[derive(Debug, Clone)]
+pub struct Cfg {
+    /// Basic blocks in program order (block 0 is the entry).
+    pub blocks: Vec<BasicBlock>,
+    /// `block_of[pc]` = id of the block containing `pc`.
+    pub block_of: Vec<usize>,
+    /// Per-block reachability from the entry.
+    pub reachable: Vec<bool>,
+}
+
+impl Cfg {
+    /// Builds the CFG of `program`. Branch targets past the end of the
+    /// program contribute no edge (the lint pass reports them separately).
+    pub fn build(program: &Program) -> Self {
+        let len = program.len();
+        if len == 0 {
+            return Cfg {
+                blocks: Vec::new(),
+                block_of: Vec::new(),
+                reachable: Vec::new(),
+            };
+        }
+
+        // Leaders: entry, every branch target, every instruction after a
+        // control transfer.
+        let mut leader = vec![false; len];
+        leader[0] = true;
+        for pc in 0..len {
+            match program.fetch(pc) {
+                Instr::Bra { target, .. } => {
+                    if target < len {
+                        leader[target] = true;
+                    }
+                    if pc + 1 < len {
+                        leader[pc + 1] = true;
+                    }
+                }
+                Instr::Exit if pc + 1 < len => leader[pc + 1] = true,
+                _ => {}
+            }
+        }
+
+        let starts: Vec<usize> = (0..len).filter(|&pc| leader[pc]).collect();
+        let mut block_of = vec![0usize; len];
+        let mut blocks: Vec<BasicBlock> = Vec::with_capacity(starts.len());
+        for (b, &start) in starts.iter().enumerate() {
+            let end = starts.get(b + 1).copied().unwrap_or(len);
+            block_of[start..end].fill(b);
+            blocks.push(BasicBlock {
+                start,
+                end,
+                succs: Vec::new(),
+                falls_off_end: false,
+            });
+        }
+
+        // Edges from each terminator.
+        for block in &mut blocks {
+            let term = block.terminator_pc();
+            let mut succs = Vec::new();
+            let mut falls_off = false;
+            match program.fetch(term) {
+                Instr::Exit => {}
+                Instr::Bra { target, pred } => {
+                    if target < len {
+                        succs.push(block_of[target]);
+                    }
+                    if pred.is_some() {
+                        // Conditional: fall-through edge too.
+                        if term + 1 < len {
+                            succs.push(block_of[term + 1]);
+                        } else {
+                            falls_off = true;
+                        }
+                    }
+                }
+                _ => {
+                    if term + 1 < len {
+                        succs.push(block_of[term + 1]);
+                    } else {
+                        falls_off = true;
+                    }
+                }
+            }
+            succs.dedup();
+            block.succs = succs;
+            block.falls_off_end = falls_off;
+        }
+
+        // Reachability from the entry block.
+        let mut reachable = vec![false; blocks.len()];
+        let mut stack = vec![0usize];
+        while let Some(b) = stack.pop() {
+            if reachable[b] {
+                continue;
+            }
+            reachable[b] = true;
+            for &s in &blocks[b].succs {
+                if !reachable[s] {
+                    stack.push(s);
+                }
+            }
+        }
+
+        Cfg {
+            blocks,
+            block_of,
+            reachable,
+        }
+    }
+
+    /// Predecessor lists, computed on demand.
+    pub fn predecessors(&self) -> Vec<Vec<usize>> {
+        let mut preds = vec![Vec::new(); self.blocks.len()];
+        for (b, blk) in self.blocks.iter().enumerate() {
+            for &s in &blk.succs {
+                preds[s].push(b);
+            }
+        }
+        preds
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::isa::{CmpOp, ProgramBuilder, Src};
+
+    #[test]
+    fn straight_line_is_one_block() {
+        let mut b = ProgramBuilder::new();
+        b.mov(0, Src::Imm(1));
+        b.iadd3(1, Src::Reg(0), Src::Imm(2), Src::Imm(0), false, false);
+        b.exit();
+        let cfg = Cfg::build(&b.build());
+        assert_eq!(cfg.blocks.len(), 1);
+        assert!(cfg.blocks[0].succs.is_empty());
+        assert!(cfg.reachable[0]);
+    }
+
+    #[test]
+    fn conditional_skip_makes_diamond_edges() {
+        let mut b = ProgramBuilder::new();
+        let skip = b.label();
+        b.setp(0, Src::Reg(0), Src::Imm(10), CmpOp::Lt);
+        b.bra(skip, Some((0, true)));
+        b.mov(1, Src::Imm(99));
+        b.place(skip);
+        b.exit();
+        let cfg = Cfg::build(&b.build());
+        // [setp, bra] -> {[mov], [exit]}; [mov] -> [exit].
+        assert_eq!(cfg.blocks.len(), 3);
+        assert_eq!(cfg.blocks[0].succs.len(), 2);
+        assert_eq!(cfg.blocks[1].succs, vec![2]);
+        assert!(cfg.blocks[2].succs.is_empty());
+        assert!(cfg.reachable.iter().all(|&r| r));
+    }
+
+    #[test]
+    fn code_after_unconditional_branch_is_unreachable() {
+        let mut b = ProgramBuilder::new();
+        let end = b.label();
+        b.bra(end, None);
+        b.mov(0, Src::Imm(1)); // dead
+        b.place(end);
+        b.exit();
+        let cfg = Cfg::build(&b.build());
+        assert_eq!(cfg.blocks.len(), 3);
+        assert!(cfg.reachable[0]);
+        assert!(!cfg.reachable[1]);
+        assert!(cfg.reachable[2]);
+    }
+
+    #[test]
+    fn fall_off_end_is_detected() {
+        let mut b = ProgramBuilder::new();
+        b.mov(0, Src::Imm(1)); // no EXIT
+        let cfg = Cfg::build(&b.try_build().expect("no labels"));
+        assert!(cfg.blocks[0].falls_off_end);
+    }
+}

@@ -1,0 +1,367 @@
+//! Dataflow lints over micro-ISA programs.
+//!
+//! The lints are the static gate every generated kernel must pass: a broken
+//! carry chain, an uninitialized register read, or an out-of-range branch in
+//! a `ProgramBuilder` kernel would otherwise only surface (if ever) as a
+//! wrong limb somewhere deep in a functional test. Each diagnostic names the
+//! offending pc and resource so the generator bug is one grep away.
+
+use crate::analysis::cfg::Cfg;
+use crate::analysis::dataflow::{instr_defs, instr_uses, Liveness, ReachingDefs, Resource};
+use crate::isa::{Instr, Program, Reg};
+
+/// The category of a [`Diagnostic`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum LintKind {
+    /// A register read that a path reaches without any prior write.
+    UninitRegRead,
+    /// A predicate read (`SEL`/guarded `BRA`) with no reaching `SETP`.
+    UninitPredRead,
+    /// A `use_cc` consumer with no reaching `set_cc` producer — a dangling
+    /// carry chain.
+    DanglingCarry,
+    /// A pure instruction whose every result (register, carry, predicate)
+    /// is dead on all paths.
+    DeadWrite,
+    /// A branch whose target lies past the end of the program.
+    BranchOutOfRange,
+    /// Code no path from the entry can reach.
+    Unreachable,
+    /// A path that runs off the end of the program without `EXIT`.
+    MissingExit,
+}
+
+impl core::fmt::Display for LintKind {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        let s = match self {
+            LintKind::UninitRegRead => "uninitialized register read",
+            LintKind::UninitPredRead => "uninitialized predicate read",
+            LintKind::DanglingCarry => "dangling carry",
+            LintKind::DeadWrite => "dead write",
+            LintKind::BranchOutOfRange => "branch out of range",
+            LintKind::Unreachable => "unreachable code",
+            LintKind::MissingExit => "missing exit",
+        };
+        f.write_str(s)
+    }
+}
+
+/// One lint finding, anchored at an instruction.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Diagnostic {
+    /// What went wrong.
+    pub kind: LintKind,
+    /// The instruction the finding is anchored at.
+    pub pc: usize,
+    /// Human-readable detail naming the register/predicate involved.
+    pub message: String,
+}
+
+impl core::fmt::Display for Diagnostic {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        write!(f, "pc {}: {}: {}", self.pc, self.kind, self.message)
+    }
+}
+
+/// Runs the full lint suite. `inputs` are the registers the launch
+/// environment initializes before the first instruction (kernel
+/// parameters); reads of those are not uninitialized.
+pub fn lint(program: &Program, inputs: &[Reg]) -> Vec<Diagnostic> {
+    let cfg = Cfg::build(program);
+    lint_with_cfg(program, &cfg, inputs)
+}
+
+/// [`lint`] with a caller-supplied CFG (avoids rebuilding it).
+pub fn lint_with_cfg(program: &Program, cfg: &Cfg, inputs: &[Reg]) -> Vec<Diagnostic> {
+    let mut diags = lint_structural_with_cfg(program, cfg);
+    if program.is_empty() {
+        diags.push(Diagnostic {
+            kind: LintKind::MissingExit,
+            pc: 0,
+            message: "empty program has no EXIT".to_string(),
+        });
+        return diags;
+    }
+    unreachable_code(cfg, &mut diags);
+    uninit_reads(program, cfg, inputs, &mut diags);
+    dead_writes(program, cfg, &mut diags);
+    diags.sort_by_key(|d| d.pc);
+    diags
+}
+
+/// The cheap structural checks safe to run on *any* program at build time:
+/// out-of-range branch targets and reachable paths that fall off the end of
+/// the program. (Unreachable-code, dead-write, and uninitialized-read lints
+/// are deliberately excluded — they need the kernel's input-register
+/// contract or are legitimate in handwritten test programs.)
+pub fn lint_structural(program: &Program) -> Vec<Diagnostic> {
+    let cfg = Cfg::build(program);
+    lint_structural_with_cfg(program, &cfg)
+}
+
+fn lint_structural_with_cfg(program: &Program, cfg: &Cfg) -> Vec<Diagnostic> {
+    let mut diags = Vec::new();
+    let len = program.len();
+    for pc in 0..len {
+        if let Instr::Bra { target, .. } = program.fetch(pc) {
+            if target >= len {
+                diags.push(Diagnostic {
+                    kind: LintKind::BranchOutOfRange,
+                    pc,
+                    message: format!("branch target {target} past end of program (len {len})"),
+                });
+            }
+        }
+    }
+    for (b, blk) in cfg.blocks.iter().enumerate() {
+        if cfg.reachable[b] && blk.falls_off_end {
+            diags.push(Diagnostic {
+                kind: LintKind::MissingExit,
+                pc: blk.terminator_pc(),
+                message: "control can run past the last instruction without EXIT".to_string(),
+            });
+        }
+    }
+    diags
+}
+
+fn unreachable_code(cfg: &Cfg, diags: &mut Vec<Diagnostic>) {
+    for (b, blk) in cfg.blocks.iter().enumerate() {
+        if !cfg.reachable[b] {
+            diags.push(Diagnostic {
+                kind: LintKind::Unreachable,
+                pc: blk.start,
+                message: format!(
+                    "instructions {}..{} are unreachable from the entry",
+                    blk.start, blk.end
+                ),
+            });
+        }
+    }
+}
+
+fn uninit_reads(program: &Program, cfg: &Cfg, inputs: &[Reg], diags: &mut Vec<Diagnostic>) {
+    let rd = ReachingDefs::compute(program, cfg);
+    for (b, blk) in cfg.blocks.iter().enumerate() {
+        if !cfg.reachable[b] {
+            continue;
+        }
+        // Walk the block forward, tracking which entry (uninitialized)
+        // defs are still reaching.
+        let mut reach = rd.reach_in[b].clone();
+        for pc in blk.start..blk.end {
+            let inst = program.fetch(pc);
+            instr_uses(&inst, |r| {
+                if !reach.contains(rd.entry_def(r)) {
+                    return;
+                }
+                match r {
+                    Resource::Reg(x) => {
+                        if !inputs.contains(&x) {
+                            diags.push(Diagnostic {
+                                kind: LintKind::UninitRegRead,
+                                pc,
+                                message: format!("r{x} may be read before any write"),
+                            });
+                        }
+                    }
+                    Resource::Pred(p) => diags.push(Diagnostic {
+                        kind: LintKind::UninitPredRead,
+                        pc,
+                        message: format!("p{p} may be read before any SETP"),
+                    }),
+                    Resource::Carry => diags.push(Diagnostic {
+                        kind: LintKind::DanglingCarry,
+                        pc,
+                        message: "use_cc with no reaching set_cc".to_string(),
+                    }),
+                }
+            });
+            instr_defs(&inst, |r| reach.remove(rd.entry_def(r)));
+        }
+    }
+}
+
+/// Whether removing the instruction can change observable state beyond its
+/// register/carry/predicate results (memory traffic, control flow).
+fn is_pure(inst: &Instr) -> bool {
+    !matches!(
+        inst,
+        Instr::Bra { .. } | Instr::Ldg { .. } | Instr::Stg { .. } | Instr::Exit
+    )
+}
+
+fn dead_writes(program: &Program, cfg: &Cfg, diags: &mut Vec<Diagnostic>) {
+    let live = Liveness::compute(program, cfg);
+    for (b, blk) in cfg.blocks.iter().enumerate() {
+        if !cfg.reachable[b] {
+            continue;
+        }
+        let mut out = live.live_out[b].clone();
+        // Collect per-pc verdicts backward, then report in order.
+        let mut found: Vec<Diagnostic> = Vec::new();
+        for pc in (blk.start..blk.end).rev() {
+            let inst = program.fetch(pc);
+            if is_pure(&inst) {
+                let mut defines_any = false;
+                let mut any_live = false;
+                instr_defs(&inst, |r| {
+                    defines_any = true;
+                    any_live |= out.contains(live.map.index(r));
+                });
+                if defines_any && !any_live {
+                    let mut dsts = Vec::new();
+                    instr_defs(&inst, |r| dsts.push(r.to_string()));
+                    found.push(Diagnostic {
+                        kind: LintKind::DeadWrite,
+                        pc,
+                        message: format!(
+                            "{} writes {} but no path reads any result",
+                            inst.mnemonic(),
+                            dsts.join(", ")
+                        ),
+                    });
+                }
+            }
+            instr_defs(&inst, |r| out.remove(live.map.index(r)));
+            instr_uses(&inst, |r| out.insert(live.map.index(r)));
+        }
+        found.reverse();
+        diags.extend(found);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::isa::{CmpOp, ProgramBuilder, Src};
+
+    fn clean(p: &Program, inputs: &[Reg]) -> Vec<Diagnostic> {
+        lint(p, inputs)
+    }
+
+    #[test]
+    fn clean_program_has_no_diagnostics() {
+        let mut b = ProgramBuilder::new();
+        b.ldg(0, 10, 0);
+        b.iadd3(1, Src::Reg(0), Src::Imm(1), Src::Imm(0), false, false);
+        b.stg(1, 10, 1);
+        b.exit();
+        assert!(clean(&b.build(), &[10]).is_empty());
+    }
+
+    #[test]
+    fn dangling_carry_names_the_pc() {
+        let mut b = ProgramBuilder::new();
+        b.mov(0, Src::Imm(1));
+        // use_cc at pc 1 with no set_cc anywhere.
+        b.iadd3(1, Src::Reg(0), Src::Imm(2), Src::Imm(0), false, true);
+        b.stg(1, 2, 0);
+        b.exit();
+        let diags = clean(&b.build(), &[2]);
+        assert_eq!(diags.len(), 1);
+        assert_eq!(diags[0].kind, LintKind::DanglingCarry);
+        assert_eq!(diags[0].pc, 1);
+    }
+
+    #[test]
+    fn uninitialized_register_read_is_flagged_with_register() {
+        let mut b = ProgramBuilder::new();
+        b.iadd3(0, Src::Reg(5), Src::Imm(1), Src::Imm(0), false, false);
+        b.stg(0, 1, 0);
+        b.exit();
+        let diags = clean(&b.build(), &[1]);
+        assert_eq!(diags.len(), 1);
+        assert_eq!(diags[0].kind, LintKind::UninitRegRead);
+        assert_eq!(diags[0].pc, 0);
+        assert!(diags[0].message.contains("r5"));
+    }
+
+    #[test]
+    fn uninitialized_predicate_read_is_flagged() {
+        let mut b = ProgramBuilder::new();
+        b.sel(0, Src::Imm(1), Src::Imm(2), 3); // p3 never set
+        b.stg(0, 1, 0);
+        b.exit();
+        let diags = clean(&b.build(), &[1]);
+        assert_eq!(diags.len(), 1);
+        assert_eq!(diags[0].kind, LintKind::UninitPredRead);
+        assert!(diags[0].message.contains("p3"));
+    }
+
+    #[test]
+    fn partial_path_initialization_is_still_flagged() {
+        // r1 is written only when the branch is not taken.
+        let mut b = ProgramBuilder::new();
+        let skip = b.label();
+        b.setp(0, Src::Reg(9), Src::Imm(1), CmpOp::Lt);
+        b.bra(skip, Some((0, true)));
+        b.mov(1, Src::Imm(5));
+        b.place(skip);
+        b.stg(1, 9, 0);
+        b.exit();
+        let diags = clean(&b.build(), &[9]);
+        assert!(diags
+            .iter()
+            .any(|d| d.kind == LintKind::UninitRegRead && d.pc == 3));
+    }
+
+    #[test]
+    fn dead_write_is_flagged_but_live_carry_is_not() {
+        let mut b = ProgramBuilder::new();
+        b.mov(0, Src::Imm(7)); // live (read below)
+        b.mov(1, Src::Imm(9)); // dead: r1 never read
+                               // dst r2 dead, but set_cc feeds the next instruction: NOT dead.
+        b.iadd3(2, Src::Reg(0), Src::Imm(1), Src::Imm(0), true, false);
+        b.iadd3(3, Src::Reg(0), Src::Imm(0), Src::Imm(0), false, true);
+        b.stg(3, 4, 0);
+        b.exit();
+        let diags = clean(&b.build(), &[4]);
+        let dead: Vec<_> = diags
+            .iter()
+            .filter(|d| d.kind == LintKind::DeadWrite)
+            .collect();
+        assert_eq!(dead.len(), 1);
+        assert_eq!(dead[0].pc, 1);
+        assert!(dead[0].message.contains("r1"));
+    }
+
+    #[test]
+    fn out_of_range_branch_is_structural() {
+        // Hand-assemble a bad target via an unplaced-label bypass: build a
+        // valid program then check the structural pass on a raw branch.
+        let mut b = ProgramBuilder::new();
+        let l = b.label();
+        b.bra(l, None);
+        b.place(l);
+        b.exit();
+        let p = b.build();
+        assert!(lint_structural(&p).is_empty());
+    }
+
+    #[test]
+    fn missing_exit_is_reported_on_the_falling_block() {
+        let mut b = ProgramBuilder::new();
+        b.mov(0, Src::Imm(1));
+        b.mov(1, Src::Imm(2));
+        let p = b.try_build().expect("no labels");
+        let diags = lint_structural(&p);
+        assert_eq!(diags.len(), 1);
+        assert_eq!(diags[0].kind, LintKind::MissingExit);
+        assert_eq!(diags[0].pc, 1);
+    }
+
+    #[test]
+    fn unreachable_code_is_reported_in_full_lint_only() {
+        let mut b = ProgramBuilder::new();
+        let end = b.label();
+        b.bra(end, None);
+        b.mov(0, Src::Imm(1));
+        b.place(end);
+        b.exit();
+        let p = b.build();
+        assert!(lint_structural(&p).is_empty());
+        let diags = lint(&p, &[]);
+        assert!(diags.iter().any(|d| d.kind == LintKind::Unreachable));
+    }
+}

@@ -267,6 +267,45 @@ impl fmt::Display for Program {
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct Label(usize);
 
+/// A structural error caught by [`ProgramBuilder::try_build`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum BuildError {
+    /// A branch references a label that was never [`ProgramBuilder::place`]d.
+    UnplacedLabel {
+        /// The branch instruction's index.
+        pc: usize,
+        /// The label id.
+        label: usize,
+    },
+    /// A branch target lies at or past the end of the program.
+    TargetOutOfRange {
+        /// The branch instruction's index.
+        pc: usize,
+        /// The resolved target.
+        target: usize,
+        /// Program length.
+        len: usize,
+    },
+}
+
+impl fmt::Display for BuildError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            BuildError::UnplacedLabel { pc, label } => {
+                write!(f, "branch at pc {pc} to unplaced label {label}")
+            }
+            BuildError::TargetOutOfRange { pc, target, len } => {
+                write!(
+                    f,
+                    "branch at pc {pc} targets {target}, past end of program (len {len})"
+                )
+            }
+        }
+    }
+}
+
+impl std::error::Error for BuildError {}
+
 /// Incremental [`Program`] constructor.
 #[derive(Debug, Default)]
 pub struct ProgramBuilder {
@@ -372,21 +411,54 @@ impl ProgramBuilder {
         self.instrs.push(Instr::Exit);
     }
 
-    /// Resolves all labels and returns the program.
-    ///
-    /// # Panics
-    ///
-    /// Panics if any referenced label was never placed.
-    pub fn build(mut self) -> Program {
+    /// Resolves all labels and returns the program, or an error naming the
+    /// offending branch if a label was never placed or resolved past the
+    /// end of the program.
+    pub fn try_build(mut self) -> Result<Program, BuildError> {
+        let len = self.instrs.len();
         for (idx, label) in self.pending {
-            let target = self.labels[label].expect("branch to unplaced label");
+            let target = self.labels[label].ok_or(BuildError::UnplacedLabel { pc: idx, label })?;
+            if target >= len {
+                return Err(BuildError::TargetOutOfRange {
+                    pc: idx,
+                    target,
+                    len,
+                });
+            }
             if let Instr::Bra { target: t, .. } = &mut self.instrs[idx] {
                 *t = target;
             }
         }
-        Program {
+        Ok(Program {
             instrs: self.instrs,
+        })
+    }
+
+    /// Resolves all labels and returns the program. In debug builds the
+    /// program must additionally pass the structural lints (out-of-range
+    /// branches, reachable paths with no `EXIT`) — generated kernels are
+    /// checked the moment they are built, not when they first run.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any referenced label was never placed or resolves out of
+    /// range, and (debug builds only) if a structural lint fires.
+    pub fn build(self) -> Program {
+        let program = self.try_build().unwrap_or_else(|e| panic!("{e}"));
+        #[cfg(debug_assertions)]
+        {
+            let diags = crate::analysis::lint_structural(&program);
+            assert!(
+                diags.is_empty(),
+                "ProgramBuilder::build produced a structurally broken program:\n{}",
+                diags
+                    .iter()
+                    .map(|d| d.to_string())
+                    .collect::<Vec<_>>()
+                    .join("\n")
+            );
         }
+        program
     }
 }
 
@@ -417,6 +489,49 @@ mod tests {
         let mut b = ProgramBuilder::new();
         let l = b.label();
         b.bra(l, None);
+        let _ = b.build();
+    }
+
+    #[test]
+    fn try_build_reports_unplaced_label_with_pc() {
+        let mut b = ProgramBuilder::new();
+        b.mov(0, Src::Imm(1));
+        let l = b.label();
+        b.bra(l, None);
+        match b.try_build() {
+            Err(BuildError::UnplacedLabel { pc, label }) => {
+                assert_eq!(pc, 1);
+                assert_eq!(label, 0);
+            }
+            other => panic!("expected UnplacedLabel, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn try_build_rejects_target_past_the_end() {
+        // A label placed after the last instruction resolves to len, which
+        // no fetch can satisfy.
+        let mut b = ProgramBuilder::new();
+        let l = b.label();
+        b.bra(l, None);
+        b.exit();
+        b.place(l);
+        match b.try_build() {
+            Err(BuildError::TargetOutOfRange { pc, target, len }) => {
+                assert_eq!(pc, 0);
+                assert_eq!(target, 2);
+                assert_eq!(len, 2);
+            }
+            other => panic!("expected TargetOutOfRange, got {other:?}"),
+        }
+    }
+
+    #[test]
+    #[cfg(debug_assertions)]
+    #[should_panic(expected = "missing exit")]
+    fn build_rejects_programs_that_fall_off_the_end() {
+        let mut b = ProgramBuilder::new();
+        b.mov(0, Src::Imm(1));
         let _ = b.build();
     }
 

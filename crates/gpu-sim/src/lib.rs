@@ -13,6 +13,10 @@
 //!   executes* kernels on 32 per-thread lanes while producing the paper's
 //!   metrics: the warp-stall taxonomy of Fig. 10, branch efficiency and
 //!   dominant-instruction mix of Table VI, and issue intervals.
+//! * [`analysis`] — static analysis of micro-ISA programs: CFG +
+//!   liveness/reaching-definitions dataflow, lints (dangling carries,
+//!   uninitialized reads, dead writes), and static metrics (instruction
+//!   mix, inferred register pressure, dependence depth).
 //! * [`mod@occupancy`] — theoretical/achieved occupancy (§IV-C4).
 //! * [`transfer`] — the synchronous-vs-overlapped PCIe model (Fig. 7).
 //! * [`roofline`] — the integer roofline (Fig. 9).
@@ -37,6 +41,7 @@
 //! assert!(result.issue_interval() > 3.0);
 //! ```
 
+pub mod analysis;
 pub mod device;
 pub mod energy;
 pub mod isa;

@@ -6,6 +6,16 @@
 //! `<<<blocks, threads>>>`.
 
 use crate::device::DeviceSpec;
+use crate::isa::Program;
+
+/// Infers registers-per-thread for a program from the static analyzer's
+/// max-live-register pressure — the alternative to hand-typing the
+/// §IV-C4 figures into [`LaunchConfig::registers_per_thread`]. An actual
+/// compiler allocates at least this many (plus spill/ABI overhead), so it
+/// is a sound lower bound for occupancy math.
+pub fn registers_per_thread_from(program: &Program) -> u32 {
+    crate::analysis::max_live_registers(program)
+}
 
 /// A kernel launch configuration with its resource appetite.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -30,6 +40,22 @@ impl LaunchConfig {
     /// Warps per block (rounded up).
     pub fn warps_per_block(&self, warp_size: u32) -> u32 {
         self.threads_per_block.div_ceil(warp_size)
+    }
+
+    /// Builds a launch whose register appetite is inferred from `program`
+    /// by the static analyzer (see [`registers_per_thread_from`]).
+    pub fn for_program(
+        program: &Program,
+        blocks: u64,
+        threads_per_block: u32,
+        shared_mem_per_block: u32,
+    ) -> Self {
+        LaunchConfig {
+            blocks,
+            threads_per_block,
+            registers_per_thread: registers_per_thread_from(program),
+            shared_mem_per_block,
+        }
     }
 }
 

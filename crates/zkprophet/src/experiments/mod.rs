@@ -5,6 +5,7 @@ pub mod ff_layer;
 pub mod kernel_layer;
 pub mod microarch;
 pub mod scaling;
+pub mod static_analysis;
 
 use gpu_sim::device::DeviceSpec;
 
@@ -39,6 +40,8 @@ pub fn full_report(device: &DeviceSpec) -> String {
     out += &microarch::render_table6(&microarch::table6(device));
     out += "\n";
     out += &microarch::render_register_pressure(&microarch::register_pressure(device));
+    out += "\n";
+    out += &static_analysis::render_static_report(&static_analysis::static_report());
     out += "\n";
     out += &scaling::render_fig11(&scaling::fig11());
     out += "\n";
