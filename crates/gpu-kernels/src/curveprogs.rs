@@ -12,7 +12,9 @@
 //! field element's limbs), so whole-point state lives in registers exactly
 //! like the hand-tuned CUDA kernels the paper profiles.
 
+use crate::ffprogs::{assume_canonical_loads, double_modulus, KernelFacts};
 use crate::field32::Field32;
+use gpu_sim::analysis::ranges::ValueBound;
 use gpu_sim::isa::{CmpOp, Program, ProgramBuilder, Src};
 
 fn r(x: u16) -> Src {
@@ -145,6 +147,24 @@ fn ff_sub(b: &mut ProgramBuilder, f: &Field32, banks: &Banks, out: u16, x: u16, 
 /// Emits the CIOS Montgomery product `out = x·y·R⁻¹ mod p` (out may alias
 /// x or y — the accumulator bank is separate).
 fn ff_mul(b: &mut ProgramBuilder, f: &Field32, banks: &Banks, out: u16, x: u16, y: u16) {
+    ff_mul_bounded(b, f, banks, out, x, y, None);
+}
+
+/// [`ff_mul`] that can additionally record the `< 2p` proof obligation on
+/// the CIOS accumulator, anchored just before the conditional reduction.
+/// The obligation is dischargeable by `gpu_sim::analysis::ranges` only
+/// when both operands are canonical (`< p`) at block entry — i.e. when
+/// they come straight from canonical loads, not from an earlier `< 2p`
+/// intermediate — so callers opt in per multiply.
+fn ff_mul_bounded(
+    b: &mut ProgramBuilder,
+    f: &Field32,
+    banks: &Banks,
+    out: u16,
+    x: u16,
+    y: u16,
+    obligation: Option<(&mut Vec<ValueBound>, &str)>,
+) {
     let n = banks.n;
     let t = banks.t;
     let t_n = t + n;
@@ -219,6 +239,14 @@ fn ff_mul(b: &mut ProgramBuilder, f: &Field32, banks: &Banks, out: u16, x: u16, 
             b.iadd3(t_n, r(t_n), imm(0), imm(0), false, true);
         }
     }
+    if let Some((obligations, opname)) = obligation {
+        obligations.push(ValueBound {
+            pc: b.next_pc(),
+            regs: (0..n).map(|j| t + j).collect(),
+            bound: double_modulus(f),
+            what: format!("{opname} CIOS output < 2p ({})", f.name),
+        });
+    }
     reduce(b, f, banks, t);
     for j in 0..n {
         b.mov(out + j, r(t + j));
@@ -251,6 +279,19 @@ impl XyzzMaddLayout {
 /// Identity handling is the caller's job (real bucket kernels track
 /// emptiness in a side bitmap), matching the MSM inner loop.
 pub fn xyzz_madd_program(f: &Field32) -> (Program, XyzzMaddLayout) {
+    let (p, layout, _) = xyzz_madd_program_analyzed(f);
+    (p, layout)
+}
+
+/// [`xyzz_madd_program`] plus its [`KernelFacts`]: canonical-load
+/// assumptions for the bucket and point banks, and `< 2p` obligations on
+/// the two multiplies whose operands come straight from canonical loads
+/// (`U2 = X2·ZZ1`, `S2 = Y2·ZZZ1`). Later multiplies consume `mod p`
+/// *outputs* of earlier reductions, which the interval domain can only
+/// bound by `< 2p` per-limb boxes, so their obligations would be
+/// unprovable — the per-multiply contract is established once on the
+/// canonical-input instances (and by [`mul_contract_program`]).
+pub fn xyzz_madd_program_analyzed(f: &Field32) -> (Program, XyzzMaddLayout, KernelFacts) {
     let n = f.num_limbs() as u16;
     let mut banks = Banks::new(n);
     // Point state.
@@ -271,6 +312,14 @@ pub fn xyzz_madd_program(f: &Field32) -> (Program, XyzzMaddLayout) {
     let addr_point = banks.alloc(1);
     let registers_used = banks.next;
 
+    let mut facts = KernelFacts::new();
+    for off in 0..4 {
+        assume_canonical_loads(&mut facts.assumptions, f, addr_bucket, off * u32::from(n));
+    }
+    for off in 0..2 {
+        assume_canonical_loads(&mut facts.assumptions, f, addr_point, off * u32::from(n));
+    }
+
     let mut b = ProgramBuilder::new();
     for (bank, off) in [(x1, 0u32), (y1, 1), (zz1, 2), (zzz1, 3)] {
         for j in 0..n {
@@ -284,8 +333,9 @@ pub fn xyzz_madd_program(f: &Field32) -> (Program, XyzzMaddLayout) {
     }
 
     // madd-2008-s over the banks.
-    ff_mul(&mut b, f, &banks, u2, x2, zz1); // U2 = X2·ZZ1
-    ff_mul(&mut b, f, &banks, s2, y2, zzz1); // S2 = Y2·ZZZ1
+    let obs = &mut facts.obligations;
+    ff_mul_bounded(&mut b, f, &banks, u2, x2, zz1, Some((obs, "XYZZ U2"))); // U2 = X2·ZZ1
+    ff_mul_bounded(&mut b, f, &banks, s2, y2, zzz1, Some((obs, "XYZZ S2"))); // S2 = Y2·ZZZ1
     ff_sub(&mut b, f, &banks, u2, u2, x1); // P = U2 - X1
     ff_sub(&mut b, f, &banks, s2, s2, y1); // R = S2 - Y1
     ff_mul(&mut b, f, &banks, pp, u2, u2); // PP = P²
@@ -315,6 +365,7 @@ pub fn xyzz_madd_program(f: &Field32) -> (Program, XyzzMaddLayout) {
             addr_point,
             registers_used,
         },
+        facts,
     )
 }
 
@@ -343,6 +394,15 @@ impl ButterflyLayout {
 /// b = a - t; a = a + t` — the workload whose "much shorter dependence
 /// chain" keeps NTT register pressure near 56 (§IV-C4).
 pub fn butterfly_program(f: &Field32) -> (Program, ButterflyLayout) {
+    let (p, layout, _) = butterfly_program_analyzed(f);
+    (p, layout)
+}
+
+/// [`butterfly_program`] plus its [`KernelFacts`]: canonical-load
+/// assumptions for `a`, `b`, and ω, and the `< 2p` obligation on the
+/// twiddle multiply `ω·b` (both operands canonical loads, so the chain
+/// certificate discharges it).
+pub fn butterfly_program_analyzed(f: &Field32) -> (Program, ButterflyLayout, KernelFacts) {
     let n = f.num_limbs() as u16;
     let mut banks = Banks::new(n);
     let a = banks.elem();
@@ -353,14 +413,21 @@ pub fn butterfly_program(f: &Field32) -> (Program, ButterflyLayout) {
     let addr_w = banks.alloc(1);
     let registers_used = banks.next;
 
+    let mut facts = KernelFacts::new();
+    for addr in [addr_a, addr_b, addr_w] {
+        assume_canonical_loads(&mut facts.assumptions, f, addr, 0);
+    }
+
     let mut b = ProgramBuilder::new();
     for j in 0..n {
         b.ldg(a + j, addr_a, u32::from(j));
         b.ldg(bb + j, addr_b, u32::from(j));
         b.ldg(w + j, addr_w, u32::from(j));
     }
-    ff_mul(&mut b, f, &banks, bb, bb, w); // t = ω·b (into b's bank)
-                                          // hi = a - t into the ω bank (ω no longer needed).
+    // t = ω·b (into b's bank).
+    let obs = Some((&mut facts.obligations, "NTT butterfly ω·b"));
+    ff_mul_bounded(&mut b, f, &banks, bb, bb, w, obs);
+    // hi = a - t into the ω bank (ω no longer needed).
     ff_sub(&mut b, f, &banks, w, a, bb);
     // lo = a + t in place.
     ff_add(&mut b, f, &banks, a, a, bb);
@@ -377,6 +444,74 @@ pub fn butterfly_program(f: &Field32) -> (Program, ButterflyLayout) {
             addr_w,
             registers_used,
         },
+        facts,
+    )
+}
+
+/// The register layout of the generated single-multiply contract kernel.
+#[derive(Debug, Clone, Copy)]
+pub struct MulContractLayout {
+    /// Word address of operand `x`.
+    pub addr_x: u16,
+    /// Word address of operand `y`.
+    pub addr_y: u16,
+    /// Word address of the product.
+    pub addr_out: u16,
+    /// Registers the kernel touches.
+    pub registers_used: u16,
+}
+
+impl MulContractLayout {
+    /// The registers the launch environment initializes (pointer
+    /// parameters) — the `inputs` for `gpu_sim::analysis::lint`.
+    pub fn entry_regs(&self) -> Vec<u16> {
+        vec![self.addr_x, self.addr_y, self.addr_out]
+    }
+}
+
+/// Emits a one-shot `out = x·y·R⁻¹ mod p` kernel from this module's own
+/// CIOS emitter, with canonical-load assumptions and the `< 2p`
+/// obligation attached.
+///
+/// This is the range-proof gate for the *second* CIOS generator: the
+/// curve kernels share `ff_mul`, but only their first multiplies see
+/// canonical operands, so this kernel states the per-multiply contract —
+/// canonical inputs in, `< 2p` before reduction, `< p` out — in
+/// isolation for every field.
+pub fn mul_contract_program(f: &Field32) -> (Program, MulContractLayout, KernelFacts) {
+    let n = f.num_limbs() as u16;
+    let mut banks = Banks::new(n);
+    let x = banks.elem();
+    let y = banks.elem();
+    let addr_x = banks.alloc(1);
+    let addr_y = banks.alloc(1);
+    let addr_out = banks.alloc(1);
+    let registers_used = banks.next;
+
+    let mut facts = KernelFacts::new();
+    assume_canonical_loads(&mut facts.assumptions, f, addr_x, 0);
+    assume_canonical_loads(&mut facts.assumptions, f, addr_y, 0);
+
+    let mut b = ProgramBuilder::new();
+    for j in 0..n {
+        b.ldg(x + j, addr_x, u32::from(j));
+        b.ldg(y + j, addr_y, u32::from(j));
+    }
+    let obs = Some((&mut facts.obligations, "curve ff_mul"));
+    ff_mul_bounded(&mut b, f, &banks, x, x, y, obs);
+    for j in 0..n {
+        b.stg(x + j, addr_out, u32::from(j));
+    }
+    b.exit();
+    (
+        b.build(),
+        MulContractLayout {
+            addr_x,
+            addr_y,
+            addr_out,
+            registers_used,
+        },
+        facts,
     )
 }
 
@@ -404,6 +539,31 @@ mod tests {
         );
         // The MSM kernel needs ~3x the registers of the NTT kernel.
         assert!(madd.registers_used > 2 * bfly.registers_used);
+    }
+
+    #[test]
+    fn butterfly_and_mul_contract_obligations_prove() {
+        let fr = Field32::of::<Fr381Config, 4>();
+
+        let (p, _, facts) = butterfly_program_analyzed(&fr);
+        let ra = gpu_sim::analysis::analyze_ranges(&p, &facts.assumptions, &facts.obligations);
+        assert!(ra.diagnostics.is_empty(), "{:?}", ra.diagnostics);
+        assert_eq!(ra.proved.len(), 1, "{:?}", ra.proved);
+
+        let (p, _, facts) = mul_contract_program(&fr);
+        let ra = gpu_sim::analysis::analyze_ranges(&p, &facts.assumptions, &facts.obligations);
+        assert!(ra.diagnostics.is_empty(), "{:?}", ra.diagnostics);
+        assert_eq!(ra.proved.len(), 1, "{:?}", ra.proved);
+    }
+
+    #[test]
+    fn xyzz_canonical_input_obligations_prove() {
+        let fr = Field32::of::<Fr381Config, 4>();
+        let (p, _, facts) = xyzz_madd_program_analyzed(&fr);
+        assert_eq!(facts.obligations.len(), 2);
+        let ra = gpu_sim::analysis::analyze_ranges(&p, &facts.assumptions, &facts.obligations);
+        assert!(ra.diagnostics.is_empty(), "{:?}", ra.diagnostics);
+        assert_eq!(ra.proved.len(), 2, "{:?}", ra.proved);
     }
 
     #[test]

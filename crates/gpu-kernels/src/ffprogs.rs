@@ -14,7 +14,72 @@
 //!   `mad{c}.lo/hi` chains (`IMAD`-dominated, §IV-B2).
 
 use crate::field32::Field32;
+use gpu_sim::analysis::ranges::{Interval, RangeAssumptions, ValueBound};
+use gpu_sim::analysis::schedule::{BranchHint, ScheduleHints};
 use gpu_sim::isa::{CmpOp, Label, LogicOp, Program, ProgramBuilder, Src};
+
+/// Static-analysis facts a generator records about the kernel it emits:
+/// branch hints for the schedule predictor, input-range assumptions and
+/// proof obligations for the range analysis. The generator is the one
+/// place that knows which branches are uniform in practice and which
+/// register bank holds a Montgomery output, so it says so here instead of
+/// the analyses guessing.
+#[derive(Debug, Clone, Default)]
+pub struct KernelFacts {
+    /// Outcomes of data-dependent forward branches.
+    pub hints: ScheduleHints,
+    /// Intervals of values arriving at kernel entry / from memory.
+    pub assumptions: RangeAssumptions,
+    /// Value bounds the range analysis must prove.
+    pub obligations: Vec<ValueBound>,
+}
+
+impl KernelFacts {
+    /// Empty facts.
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
+/// `2p` as little-endian limbs (fits in `n` limbs for every supported
+/// spare-bit modulus: the top limb stays below `2^31`).
+pub fn double_modulus(field: &Field32) -> Vec<u32> {
+    let n = field.num_limbs();
+    assert!(
+        field.modulus[n - 1] < 1 << 31,
+        "2p must fit in {n} limbs for the <2p bound to be expressible"
+    );
+    let mut out = Vec::with_capacity(n);
+    let mut carry = 0u64;
+    for &limb in &field.modulus {
+        let d = (u64::from(limb) << 1) | carry;
+        out.push(d as u32);
+        carry = d >> 32;
+    }
+    assert_eq!(carry, 0);
+    out
+}
+
+/// Declares canonical (`< p`) operand limbs loaded through `addr` at word
+/// offsets `base..base+n`: every limb is unconstrained except the top one,
+/// which cannot exceed the modulus's top limb.
+pub(crate) fn assume_canonical_loads(
+    assumptions: &mut RangeAssumptions,
+    field: &Field32,
+    addr: u16,
+    base: u32,
+) {
+    let n = field.num_limbs();
+    let top = field.modulus[n - 1];
+    for j in 0..n {
+        let iv = if j == n - 1 {
+            Interval::new(0, top)
+        } else {
+            Interval::full()
+        };
+        assumptions.assume_load(addr, base + j as u32, iv);
+    }
+}
 
 /// Fixed register map shared by every generated kernel.
 pub mod regs {
@@ -99,18 +164,29 @@ pub fn ff_program_inputs(op: FfOp) -> Vec<u16> {
 
 /// Generates the kernel program for an operation.
 pub fn ff_program(field: &Field32, op: FfOp, iters: u32) -> Program {
+    ff_program_analyzed(field, op, iters).0
+}
+
+/// [`ff_program`] plus the [`KernelFacts`] the generator records while
+/// emitting: the `FF_dbl` tie branch is hinted uniformly taken, operand
+/// loads are assumed canonical (`< p`), and each CIOS invocation carries a
+/// `< 2p` obligation on its output bank.
+pub fn ff_program_analyzed(field: &Field32, op: FfOp, iters: u32) -> (Program, KernelFacts) {
     let n = field.num_limbs() as u16;
     let mut b = ProgramBuilder::new();
+    let mut facts = KernelFacts::new();
 
     // Prologue: load a (and b where used) from global memory.
     for j in 0..n {
         b.ldg(regs::A0 + j, regs::ADDR_A, u32::from(j));
     }
+    assume_canonical_loads(&mut facts.assumptions, field, regs::ADDR_A, 0);
     let loads_b = matches!(op, FfOp::Add | FfOp::Sub | FfOp::Mul);
     if loads_b {
         for j in 0..n {
             b.ldg(regs::B0 + j, regs::ADDR_B, u32::from(j));
         }
+        assume_canonical_loads(&mut facts.assumptions, field, regs::ADDR_B, 0);
     }
     b.mov(regs::LOOP, imm(0));
 
@@ -123,9 +199,20 @@ pub fn ff_program(field: &Field32, op: FfOp, iters: u32) -> Program {
             emit_compare_and_reduce(&mut b, field, regs::A0);
         }
         FfOp::Sub => emit_sub(&mut b, field),
-        FfOp::Dbl => emit_dbl(&mut b, field),
+        FfOp::Dbl => emit_dbl(&mut b, field, &mut facts.hints),
         FfOp::Mul => {
             emit_cios(&mut b, field, regs::B0);
+            // The `< 2p` claim is a *per-application* contract: it is
+            // provable exactly when the multiplier inputs are canonical,
+            // which the analyzer can only see on the single-trip program
+            // (the back edge feeds the reduced-but-not-canonical result
+            // back into `a`). Induction — canonical in ⇒ canonical out —
+            // extends it to any iteration count.
+            if iters == 1 {
+                facts
+                    .obligations
+                    .push(cios_output_obligation(&b, field, "FF_mul"));
+            }
             emit_compare_and_reduce(&mut b, field, regs::T0);
             // Feed back: a = result.
             for j in 0..n {
@@ -134,6 +221,11 @@ pub fn ff_program(field: &Field32, op: FfOp, iters: u32) -> Program {
         }
         FfOp::Sqr => {
             emit_cios(&mut b, field, regs::A0);
+            if iters == 1 {
+                facts
+                    .obligations
+                    .push(cios_output_obligation(&b, field, "FF_sqr"));
+            }
             emit_compare_and_reduce(&mut b, field, regs::T0);
             for j in 0..n {
                 b.mov(regs::A0 + j, r(regs::T0 + j));
@@ -150,7 +242,21 @@ pub fn ff_program(field: &Field32, op: FfOp, iters: u32) -> Program {
         b.stg(regs::A0 + j, regs::ADDR_OUT, u32::from(j));
     }
     b.exit();
-    b.build()
+    (b.build(), facts)
+}
+
+/// The `< 2p` proof obligation for a CIOS output, anchored at the pc
+/// *right after* [`emit_cios`] returned — before the conditional
+/// subtraction, whose borrow-chain wrap-around would saturate the
+/// intervals.
+fn cios_output_obligation(b: &ProgramBuilder, field: &Field32, opname: &str) -> ValueBound {
+    let n = field.num_limbs() as u16;
+    ValueBound {
+        pc: b.next_pc(),
+        regs: (0..n).map(|j| regs::T0 + j).collect(),
+        bound: double_modulus(field),
+        what: format!("{opname} CIOS output < 2p ({})", field.name),
+    }
 }
 
 /// `a += b` with an `IADD3` carry chain (no overflow past the top limb for
@@ -252,7 +358,7 @@ fn emit_sub(b: &mut ProgramBuilder, field: &Field32) {
 /// almost every thread, a rare uniform branch handles top-limb ties, and a
 /// data-dependent branch guards the subtraction — then one funnel shift
 /// per limb doubles the (possibly pre-reduced) value.
-fn emit_dbl(b: &mut ProgramBuilder, field: &Field32) {
+fn emit_dbl(b: &mut ProgramBuilder, field: &Field32, hints: &mut ScheduleHints) {
     let n = field.num_limbs() as u16;
     let h = &field.half_ceil;
     let top = (n - 1) as usize;
@@ -262,6 +368,9 @@ fn emit_dbl(b: &mut ProgramBuilder, field: &Field32) {
     // Tie on the top limb (rare): full borrow-chain comparison vs ⌈p/2⌉.
     let no_tie = b.label();
     b.setp(2, r(regs::A0 + n - 1), imm(h[top]), CmpOp::Eq);
+    // A tie happens for one top-limb value in ~2^32, so in practice every
+    // lane skips the full comparison and the branch is uniformly taken.
+    hints.set(b.next_pc(), BranchHint::Taken);
     b.bra(no_tie, Some((2, false)));
     b.iadd3(regs::CMP0, r(regs::A0), imm(!h[0]), imm(1), true, false);
     for j in 1..n {
@@ -452,6 +561,46 @@ mod tests {
         let count = |m: &str| mix.iter().find(|(k, _)| *k == m).map_or(0, |(_, c)| *c);
         assert_eq!(count("IMAD"), 0);
         assert_eq!(count("SHF"), 12);
+    }
+
+    #[test]
+    fn cios_obligation_proves_for_mul_and_sqr() {
+        // The `< 2p` contract is per application: at iters = 1 the loop
+        // back edge is pruned (exact loop-exit predicate) and the
+        // canonical-input assumptions reach the CIOS body, where the
+        // chain certificate closes the bound. Full four-field coverage
+        // lives in the range_soundness integration test.
+        let f = Field32::of::<Fr381Config, 4>();
+        for op in [FfOp::Mul, FfOp::Sqr] {
+            let (p, facts) = ff_program_analyzed(&f, op, 1);
+            let ra = gpu_sim::analysis::analyze_ranges(&p, &facts.assumptions, &facts.obligations);
+            assert!(ra.diagnostics.is_empty(), "{op:?}: {:?}", ra.diagnostics);
+            assert_eq!(ra.proved.len(), 1, "{op:?}: {:?}", ra.proved);
+        }
+    }
+
+    #[test]
+    fn multi_iteration_kernels_are_overflow_free() {
+        // Overflow-freedom (every IADD3.CC carry fits one bit) holds for
+        // any iteration count — only the < 2p obligation needs the
+        // single-application form.
+        let f = Field32::of::<Fr381Config, 4>();
+        for op in FfOp::all() {
+            let (p, facts) = ff_program_analyzed(&f, op, 4);
+            let ra = gpu_sim::analysis::analyze_ranges(&p, &facts.assumptions, &[]);
+            assert!(ra.is_clean(), "{op:?}: {:?}", ra.diagnostics);
+        }
+    }
+
+    #[test]
+    fn double_modulus_is_twice_p() {
+        let f = Field32::of::<Fq381Config, 6>();
+        let two_p = double_modulus(&f);
+        assert_eq!(two_p.len(), f.num_limbs());
+        // 2p mod 2^32 agrees limb 0, and the top limb doubled without
+        // spilling past n limbs (spare-bit modulus).
+        assert_eq!(two_p[0], f.modulus[0].wrapping_mul(2));
+        assert!(two_p[f.num_limbs() - 1] >= f.modulus[f.num_limbs() - 1]);
     }
 
     #[test]

@@ -1,0 +1,171 @@
+//! Soundness of the value-range analysis (`gpu_sim::analysis::ranges`):
+//!
+//! 1. **Dynamic containment** (property test): every limb a randomized
+//!    execution of every FF kernel stores lies inside the statically
+//!    inferred [`StoreBound`] interval, on all four supported fields.
+//! 2. **The `< 2p` Montgomery contract**: the analyzer proves the CIOS
+//!    accumulator of *both* generators — `ffprogs::emit_cios` and the
+//!    curve kernels' private `ff_mul` copy — stays below `2p` before the
+//!    final conditional reduction, for every supported field.
+//! 3. **The gate actually fires**: a deliberately broken kernel (a carry
+//!    chain whose `IADD3.CC` can produce a two-bit carry) raises
+//!    `PossibleOverflow`.
+//!
+//! The `< 2p` obligations are *per-application* contracts, proved at
+//! `iters = 1` where the loop back edge is statically infeasible and the
+//! canonical-load assumptions reach the multiply; induction over
+//! iterations (canonical in ⇒ canonical out) extends them to any count.
+//! Overflow-freedom needs no such restriction and is checked at
+//! `iters = 4` too.
+
+use gpu_kernels::curveprogs::{
+    butterfly_program_analyzed, mul_contract_program, xyzz_madd_program_analyzed,
+};
+use gpu_kernels::ffprogs::{ff_program_analyzed, regs};
+use gpu_kernels::microbench::{run_ff_op, FfInputs};
+use gpu_kernels::{FfOp, Field32};
+use gpu_sim::analysis::{analyze_ranges, LintKind};
+use gpu_sim::isa::{ProgramBuilder, Src};
+use gpu_sim::machine::SmspConfig;
+use proptest::prelude::*;
+use zkp_ff::{Fq377Config, Fq381Config, Fr377Config, Fr381Config};
+
+fn fields() -> Vec<(&'static str, Field32)> {
+    vec![
+        ("Fr381", Field32::of::<Fr381Config, 4>()),
+        ("Fq381", Field32::of::<Fq381Config, 6>()),
+        ("Fr377", Field32::of::<Fr377Config, 4>()),
+        ("Fq377", Field32::of::<Fq377Config, 6>()),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(6))]
+
+    /// Randomized executions never escape the inferred store intervals.
+    #[test]
+    fn ff_outputs_stay_inside_inferred_intervals(seed in 0u64..1 << 48, iters in 1u32..3) {
+        let config = SmspConfig::default();
+        for (fname, field) in &fields() {
+            for op in FfOp::all() {
+                let (program, facts) = ff_program_analyzed(field, op, iters);
+                let ra = analyze_ranges(&program, &facts.assumptions, &facts.obligations);
+                prop_assert!(ra.is_clean(), "{op:?} {fname}: {:?}", ra.diagnostics);
+
+                let inputs = FfInputs::random(field, 1, seed);
+                let report = run_ff_op(field, op, &config, &inputs, 1, iters);
+                // The kernel's stores all go through ADDR_OUT at word
+                // offset j; the static interval for that store must
+                // contain every limb any thread actually wrote.
+                for sb in &ra.store_bounds {
+                    prop_assert_eq!(sb.addr, regs::ADDR_OUT);
+                    for out in &report.outputs {
+                        let limb = out[sb.offset as usize];
+                        prop_assert!(
+                            sb.value.contains(limb),
+                            "{:?} {}: stored limb {} = {:#x} outside [{:#x}, {:#x}]",
+                            op, fname, sb.offset, limb, sb.value.lo, sb.value.hi
+                        );
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// Both CIOS generators' `< 2p` obligations prove on all four fields.
+#[test]
+fn cios_output_bound_proves_for_both_generators_on_all_fields() {
+    for (fname, field) in &fields() {
+        // Generator 1: ffprogs::emit_cios, via FF_mul and FF_sqr.
+        for op in [FfOp::Mul, FfOp::Sqr] {
+            let (program, facts) = ff_program_analyzed(field, op, 1);
+            assert_eq!(facts.obligations.len(), 1, "{op:?} {fname}");
+            let ra = analyze_ranges(&program, &facts.assumptions, &facts.obligations);
+            assert!(
+                ra.diagnostics.is_empty(),
+                "{op:?} {fname}: {:?}",
+                ra.diagnostics
+            );
+            assert_eq!(ra.proved.len(), 1, "{op:?} {fname}");
+        }
+        // Generator 2: curveprogs' private ff_mul, in isolation and in
+        // both curve kernels where its operands are canonical loads.
+        let (program, _, facts) = mul_contract_program(field);
+        let ra = analyze_ranges(&program, &facts.assumptions, &facts.obligations);
+        assert!(
+            ra.diagnostics.is_empty(),
+            "contract {fname}: {:?}",
+            ra.diagnostics
+        );
+        assert_eq!(ra.proved.len(), 1, "contract {fname}");
+
+        let (program, _, facts) = butterfly_program_analyzed(field);
+        let ra = analyze_ranges(&program, &facts.assumptions, &facts.obligations);
+        assert!(
+            ra.diagnostics.is_empty(),
+            "butterfly {fname}: {:?}",
+            ra.diagnostics
+        );
+        assert_eq!(ra.proved.len(), 1, "butterfly {fname}");
+
+        let (program, _, facts) = xyzz_madd_program_analyzed(field);
+        let ra = analyze_ranges(&program, &facts.assumptions, &facts.obligations);
+        assert!(
+            ra.diagnostics.is_empty(),
+            "xyzz {fname}: {:?}",
+            ra.diagnostics
+        );
+        assert_eq!(ra.proved.len(), 2, "xyzz {fname}");
+    }
+}
+
+/// A deliberately broken kernel — an `IADD3.CC` adding three full-range
+/// registers, whose carry-out needs two bits — must raise
+/// `PossibleOverflow`.
+#[test]
+fn broken_carry_chain_triggers_possible_overflow() {
+    let mut b = ProgramBuilder::new();
+    b.ldg(0, 10, 0);
+    b.ldg(1, 10, 1);
+    b.ldg(2, 10, 2);
+    // r3 = r0 + r1 + r2 can reach 3·(2^32 - 1): the carry-out exceeds
+    // one bit, which the downstream `.CC` consumer cannot represent.
+    b.iadd3(3, Src::Reg(0), Src::Reg(1), Src::Reg(2), true, false);
+    b.iadd3(4, Src::Imm(0), Src::Imm(0), Src::Imm(0), false, true);
+    b.stg(3, 10, 3);
+    b.stg(4, 10, 4);
+    b.exit();
+    let program = b.build();
+
+    let ra = analyze_ranges(&program, &gpu_sim::analysis::RangeAssumptions::new(), &[]);
+    assert!(
+        ra.diagnostics
+            .iter()
+            .any(|d| d.kind == LintKind::PossibleOverflow),
+        "expected PossibleOverflow, got {:?}",
+        ra.diagnostics
+    );
+}
+
+/// A too-strong obligation — claiming the untouched sum of two canonical
+/// loads is `< p` when it can reach `2p - 2` — must surface as
+/// `RangeUnprovable` rather than silently "prove".
+#[test]
+fn false_obligation_is_reported_unprovable() {
+    let field = Field32::of::<Fr381Config, 4>();
+    let (program, mut facts) = ff_program_analyzed(&field, FfOp::Mul, 1);
+    // Tighten the real `< 2p` obligation into a false `< p` one.
+    assert_eq!(facts.obligations.len(), 1);
+    facts.obligations[0].bound = field.modulus.clone();
+    facts.obligations[0].what = format!("FALSE claim: CIOS output < p ({})", field.name);
+    let ra = analyze_ranges(&program, &facts.assumptions, &facts.obligations);
+    assert!(
+        ra.diagnostics
+            .iter()
+            .any(|d| d.kind == LintKind::RangeUnprovable),
+        "expected RangeUnprovable, got {:?}",
+        ra.diagnostics
+    );
+    assert!(ra.proved.is_empty());
+}

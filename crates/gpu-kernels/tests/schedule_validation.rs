@@ -1,0 +1,195 @@
+//! Differential validation of the static scoreboard model
+//! (`gpu_sim::analysis::schedule`) against the cycle-accurate simulator
+//! (`gpu_sim::machine`), for every generated kernel on three GPU
+//! generations (V100 / A100 / H100).
+//!
+//! # Tolerance
+//!
+//! Predictions must land within **±3%** of simulated cycles. The only
+//! systematic divergence is the final conditional reduction in `FF_mul`
+//! and `FF_sqr`: the predicted trace takes its fall-through (subtract)
+//! path, but a warp whose 32 lanes *all* land below `p` branches over it
+//! uniformly and skips those instructions. The per-lane skip probability
+//! is field-dependent (roughly `1 - p/R` shaped; highest for BLS12-377
+//! Fq), so a uniformly-taken reduce occasionally shaves a few dozen
+//! cycles off the simulated run. The conditional copy is ~`n`
+//! instructions out of ~`130·n`, which keeps the error well inside the
+//! band — the assertions below document exactly that bound.
+//!
+//! The per-SMSP machine shape (32-wide warps, 16 INT32 lanes, 4-cycle
+//! `IMAD`) is identical across the generations the paper studies — the
+//! generations differ in SM count and clock, which scale chip throughput,
+//! not the warp schedule — so matching predictions across devices are the
+//! expected outcome, and the three-device sweep validates the
+//! `DeviceSpec -> SmspConfig` conversion path.
+
+use gpu_kernels::curveprogs::{butterfly_program_analyzed, xyzz_madd_program_analyzed};
+use gpu_kernels::ffprogs::ff_program_analyzed;
+use gpu_kernels::microbench::{run_ff_op, FfInputs};
+use gpu_kernels::{FfOp, Field32};
+use gpu_sim::analysis::predict_schedule;
+use gpu_sim::device::{a100, h100, v100, DeviceSpec};
+use gpu_sim::machine::{Machine, SmspConfig, WarpInit};
+use rand::{rngs::StdRng, Rng, SeedableRng};
+use zkp_ff::{Fq377Config, Fq381Config, Fr377Config, Fr381Config};
+
+const TOLERANCE_PCT: f64 = 3.0;
+
+fn generations() -> [DeviceSpec; 3] {
+    [v100(), a100(), h100()]
+}
+
+fn fields() -> Vec<(&'static str, Field32)> {
+    vec![
+        ("Fr381", Field32::of::<Fr381Config, 4>()),
+        ("Fq381", Field32::of::<Fq381Config, 6>()),
+        ("Fr377", Field32::of::<Fr377Config, 4>()),
+        ("Fq377", Field32::of::<Fq377Config, 6>()),
+    ]
+}
+
+fn assert_within(kernel: &str, device: &str, predicted: u64, simulated: u64) {
+    let err = 100.0 * (predicted as f64 - simulated as f64) / simulated as f64;
+    assert!(
+        err.abs() <= TOLERANCE_PCT,
+        "{kernel} on {device}: predicted {predicted} vs simulated {simulated} ({err:+.2}%)"
+    );
+}
+
+#[test]
+fn ff_kernel_predictions_track_the_simulator() {
+    for device in &generations() {
+        let config = SmspConfig::from(device);
+        for (fname, field) in &fields() {
+            for op in FfOp::all() {
+                for warps in [1usize, 2, 8] {
+                    let (program, facts) = ff_program_analyzed(field, op, 1);
+                    let pred = predict_schedule(&program, &config, warps as u32, &facts.hints)
+                        .expect("FF kernels are schedulable");
+                    let inputs = FfInputs::random(field, warps, 7 + warps as u64);
+                    let sim = run_ff_op(field, op, &config, &inputs, warps, 1).sim;
+                    // The predicted trace takes every reduce fall-through;
+                    // a uniformly-taken branch lets the simulator skip a
+                    // few instructions, never add any.
+                    assert!(pred.instructions >= sim.instructions, "{op:?} {fname}");
+                    assert_within(
+                        &format!("{} {} x{}w", op.name(), fname, warps),
+                        device.name,
+                        pred.cycles,
+                        sim.cycles,
+                    );
+                }
+            }
+        }
+    }
+}
+
+/// Multi-iteration kernels exercise the back edge: the trace replays the
+/// loop body `iters` times, and the prediction must still track.
+#[test]
+fn looped_ff_kernel_predictions_track_the_simulator() {
+    let device = a100();
+    let config = SmspConfig::from(&device);
+    for (fname, field) in &fields() {
+        for op in [FfOp::Mul, FfOp::Add] {
+            let (program, facts) = ff_program_analyzed(field, op, 4);
+            let pred = predict_schedule(&program, &config, 2, &facts.hints)
+                .expect("FF kernels are schedulable");
+            let inputs = FfInputs::random(field, 2, 99);
+            let sim = run_ff_op(field, op, &config, &inputs, 2, 4).sim;
+            assert_within(
+                &format!("{} {} iters=4", op.name(), fname),
+                device.name,
+                pred.cycles,
+                sim.cycles,
+            );
+        }
+    }
+}
+
+fn random_canonical(field: &Field32, rng: &mut StdRng) -> Vec<u32> {
+    loop {
+        let cand: Vec<u32> = (0..field.num_limbs()).map(|_| rng.gen()).collect();
+        let below = cand
+            .iter()
+            .rev()
+            .zip(field.modulus.iter().rev())
+            .find_map(|(c, p)| (c != p).then_some(c < p))
+            .unwrap_or(false);
+        if below {
+            return cand;
+        }
+    }
+}
+
+#[test]
+fn curve_kernel_predictions_track_the_simulator() {
+    let fq = Field32::of::<Fq381Config, 6>();
+    let fr = Field32::of::<Fr381Config, 4>();
+    for device in &generations() {
+        let config = SmspConfig::from(device);
+
+        // XYZZ madd: one warp, 32 independent (bucket, point) pairs of
+        // random canonical coordinates (timing only — the schedule does
+        // not care whether points lie on the curve).
+        let (program, layout, facts) = xyzz_madd_program_analyzed(&fq);
+        let n = fq.num_limbs();
+        let mut rng = StdRng::seed_from_u64(21);
+        let words_bucket = 4 * n;
+        let words_point = 2 * n;
+        let mut machine = Machine::new(config.clone(), 32 * (words_bucket + words_point));
+        let point_base = 32 * words_bucket;
+        for t in 0..32 {
+            for k in 0..4 {
+                let v = random_canonical(&fq, &mut rng);
+                let base = t * words_bucket + k * n;
+                machine.global_mem[base..base + n].copy_from_slice(&v);
+            }
+            for k in 0..2 {
+                let v = random_canonical(&fq, &mut rng);
+                let base = point_base + t * words_point + k * n;
+                machine.global_mem[base..base + n].copy_from_slice(&v);
+            }
+        }
+        let mut init = WarpInit::default();
+        let mut addr_bucket = [0u32; 32];
+        let mut addr_point = [0u32; 32];
+        for t in 0..32 {
+            addr_bucket[t] = (t * words_bucket) as u32;
+            addr_point[t] = (point_base + t * words_point) as u32;
+        }
+        init.per_thread(layout.addr_bucket as usize, addr_bucket);
+        init.per_thread(layout.addr_point as usize, addr_point);
+        let sim = machine.run(&program, &[init]);
+        let pred =
+            predict_schedule(&program, &config, 1, &facts.hints).expect("madd is schedulable");
+        assert_within("XYZZ madd", device.name, pred.cycles, sim.cycles);
+
+        // NTT butterfly, same setup over three element banks.
+        let (program, layout, facts) = butterfly_program_analyzed(&fr);
+        let n = fr.num_limbs();
+        let mut machine = Machine::new(config.clone(), 32 * 3 * n);
+        for t in 0..32 {
+            for base in [0usize, 32 * n, 64 * n] {
+                let v = random_canonical(&fr, &mut rng);
+                machine.global_mem[base + t * n..base + (t + 1) * n].copy_from_slice(&v);
+            }
+        }
+        let mut init = WarpInit::default();
+        let mut addr_a = [0u32; 32];
+        let mut addr_b = [0u32; 32];
+        let mut addr_w = [0u32; 32];
+        for t in 0..32 {
+            addr_a[t] = (t * n) as u32;
+            addr_b[t] = (32 * n + t * n) as u32;
+            addr_w[t] = (64 * n + t * n) as u32;
+        }
+        init.per_thread(layout.addr_a as usize, addr_a);
+        init.per_thread(layout.addr_b as usize, addr_b);
+        init.per_thread(layout.addr_w as usize, addr_w);
+        let sim = machine.run(&program, &[init]);
+        let pred =
+            predict_schedule(&program, &config, 1, &facts.hints).expect("butterfly is schedulable");
+        assert_within("NTT butterfly", device.name, pred.cycles, sim.cycles);
+    }
+}

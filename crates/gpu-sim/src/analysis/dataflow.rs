@@ -144,7 +144,6 @@ impl BitSet {
             *w &= !o;
         }
     }
-
 }
 
 /// Dense indexing of the resources a program touches: registers first,

@@ -29,6 +29,20 @@ pub enum LintKind {
     Unreachable,
     /// A path that runs off the end of the program without `EXIT`.
     MissingExit,
+    /// A `LDG` whose loaded value is never read on any path to exit — dead
+    /// memory traffic (loads are excluded from [`LintKind::DeadWrite`]
+    /// because they touch memory; a dead *destination* is its own finding).
+    DeadLoad,
+    /// A guarded branch whose predicate is statically known to disagree
+    /// with the branch polarity — the branch can never be taken.
+    NeverTakenBranch,
+    /// An `IADD3.CC` whose 64-bit sum may exceed the one-bit carry the
+    /// machine models (the simulator asserts on it). Reported by the range
+    /// analysis ([`crate::analysis::ranges`]).
+    PossibleOverflow,
+    /// A value-bound proof obligation the range analysis could not
+    /// discharge (e.g. a Montgomery output provably `< 2p`).
+    RangeUnprovable,
 }
 
 impl core::fmt::Display for LintKind {
@@ -41,6 +55,10 @@ impl core::fmt::Display for LintKind {
             LintKind::BranchOutOfRange => "branch out of range",
             LintKind::Unreachable => "unreachable code",
             LintKind::MissingExit => "missing exit",
+            LintKind::DeadLoad => "dead load",
+            LintKind::NeverTakenBranch => "never-taken branch",
+            LintKind::PossibleOverflow => "possible carry overflow",
+            LintKind::RangeUnprovable => "range bound unprovable",
         };
         f.write_str(s)
     }
@@ -85,6 +103,7 @@ pub fn lint_with_cfg(program: &Program, cfg: &Cfg, inputs: &[Reg]) -> Vec<Diagno
     unreachable_code(cfg, &mut diags);
     uninit_reads(program, cfg, inputs, &mut diags);
     dead_writes(program, cfg, &mut diags);
+    never_taken_branches(program, cfg, &mut diags);
     diags.sort_by_key(|d| d.pc);
     diags
 }
@@ -222,12 +241,68 @@ fn dead_writes(program: &Program, cfg: &Cfg, diags: &mut Vec<Diagnostic>) {
                         ),
                     });
                 }
+            } else if let Instr::Ldg { dst, .. } = inst {
+                // Loads touch memory, so they are never DeadWrite; a loaded
+                // value nobody reads is still wasted traffic.
+                if !out.contains(live.map.index(Resource::Reg(dst))) {
+                    found.push(Diagnostic {
+                        kind: LintKind::DeadLoad,
+                        pc,
+                        message: format!("LDG loads into r{dst} but no path reads it"),
+                    });
+                }
             }
             instr_defs(&inst, |r| out.remove(live.map.index(r)));
             instr_uses(&inst, |r| out.insert(live.map.index(r)));
         }
         found.reverse();
         diags.extend(found);
+    }
+}
+
+/// Flags guarded branches whose predicate is statically known to disagree
+/// with the branch polarity. Block-local constant propagation of `SETP`
+/// results over immediate operands is enough to catch the generator bug
+/// this lint is for (a comparison wired to constants by mistake).
+fn never_taken_branches(program: &Program, cfg: &Cfg, diags: &mut Vec<Diagnostic>) {
+    use crate::isa::{CmpOp, Src};
+    for (b, blk) in cfg.blocks.iter().enumerate() {
+        if !cfg.reachable[b] {
+            continue;
+        }
+        let mut known: [Option<bool>; 4] = [None; 4];
+        for pc in blk.start..blk.end {
+            match program.fetch(pc) {
+                Instr::Setp { pred, a, b, cmp } => {
+                    known[pred as usize] = match (a, b) {
+                        (Src::Imm(x), Src::Imm(y)) => Some(match cmp {
+                            CmpOp::Eq => x == y,
+                            CmpOp::Ne => x != y,
+                            CmpOp::Lt => x < y,
+                            CmpOp::Ge => x >= y,
+                        }),
+                        _ => None,
+                    };
+                }
+                Instr::Bra {
+                    pred: Some((p, pol)),
+                    ..
+                } => {
+                    if let Some(v) = known[p as usize] {
+                        if v != pol {
+                            diags.push(Diagnostic {
+                                kind: LintKind::NeverTakenBranch,
+                                pc,
+                                message: format!(
+                                    "branch guarded by p{p}={pol} but p{p} is always {v}"
+                                ),
+                            });
+                        }
+                    }
+                }
+                _ => {}
+            }
+        }
     }
 }
 
@@ -349,6 +424,70 @@ mod tests {
         assert_eq!(diags.len(), 1);
         assert_eq!(diags[0].kind, LintKind::MissingExit);
         assert_eq!(diags[0].pc, 1);
+    }
+
+    #[test]
+    fn dead_load_is_flagged_across_blocks() {
+        // The loaded r0 is overwritten on every path before any read.
+        let mut b = ProgramBuilder::new();
+        let skip = b.label();
+        b.ldg(0, 10, 0); // dead: both paths below clobber r0
+        b.setp(0, Src::Reg(10), Src::Imm(4), CmpOp::Lt);
+        b.bra(skip, Some((0, true)));
+        b.mov(0, Src::Imm(1));
+        b.place(skip);
+        b.mov(0, Src::Imm(2));
+        b.stg(0, 10, 1);
+        b.exit();
+        let diags = clean(&b.build(), &[10]);
+        let dead: Vec<_> = diags
+            .iter()
+            .filter(|d| d.kind == LintKind::DeadLoad)
+            .collect();
+        assert_eq!(dead.len(), 1);
+        assert_eq!(dead[0].pc, 0);
+        assert!(dead[0].message.contains("r0"));
+    }
+
+    #[test]
+    fn live_load_is_not_flagged() {
+        let mut b = ProgramBuilder::new();
+        b.ldg(0, 10, 0);
+        b.stg(0, 10, 1);
+        b.exit();
+        assert!(clean(&b.build(), &[10]).is_empty());
+    }
+
+    #[test]
+    fn never_taken_branch_is_flagged() {
+        let mut b = ProgramBuilder::new();
+        let skip = b.label();
+        b.setp(1, Src::Imm(3), Src::Imm(3), CmpOp::Ne); // always false
+        b.bra(skip, Some((1, true))); // can never be taken
+        b.mov(0, Src::Imm(1));
+        b.place(skip);
+        b.stg(0, 10, 0);
+        b.exit();
+        let diags = clean(&b.build(), &[0, 10]);
+        let nt: Vec<_> = diags
+            .iter()
+            .filter(|d| d.kind == LintKind::NeverTakenBranch)
+            .collect();
+        assert_eq!(nt.len(), 1);
+        assert_eq!(nt[0].pc, 1);
+    }
+
+    #[test]
+    fn data_dependent_branch_is_not_never_taken() {
+        let mut b = ProgramBuilder::new();
+        let skip = b.label();
+        b.setp(0, Src::Reg(9), Src::Imm(1), CmpOp::Lt);
+        b.bra(skip, Some((0, true)));
+        b.mov(1, Src::Imm(5));
+        b.place(skip);
+        b.exit();
+        let diags = clean(&b.build(), &[9]);
+        assert!(diags.iter().all(|d| d.kind != LintKind::NeverTakenBranch));
     }
 
     #[test]

@@ -81,6 +81,28 @@ impl StaticMetrics {
             dep_chain_depth: dep_chain_depth(program, cfg, &map),
         }
     }
+
+    /// Serializes as a JSON object (the repo hand-rolls JSON; no serde).
+    pub fn to_json(&self) -> String {
+        let mix: Vec<String> = self
+            .mix
+            .iter()
+            .map(|(m, c)| format!("{{\"mnemonic\":\"{m}\",\"count\":{c}}}"))
+            .collect();
+        format!(
+            "{{\"instructions\":{},\"mix\":[{}],\"int32_instructions\":{},\
+             \"int32_share\":{:.6},\"imad_share\":{:.6},\"registers_touched\":{},\
+             \"max_live_regs\":{},\"dep_chain_depth\":{}}}",
+            self.instructions,
+            mix.join(","),
+            self.int32_instructions,
+            self.int32_share,
+            self.imad_share,
+            self.registers_touched,
+            self.max_live_regs,
+            self.dep_chain_depth
+        )
+    }
 }
 
 /// Longest dependence chain within any single reachable basic block:

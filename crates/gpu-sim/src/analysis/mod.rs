@@ -13,7 +13,16 @@
 //! - [`lints`] — uninitialized reads, dangling carries, dead writes,
 //!   out-of-range branches, unreachable code, missing `EXIT`;
 //! - [`metrics::StaticMetrics`] — mix, INT32-pipe share, inferred register
-//!   pressure, dependence-chain depth.
+//!   pressure, dependence-chain depth;
+//! - [`schedule`] — static scoreboard scheduling: simulator-free prediction
+//!   of issue cycles, the Fig. 10 stall taxonomy, critical path, per-pipe
+//!   utilization, and ILP headroom, validated against [`crate::machine`];
+//! - [`ranges`] — value-range abstract interpretation over 32-bit limbs,
+//!   carry flags, and predicates, proving overflow-freedom and `< 2p`
+//!   Montgomery output bounds for the field kernels;
+//! - [`chainproof`] — exact symbolic chain certificates (sparse
+//!   polynomials over bounded symbols) that discharge the `< 2p`
+//!   obligations the interval domain provably cannot close.
 //!
 //! # Examples
 //!
@@ -38,14 +47,23 @@
 //! ```
 
 pub mod cfg;
+pub mod chainproof;
 pub mod dataflow;
 pub mod lints;
 pub mod metrics;
+pub mod ranges;
+pub mod schedule;
 
 pub use cfg::{BasicBlock, Cfg};
 pub use dataflow::{Liveness, ReachingDefs, Resource, ResourceMap};
 pub use lints::{lint, lint_structural, Diagnostic, LintKind};
 pub use metrics::StaticMetrics;
+pub use ranges::{
+    analyze_ranges, Interval, RangeAnalysis, RangeAssumptions, StoreBound, ValueBound,
+};
+pub use schedule::{
+    predict_schedule, BlockSchedule, BranchHint, ScheduleError, ScheduleHints, SchedulePrediction,
+};
 
 use crate::isa::Program;
 

@@ -1,0 +1,961 @@
+//! Static scoreboard scheduling: simulator-free prediction of the numbers
+//! [`crate::machine`] produces dynamically.
+//!
+//! The key observation making this tractable is that the SMSP timing model
+//! is *value-independent*: register contents influence timing only through
+//! control flow. A divergent forward skip-branch issues exactly the same
+//! instruction sequence as a uniform not-taken branch (the active mask
+//! does not change issue timing), so once branch outcomes are pinned down,
+//! a purely static walk of the resulting instruction trace through the
+//! scoreboard model reproduces the simulator's cycles and stall taxonomy.
+//!
+//! Branch outcomes are pinned down two ways:
+//!
+//! 1. A constant-propagation mini-interpreter folds warp-uniform scalar
+//!    state (`MOV` of immediates, `IADD3`/`IMAD` over known constants,
+//!    `ISETP` over known constants). This resolves loop trip counts — the
+//!    microbenchmarks' `LOOP` counter is pure constant arithmetic — with
+//!    no pattern matching.
+//! 2. Remaining data-dependent *forward* branches take a [`BranchHint`]
+//!    supplied by the kernel generator. The default, [`BranchHint::NotTaken`],
+//!    models both the divergent and the uniformly-not-taken case (identical
+//!    timing); [`BranchHint::Taken`] models a branch that is uniformly
+//!    taken in practice (e.g. the never-hit tie check in `FF_dbl`).
+//!
+//! On top of the whole-program prediction, the pass reports per-basic-block
+//! issue schedules, the latency-weighted critical path through the
+//! dependence DAG, per-pipe utilization, and an *ILP headroom* estimate —
+//! the static counterpart of the paper's "dependence stalls dominate, ILP
+//! is underutilized" finding (Obs. 4/8, Fig. 10).
+
+use crate::analysis::cfg::Cfg;
+use crate::analysis::dataflow::{instr_defs, instr_uses, ResourceMap};
+use crate::isa::{CmpOp, Instr, LogicOp, Program, Src};
+use crate::machine::{SmspConfig, StallBreakdown};
+use std::fmt;
+
+/// Static prediction for a data-dependent forward branch.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum BranchHint {
+    /// The branch is taken by every thread: the trace jumps to the target.
+    Taken,
+    /// The branch is not taken uniformly (or diverges): the trace falls
+    /// through. Divergent skips and uniform fall-through have identical
+    /// issue timing, so this one hint covers both — and it is the default.
+    #[default]
+    NotTaken,
+}
+
+/// Per-pc [`BranchHint`]s recorded by a kernel generator.
+///
+/// Branches whose predicate the constant folder resolves never consult the
+/// hints; unhinted unresolved branches default to [`BranchHint::NotTaken`].
+#[derive(Debug, Clone, Default)]
+pub struct ScheduleHints {
+    hints: Vec<(usize, BranchHint)>,
+}
+
+impl ScheduleHints {
+    /// An empty hint set (every unresolved branch defaults to not-taken).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records a hint for the branch at `pc` (last write wins).
+    pub fn set(&mut self, pc: usize, hint: BranchHint) {
+        self.hints.push((pc, hint));
+    }
+
+    /// The hint for `pc`, defaulting to [`BranchHint::NotTaken`].
+    pub fn get(&self, pc: usize) -> BranchHint {
+        self.hints
+            .iter()
+            .rev()
+            .find(|(p, _)| *p == pc)
+            .map_or(BranchHint::NotTaken, |(_, h)| *h)
+    }
+}
+
+/// Why a static schedule could not be constructed.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ScheduleError {
+    /// The program has no instructions.
+    EmptyProgram,
+    /// A backward branch whose predicate the constant folder could not
+    /// resolve: the trip count is data-dependent, so no finite static
+    /// trace exists.
+    UnresolvedLoop {
+        /// The branch instruction's index.
+        pc: usize,
+    },
+    /// The trace exceeded the safety limit (runaway constant-folded loop).
+    TraceLimit {
+        /// The limit that was hit, in trace instructions.
+        limit: usize,
+    },
+    /// Control ran past the end of the program (missing `EXIT`).
+    FellOffEnd {
+        /// The pc past the end that was about to be fetched.
+        pc: usize,
+    },
+}
+
+impl fmt::Display for ScheduleError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ScheduleError::EmptyProgram => write!(f, "cannot schedule an empty program"),
+            ScheduleError::UnresolvedLoop { pc } => write!(
+                f,
+                "backward branch at pc {pc} has a data-dependent predicate; \
+                 trip count is not statically resolvable"
+            ),
+            ScheduleError::TraceLimit { limit } => {
+                write!(f, "static trace exceeded {limit} instructions")
+            }
+            ScheduleError::FellOffEnd { pc } => {
+                write!(f, "trace fell off the end of the program at pc {pc}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ScheduleError {}
+
+/// Single-warp issue schedule of one basic block, from a clean scoreboard.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BlockSchedule {
+    /// Block id in the [`Cfg`].
+    pub block: usize,
+    /// First instruction index.
+    pub start: usize,
+    /// One past the last instruction index.
+    pub end: usize,
+    /// Instructions in the block.
+    pub instructions: usize,
+    /// Cycles a single warp needs to issue the whole block.
+    pub issue_cycles: u64,
+    /// Latency-weighted longest dependence chain through the block.
+    pub critical_path: u64,
+    /// Warp-cycle breakdown of the single-warp walk.
+    pub stalls: StallBreakdown,
+}
+
+impl BlockSchedule {
+    /// Serializes as a JSON object (the repo hand-rolls JSON; no serde).
+    pub fn to_json(&self) -> String {
+        format!(
+            "{{\"block\":{},\"start\":{},\"end\":{},\"instructions\":{},\
+             \"issue_cycles\":{},\"critical_path\":{},\"stalls\":{}}}",
+            self.block,
+            self.start,
+            self.end,
+            self.instructions,
+            self.issue_cycles,
+            self.critical_path,
+            self.stalls.to_json()
+        )
+    }
+}
+
+/// The static schedule prediction for a whole program.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SchedulePrediction {
+    /// Predicted elapsed cycles until all warps exit.
+    pub cycles: u64,
+    /// Warp-instructions issued (`trace_len × warps`).
+    pub instructions: u64,
+    /// Resident warps modeled.
+    pub warps: u32,
+    /// Predicted warp-cycle stall breakdown (Fig. 10 taxonomy).
+    pub stalls: StallBreakdown,
+    /// Predicted cycles in which no warp was eligible.
+    pub no_eligible_cycles: u64,
+    /// Instructions in the static trace of one warp.
+    pub trace_len: usize,
+    /// Latency-weighted critical path through the whole trace, in cycles —
+    /// the dependence-imposed lower bound on single-warp execution.
+    pub critical_path: u64,
+    /// `critical_path / trace_len / int32_interval`: the ratio of the
+    /// dependence-imposed issue interval to the pipe-imposed one. Values
+    /// above 1 mean the warp cannot saturate the INT32 pipe by itself —
+    /// roughly the number of independent warps needed to hide dependence
+    /// latency (the paper's underutilized-ILP story).
+    pub ilp_headroom: f64,
+    /// Fraction of predicted cycles the INT32 pipe is occupied.
+    pub int32_utilization: f64,
+    /// Fraction of predicted cycles the LSU pipe is occupied.
+    pub mem_utilization: f64,
+    /// Per-reachable-basic-block single-warp schedules.
+    pub blocks: Vec<BlockSchedule>,
+}
+
+impl SchedulePrediction {
+    /// Predicted warp-instructions per cycle.
+    pub fn ipc(&self) -> f64 {
+        self.instructions as f64 / self.cycles.max(1) as f64
+    }
+
+    /// Predicted average cycles between issued instructions.
+    pub fn issue_interval(&self) -> f64 {
+        self.cycles as f64 / self.instructions.max(1) as f64
+    }
+
+    /// Serializes as a JSON object (the repo hand-rolls JSON; no serde).
+    pub fn to_json(&self) -> String {
+        let blocks: Vec<String> = self.blocks.iter().map(BlockSchedule::to_json).collect();
+        format!(
+            "{{\"cycles\":{},\"instructions\":{},\"warps\":{},\"stalls\":{},\
+             \"no_eligible_cycles\":{},\"trace_len\":{},\"critical_path\":{},\
+             \"ilp_headroom\":{:.6},\"int32_utilization\":{:.6},\
+             \"mem_utilization\":{:.6},\"ipc\":{:.6},\"blocks\":[{}]}}",
+            self.cycles,
+            self.instructions,
+            self.warps,
+            self.stalls.to_json(),
+            self.no_eligible_cycles,
+            self.trace_len,
+            self.critical_path,
+            self.ilp_headroom,
+            self.int32_utilization,
+            self.mem_utilization,
+            self.ipc(),
+            blocks.join(",")
+        )
+    }
+}
+
+/// Default cap on static trace length (instructions), far above any
+/// generated kernel but low enough to catch runaway constant-folded loops.
+const TRACE_LIMIT: usize = 1 << 23;
+
+/// Predicts the schedule of `program` on `warps` identical resident warps
+/// of an SMSP described by `config`, without running the simulator.
+///
+/// The prediction is exact for programs whose branches are resolved by
+/// constant folding, and matches the simulator to within the rarity of
+/// uniformly-taken data-dependent branches otherwise (see module docs).
+pub fn predict_schedule(
+    program: &Program,
+    config: &SmspConfig,
+    warps: u32,
+    hints: &ScheduleHints,
+) -> Result<SchedulePrediction, ScheduleError> {
+    if program.is_empty() {
+        return Err(ScheduleError::EmptyProgram);
+    }
+    let warps = warps.max(1);
+    let trace = build_trace(program, hints, TRACE_LIMIT)?;
+    let (cycles, stalls, no_eligible) = scoreboard_walk(program, &trace, config, warps as usize);
+    let map = ResourceMap::of(program);
+    let critical_path = critical_path_cycles(program, &trace, config, &map);
+
+    let int32_interval = u64::from(config.warp_size / config.int32_lanes.max(1)).max(1);
+    let int32_instrs = trace
+        .iter()
+        .filter(|&&pc| program.fetch(pc).uses_int32_pipe())
+        .count() as u64;
+    let mem_instrs = trace
+        .iter()
+        .filter(|&&pc| matches!(program.fetch(pc), Instr::Ldg { .. } | Instr::Stg { .. }))
+        .count() as u64;
+    let total_cycles = cycles.max(1) as f64;
+    let graph = Cfg::build(program);
+    let blocks = block_schedules(program, &graph, config, &map);
+
+    Ok(SchedulePrediction {
+        cycles,
+        instructions: trace.len() as u64 * u64::from(warps),
+        warps,
+        stalls,
+        no_eligible_cycles: no_eligible,
+        trace_len: trace.len(),
+        critical_path,
+        ilp_headroom: critical_path as f64 / trace.len().max(1) as f64 / int32_interval as f64,
+        int32_utilization: (int32_instrs * int32_interval * u64::from(warps)) as f64 / total_cycles,
+        mem_utilization: (mem_instrs * int32_interval * u64::from(warps)) as f64 / total_cycles,
+        blocks,
+    })
+}
+
+// ---------------------------------------------------------------------------
+// Trace construction: constant-propagation mini-interpreter.
+// ---------------------------------------------------------------------------
+
+/// Warp-uniform compile-time-known scalar state.
+struct ConstState {
+    regs: Vec<Option<u32>>,
+    cc: Option<u32>,
+    preds: [Option<bool>; 4],
+}
+
+impl ConstState {
+    fn src(&self, s: &Src) -> Option<u32> {
+        match s {
+            Src::Imm(v) => Some(*v),
+            Src::Reg(r) => self.regs.get(*r as usize).copied().flatten(),
+        }
+    }
+
+    fn set(&mut self, r: u16, v: Option<u32>) {
+        let idx = r as usize;
+        if idx >= self.regs.len() {
+            self.regs.resize(idx + 1, None);
+        }
+        self.regs[idx] = v;
+    }
+}
+
+/// Walks `program` from the entry, folding warp-uniform constants to
+/// resolve branch outcomes, and returns the issued-pc trace.
+fn build_trace(
+    program: &Program,
+    hints: &ScheduleHints,
+    limit: usize,
+) -> Result<Vec<usize>, ScheduleError> {
+    let mut st = ConstState {
+        regs: Vec::new(),
+        cc: Some(0),
+        preds: [Some(false); 4],
+    };
+    let mut trace = Vec::new();
+    let mut pc = 0usize;
+    loop {
+        if pc >= program.len() {
+            return Err(ScheduleError::FellOffEnd { pc });
+        }
+        if trace.len() >= limit {
+            return Err(ScheduleError::TraceLimit { limit });
+        }
+        let inst = program.fetch(pc);
+        trace.push(pc);
+        match inst {
+            Instr::Imad {
+                dst,
+                a,
+                b,
+                c,
+                hi,
+                set_cc,
+                use_cc,
+            } => {
+                let cin = if use_cc { st.cc } else { Some(0) };
+                let v = match (st.src(&a), st.src(&b), st.src(&c), cin) {
+                    (Some(a), Some(b), Some(c), Some(cin)) => {
+                        let prod = u64::from(a) * u64::from(b);
+                        let part = if hi { prod >> 32 } else { prod & 0xffff_ffff };
+                        Some(part + u64::from(c) + u64::from(cin))
+                    }
+                    _ => None,
+                };
+                st.set(dst, v.map(|s| s as u32));
+                if set_cc {
+                    st.cc = v.map(|s| ((s >> 32) & 1) as u32);
+                }
+                pc += 1;
+            }
+            Instr::Iadd3 {
+                dst,
+                a,
+                b,
+                c,
+                set_cc,
+                use_cc,
+            } => {
+                let cin = if use_cc { st.cc } else { Some(0) };
+                let v = match (st.src(&a), st.src(&b), st.src(&c), cin) {
+                    (Some(a), Some(b), Some(c), Some(cin)) => {
+                        Some(u64::from(a) + u64::from(b) + u64::from(c) + u64::from(cin))
+                    }
+                    _ => None,
+                };
+                st.set(dst, v.map(|s| s as u32));
+                if set_cc {
+                    st.cc = v.map(|s| ((s >> 32) & 1) as u32);
+                }
+                pc += 1;
+            }
+            Instr::Shf {
+                dst,
+                a,
+                b,
+                sh,
+                right,
+            } => {
+                let v = match (st.src(&a), st.src(&b), st.src(&sh)) {
+                    (Some(v), Some(f), Some(s)) => {
+                        let s = s & 31;
+                        Some(if s == 0 {
+                            v
+                        } else if right {
+                            (v >> s) | (f << (32 - s))
+                        } else {
+                            (v << s) | (f >> (32 - s))
+                        })
+                    }
+                    _ => None,
+                };
+                st.set(dst, v);
+                pc += 1;
+            }
+            Instr::Lop3 { dst, a, b, op } => {
+                let v = match (st.src(&a), st.src(&b)) {
+                    (Some(x), Some(y)) => Some(match op {
+                        LogicOp::And => x & y,
+                        LogicOp::Or => x | y,
+                        LogicOp::Xor => x ^ y,
+                    }),
+                    _ => None,
+                };
+                st.set(dst, v);
+                pc += 1;
+            }
+            Instr::Mov { dst, src } => {
+                let v = st.src(&src);
+                st.set(dst, v);
+                pc += 1;
+            }
+            Instr::Setp { pred, a, b, cmp } => {
+                st.preds[pred as usize] = match (st.src(&a), st.src(&b)) {
+                    (Some(x), Some(y)) => Some(match cmp {
+                        CmpOp::Eq => x == y,
+                        CmpOp::Ne => x != y,
+                        CmpOp::Lt => x < y,
+                        CmpOp::Ge => x >= y,
+                    }),
+                    _ => None,
+                };
+                pc += 1;
+            }
+            Instr::Sel { dst, a, b, pred } => {
+                let v = match st.preds[pred as usize] {
+                    Some(true) => st.src(&a),
+                    Some(false) => st.src(&b),
+                    None => None,
+                };
+                st.set(dst, v);
+                pc += 1;
+            }
+            Instr::Ldg { dst, .. } => {
+                st.set(dst, None);
+                pc += 1;
+            }
+            Instr::Stg { .. } => pc += 1,
+            Instr::Bra { target, pred } => {
+                let taken = match pred {
+                    None => Some(true),
+                    Some((p, pol)) => st.preds[p as usize].map(|v| v == pol),
+                };
+                let taken = match taken {
+                    Some(t) => t,
+                    None if target <= pc => return Err(ScheduleError::UnresolvedLoop { pc }),
+                    None => hints.get(pc) == BranchHint::Taken,
+                };
+                pc = if taken { target } else { pc + 1 };
+            }
+            Instr::Exit => break,
+        }
+    }
+    Ok(trace)
+}
+
+// ---------------------------------------------------------------------------
+// Scoreboard walk: machine.rs's timing loop without functional execution.
+// ---------------------------------------------------------------------------
+
+struct WarpTiming {
+    pos: usize,
+    done: bool,
+    reg_ready: Vec<u64>,
+    reg_mem: Vec<bool>,
+    cc_ready: u64,
+    pred_ready: [u64; 4],
+}
+
+/// When the instruction's dependencies are all ready, and whether the
+/// latest one was produced by a memory load — mirrors `machine::dep_ready`.
+fn dep_ready(w: &WarpTiming, inst: &Instr) -> (u64, bool) {
+    let mut ready = 0u64;
+    let mut mem = false;
+    let see = |src: &Src, w: &WarpTiming, ready: &mut u64, mem: &mut bool| {
+        if let Src::Reg(r) = src {
+            let t = w.reg_ready[*r as usize];
+            if t > *ready {
+                *ready = t;
+                *mem = w.reg_mem[*r as usize];
+            }
+        }
+    };
+    match inst {
+        Instr::Imad {
+            a, b, c, use_cc, ..
+        }
+        | Instr::Iadd3 {
+            a, b, c, use_cc, ..
+        } => {
+            see(a, w, &mut ready, &mut mem);
+            see(b, w, &mut ready, &mut mem);
+            see(c, w, &mut ready, &mut mem);
+            if *use_cc && w.cc_ready > ready {
+                ready = w.cc_ready;
+                mem = false;
+            }
+        }
+        Instr::Shf { a, b, sh, .. } => {
+            see(a, w, &mut ready, &mut mem);
+            see(b, w, &mut ready, &mut mem);
+            see(sh, w, &mut ready, &mut mem);
+        }
+        Instr::Lop3 { a, b, .. } | Instr::Setp { a, b, .. } => {
+            see(a, w, &mut ready, &mut mem);
+            see(b, w, &mut ready, &mut mem);
+        }
+        Instr::Sel { a, b, pred, .. } => {
+            see(a, w, &mut ready, &mut mem);
+            see(b, w, &mut ready, &mut mem);
+            ready = ready.max(w.pred_ready[*pred as usize]);
+        }
+        Instr::Mov { src, .. } => see(src, w, &mut ready, &mut mem),
+        Instr::Bra { pred, .. } => {
+            if let Some((p, _)) = pred {
+                ready = ready.max(w.pred_ready[*p as usize]);
+            }
+        }
+        Instr::Ldg { addr, .. } => {
+            see(&Src::Reg(*addr), w, &mut ready, &mut mem);
+        }
+        Instr::Stg { src, addr, .. } => {
+            see(&Src::Reg(*src), w, &mut ready, &mut mem);
+            see(&Src::Reg(*addr), w, &mut ready, &mut mem);
+        }
+        Instr::Exit => {}
+    }
+    (ready, mem)
+}
+
+/// Writes the issued instruction's result latencies into the scoreboard —
+/// mirrors the latency updates of `machine::execute`.
+fn apply_latencies(w: &mut WarpTiming, inst: &Instr, cycle: u64, cfg: &SmspConfig) {
+    match *inst {
+        Instr::Imad { dst, set_cc, .. } => {
+            w.reg_ready[dst as usize] = cycle + cfg.imad_latency;
+            w.reg_mem[dst as usize] = false;
+            if set_cc {
+                w.cc_ready = cycle + cfg.imad_latency;
+            }
+        }
+        Instr::Iadd3 { dst, set_cc, .. } => {
+            w.reg_ready[dst as usize] = cycle + cfg.alu_latency;
+            w.reg_mem[dst as usize] = false;
+            if set_cc {
+                w.cc_ready = cycle + cfg.alu_latency;
+            }
+        }
+        Instr::Shf { dst, .. }
+        | Instr::Lop3 { dst, .. }
+        | Instr::Mov { dst, .. }
+        | Instr::Sel { dst, .. } => {
+            w.reg_ready[dst as usize] = cycle + cfg.alu_latency;
+            w.reg_mem[dst as usize] = false;
+        }
+        Instr::Setp { pred, .. } => {
+            w.pred_ready[pred as usize] = cycle + cfg.alu_latency;
+        }
+        Instr::Ldg { dst, .. } => {
+            w.reg_ready[dst as usize] = cycle + cfg.mem_latency;
+            w.reg_mem[dst as usize] = true;
+        }
+        Instr::Stg { .. } | Instr::Bra { .. } | Instr::Exit => {}
+    }
+}
+
+/// Replays `trace` on `warps` identical warps through the SMSP scoreboard.
+/// Returns `(cycles, stalls, no_eligible_cycles)`.
+fn scoreboard_walk(
+    program: &Program,
+    trace: &[usize],
+    cfg: &SmspConfig,
+    warps: usize,
+) -> (u64, StallBreakdown, u64) {
+    let num_regs = cfg
+        .num_regs
+        .max(max_reg_referenced(program).map_or(0, |r| r as usize + 1));
+    let mut state: Vec<WarpTiming> = (0..warps)
+        .map(|_| WarpTiming {
+            pos: 0,
+            done: trace.is_empty(),
+            reg_ready: vec![0; num_regs],
+            reg_mem: vec![false; num_regs],
+            cc_ready: 0,
+            pred_ready: [0; 4],
+        })
+        .collect();
+
+    let mut stalls = StallBreakdown::default();
+    let mut no_eligible = 0u64;
+    let mut int32_free_at = 0u64;
+    let mut mem_free_at = 0u64;
+    let mut last_issued = 0usize;
+    let int32_interval = u64::from(cfg.warp_size / cfg.int32_lanes.max(1)).max(1);
+
+    #[derive(Clone, Copy, PartialEq)]
+    enum Status {
+        Wait,
+        MemWait,
+        Throttle,
+        MemThrottle,
+        Eligible,
+    }
+
+    let mut cycle = 0u64;
+    while state.iter().any(|w| !w.done) {
+        assert!(
+            cycle < cfg.max_cycles,
+            "static schedule exceeded the cycle safety limit"
+        );
+        let statuses: Vec<Option<Status>> = state
+            .iter()
+            .map(|w| {
+                if w.done {
+                    return None;
+                }
+                let inst = program.fetch(trace[w.pos]);
+                let (ready_at, mem_dep) = dep_ready(w, &inst);
+                if cycle < ready_at {
+                    return Some(if mem_dep {
+                        Status::MemWait
+                    } else {
+                        Status::Wait
+                    });
+                }
+                if inst.uses_int32_pipe() && cycle < int32_free_at {
+                    Some(Status::Throttle)
+                } else if matches!(inst, Instr::Ldg { .. } | Instr::Stg { .. })
+                    && cycle < mem_free_at
+                {
+                    Some(Status::MemThrottle)
+                } else {
+                    Some(Status::Eligible)
+                }
+            })
+            .collect();
+
+        let n = state.len();
+        let pick = (0..n)
+            .map(|i| (last_issued + 1 + i) % n)
+            .find(|&i| statuses[i] == Some(Status::Eligible));
+
+        for (i, st) in statuses.iter().enumerate() {
+            match st {
+                None => {}
+                Some(Status::Wait) => stalls.wait += 1,
+                Some(Status::MemWait) | Some(Status::MemThrottle) => stalls.other += 1,
+                Some(Status::Throttle) => stalls.math_pipe_throttle += 1,
+                Some(Status::Eligible) => {
+                    if Some(i) == pick {
+                        stalls.selected += 1;
+                    } else {
+                        stalls.not_selected += 1;
+                    }
+                }
+            }
+        }
+
+        if let Some(i) = pick {
+            last_issued = i;
+            let w = &mut state[i];
+            let inst = program.fetch(trace[w.pos]);
+            if inst.uses_int32_pipe() {
+                int32_free_at = cycle + int32_interval;
+            } else if matches!(inst, Instr::Ldg { .. } | Instr::Stg { .. }) {
+                mem_free_at = cycle + int32_interval;
+            }
+            apply_latencies(w, &inst, cycle, cfg);
+            w.pos += 1;
+            if w.pos == trace.len() {
+                w.done = true;
+            }
+        } else if statuses.iter().any(|s| s.is_some()) {
+            no_eligible += 1;
+        }
+        cycle += 1;
+    }
+    (cycle, stalls, no_eligible)
+}
+
+fn max_reg_referenced(program: &Program) -> Option<u16> {
+    let mut max = None;
+    for pc in 0..program.len() {
+        let inst = program.fetch(pc);
+        let mut see = |r: crate::analysis::dataflow::Resource| {
+            if let crate::analysis::dataflow::Resource::Reg(x) = r {
+                max = Some(max.map_or(x, |m: u16| m.max(x)));
+            }
+        };
+        instr_uses(&inst, &mut see);
+        instr_defs(&inst, &mut see);
+    }
+    max
+}
+
+// ---------------------------------------------------------------------------
+// Critical path and per-block schedules.
+// ---------------------------------------------------------------------------
+
+/// Result latency an instruction imposes on its dependents; instructions
+/// with no register/flag result still occupy their one issue slot.
+fn result_latency(inst: &Instr, cfg: &SmspConfig) -> u64 {
+    match inst {
+        Instr::Imad { .. } => cfg.imad_latency,
+        Instr::Iadd3 { .. }
+        | Instr::Shf { .. }
+        | Instr::Lop3 { .. }
+        | Instr::Mov { .. }
+        | Instr::Setp { .. }
+        | Instr::Sel { .. } => cfg.alu_latency,
+        Instr::Ldg { .. } => cfg.mem_latency,
+        Instr::Stg { .. } | Instr::Bra { .. } | Instr::Exit => 1,
+    }
+}
+
+/// Latency-weighted longest path through the dependence DAG of `trace`:
+/// `finish(i) = max(finish(writer of each resource i reads)) + latency(i)`.
+fn critical_path_cycles(
+    program: &Program,
+    trace: &[usize],
+    cfg: &SmspConfig,
+    map: &ResourceMap,
+) -> u64 {
+    let mut finish = vec![0u64; map.len()];
+    let mut cp = 0u64;
+    for &pc in trace {
+        let inst = program.fetch(pc);
+        let mut start = 0u64;
+        instr_uses(&inst, |r| start = start.max(finish[map.index(r)]));
+        let f = start + result_latency(&inst, cfg);
+        instr_defs(&inst, |r| finish[map.index(r)] = f);
+        cp = cp.max(f);
+    }
+    cp
+}
+
+/// Single-warp schedules of every reachable basic block, each from a clean
+/// scoreboard (the straight-line issue cost of the block in isolation).
+fn block_schedules(
+    program: &Program,
+    graph: &Cfg,
+    cfg: &SmspConfig,
+    map: &ResourceMap,
+) -> Vec<BlockSchedule> {
+    graph
+        .blocks
+        .iter()
+        .enumerate()
+        .filter(|(b, _)| graph.reachable[*b])
+        .map(|(b, blk)| {
+            let range: Vec<usize> = (blk.start..blk.end).collect();
+            let (issue_cycles, stalls, _) = scoreboard_walk(program, &range, cfg, 1);
+            BlockSchedule {
+                block: b,
+                start: blk.start,
+                end: blk.end,
+                instructions: blk.end - blk.start,
+                issue_cycles,
+                critical_path: critical_path_cycles(program, &range, cfg, map),
+                stalls,
+            }
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::isa::ProgramBuilder;
+    use crate::machine::{Machine, WarpInit};
+
+    fn r(x: u16) -> Src {
+        Src::Reg(x)
+    }
+    fn imm(x: u32) -> Src {
+        Src::Imm(x)
+    }
+
+    fn simulate(p: &Program, warps: usize) -> crate::machine::SimResult {
+        let mut m = Machine::new(SmspConfig::default(), 4096);
+        m.run(p, &vec![WarpInit::default(); warps])
+    }
+
+    #[test]
+    fn straight_line_prediction_is_exact() {
+        let mut b = ProgramBuilder::new();
+        b.mov(0, imm(3));
+        for _ in 0..20 {
+            b.imad(0, r(0), imm(5), imm(1), false, false, false);
+        }
+        b.exit();
+        let p = b.build();
+        for warps in [1usize, 2, 4, 8] {
+            let sim = simulate(&p, warps);
+            let pred = predict_schedule(
+                &p,
+                &SmspConfig::default(),
+                warps as u32,
+                &ScheduleHints::new(),
+            )
+            .unwrap();
+            assert_eq!(pred.cycles, sim.cycles, "warps={warps}");
+            assert_eq!(pred.instructions, sim.instructions);
+            assert_eq!(pred.stalls, sim.stalls, "warps={warps}");
+            assert_eq!(pred.no_eligible_cycles, sim.no_eligible_cycles);
+        }
+    }
+
+    #[test]
+    fn constant_loop_trip_count_is_resolved_exactly() {
+        // for (i = 0; i < 7; i++) { r1 = r1*3+1 }
+        let mut b = ProgramBuilder::new();
+        b.mov(0, imm(0));
+        b.mov(1, imm(1));
+        let top = b.label();
+        b.place(top);
+        b.imad(1, r(1), imm(3), imm(1), false, false, false);
+        b.iadd3(0, r(0), imm(1), imm(0), false, false);
+        b.setp(0, r(0), imm(7), CmpOp::Lt);
+        b.bra(top, Some((0, true)));
+        b.exit();
+        let p = b.build();
+        let sim = simulate(&p, 1);
+        let pred = predict_schedule(&p, &SmspConfig::default(), 1, &ScheduleHints::new()).unwrap();
+        assert_eq!(pred.trace_len as u64, sim.instructions);
+        assert_eq!(pred.cycles, sim.cycles);
+        assert_eq!(pred.stalls, sim.stalls);
+    }
+
+    #[test]
+    fn divergent_skip_matches_default_not_taken_hint() {
+        // Threads disagree on the predicate -> divergent skip in the
+        // simulator; the static default (fall through) predicts exactly.
+        let mut b = ProgramBuilder::new();
+        let skip = b.label();
+        b.setp(0, r(0), imm(16), CmpOp::Lt);
+        b.bra(skip, Some((0, true)));
+        for _ in 0..6 {
+            b.iadd3(1, r(1), imm(1), imm(0), false, false);
+        }
+        b.place(skip);
+        b.exit();
+        let p = b.build();
+        let mut init = WarpInit::default();
+        let mut tids = [0u32; 32];
+        for (t, v) in tids.iter_mut().enumerate() {
+            *v = t as u32;
+        }
+        init.per_thread(0, tids);
+        let mut m = Machine::new(SmspConfig::default(), 0);
+        let sim = m.run(&p, &[init]);
+        let pred = predict_schedule(&p, &SmspConfig::default(), 1, &ScheduleHints::new()).unwrap();
+        assert_eq!(pred.cycles, sim.cycles);
+        assert_eq!(pred.stalls, sim.stalls);
+    }
+
+    #[test]
+    fn taken_hint_skips_the_guarded_region() {
+        let mut b = ProgramBuilder::new();
+        let skip = b.label();
+        b.ldg(0, 2, 0); // unknown value -> unresolved predicate
+        b.setp(0, r(0), imm(100), CmpOp::Lt);
+        let bra_pc = b.next_pc();
+        b.bra(skip, Some((0, true)));
+        for _ in 0..6 {
+            b.iadd3(1, r(1), imm(1), imm(0), false, false);
+        }
+        b.place(skip);
+        b.exit();
+        let p = b.build();
+        // mem[0] = 0 < 100 for all threads -> uniformly taken.
+        let sim = {
+            let mut m = Machine::new(SmspConfig::default(), 16);
+            m.run(&p, &[WarpInit::default()])
+        };
+        let mut hints = ScheduleHints::new();
+        hints.set(bra_pc, BranchHint::Taken);
+        let pred = predict_schedule(&p, &SmspConfig::default(), 1, &hints).unwrap();
+        assert_eq!(pred.cycles, sim.cycles);
+        assert_eq!(pred.stalls, sim.stalls);
+        // The not-taken default would issue 6 more instructions.
+        let nt = predict_schedule(&p, &SmspConfig::default(), 1, &ScheduleHints::new()).unwrap();
+        assert_eq!(nt.trace_len, pred.trace_len + 6);
+    }
+
+    #[test]
+    fn data_dependent_backward_branch_is_an_error() {
+        let mut b = ProgramBuilder::new();
+        let top = b.label();
+        b.place(top);
+        b.ldg(0, 1, 0);
+        b.setp(0, r(0), imm(3), CmpOp::Lt);
+        b.bra(top, Some((0, true)));
+        b.exit();
+        let p = b.build();
+        let err =
+            predict_schedule(&p, &SmspConfig::default(), 1, &ScheduleHints::new()).unwrap_err();
+        assert!(matches!(err, ScheduleError::UnresolvedLoop { pc: 2 }));
+    }
+
+    #[test]
+    fn critical_path_of_serial_imad_chain() {
+        let mut b = ProgramBuilder::new();
+        b.mov(0, imm(3));
+        for _ in 0..10 {
+            b.imad(0, r(0), imm(5), imm(1), false, false, false);
+        }
+        b.exit();
+        let p = b.build();
+        let cfg = SmspConfig::default();
+        let pred = predict_schedule(&p, &cfg, 1, &ScheduleHints::new()).unwrap();
+        // mov(2) + 10 dependent imads(4 each); EXIT adds its issue slot.
+        assert_eq!(pred.critical_path, 2 + 10 * cfg.imad_latency);
+        assert!(pred.ilp_headroom > 1.0, "chain is dependence-bound");
+        // One block (straight line); its schedule covers the whole program.
+        assert_eq!(pred.blocks.len(), 1);
+        assert_eq!(pred.blocks[0].instructions, p.len());
+        assert_eq!(pred.blocks[0].issue_cycles, pred.cycles);
+    }
+
+    #[test]
+    fn independent_movs_have_unit_headroom() {
+        let mut b = ProgramBuilder::new();
+        for i in 0..16u16 {
+            b.mov(i, imm(u32::from(i)));
+        }
+        b.exit();
+        let p = b.build();
+        let pred = predict_schedule(&p, &SmspConfig::default(), 1, &ScheduleHints::new()).unwrap();
+        // Issue-bound: dependence chains are trivial.
+        assert!(pred.ilp_headroom <= 1.0);
+        assert!(pred.int32_utilization > 0.8);
+    }
+
+    #[test]
+    fn empty_program_is_an_error() {
+        let p = ProgramBuilder::new().try_build().unwrap();
+        assert_eq!(
+            predict_schedule(&p, &SmspConfig::default(), 1, &ScheduleHints::new()).unwrap_err(),
+            ScheduleError::EmptyProgram
+        );
+    }
+
+    #[test]
+    fn json_is_well_formed_enough() {
+        let mut b = ProgramBuilder::new();
+        b.mov(0, imm(1));
+        b.exit();
+        let p = b.build();
+        let pred = predict_schedule(&p, &SmspConfig::default(), 2, &ScheduleHints::new()).unwrap();
+        let js = pred.to_json();
+        assert!(js.starts_with('{') && js.ends_with('}'));
+        assert!(js.contains("\"cycles\":"));
+        assert!(js.contains("\"stalls\":{\"selected\":"));
+        assert_eq!(js.matches('{').count(), js.matches('}').count());
+    }
+}

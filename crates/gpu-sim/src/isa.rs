@@ -333,6 +333,13 @@ impl ProgramBuilder {
         self.labels[l.0] = Some(self.instrs.len());
     }
 
+    /// The pc the next emitted instruction will occupy. Kernel generators
+    /// use this to record per-pc metadata (e.g. static branch hints) as
+    /// they emit.
+    pub fn next_pc(&self) -> usize {
+        self.instrs.len()
+    }
+
     /// Emits `IMAD` (see [`Instr::Imad`]).
     #[allow(clippy::too_many_arguments)]
     pub fn imad(&mut self, dst: Reg, a: Src, b: Src, c: Src, hi: bool, set_cc: bool, use_cc: bool) {

@@ -85,6 +85,15 @@ impl StallBreakdown {
     pub fn total(&self) -> u64 {
         self.selected + self.wait + self.math_pipe_throttle + self.not_selected + self.other
     }
+
+    /// Serializes as a JSON object (the repo hand-rolls JSON; no serde).
+    pub fn to_json(&self) -> String {
+        format!(
+            "{{\"selected\":{},\"wait\":{},\"math_pipe_throttle\":{},\
+             \"not_selected\":{},\"other\":{}}}",
+            self.selected, self.wait, self.math_pipe_throttle, self.not_selected, self.other
+        )
+    }
 }
 
 /// Simulation output: timing, stalls, divergence, mix, and traffic.

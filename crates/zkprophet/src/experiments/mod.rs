@@ -43,6 +43,17 @@ pub fn full_report(device: &DeviceSpec) -> String {
     out += "\n";
     out += &static_analysis::render_static_report(&static_analysis::static_report());
     out += "\n";
+    let generations = [
+        gpu_sim::device::v100(),
+        gpu_sim::device::a100(),
+        gpu_sim::device::h100(),
+    ];
+    out += &static_analysis::render_prediction_report(&static_analysis::prediction_report(
+        &generations,
+    ));
+    out += "\n";
+    out += &static_analysis::render_range_proof_report(&static_analysis::range_proof_report());
+    out += "\n";
     out += &scaling::render_fig11(&scaling::fig11());
     out += "\n";
     out += &scaling::render_fig12(&scaling::fig12());

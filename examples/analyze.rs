@@ -1,0 +1,120 @@
+//! `analyze` — machine-readable static analysis of the kernel zoo.
+//!
+//! Runs every analyzer pass (metrics, lints, scoreboard schedule
+//! prediction, value-range proofs) over the generated kernels without
+//! ever invoking the simulator, and emits one JSON array on stdout —
+//! the shape a CI gate or dashboard would ingest.
+//!
+//! Usage: `analyze [device] [kernel-substring]`
+//!
+//! The optional second argument filters kernels by case-insensitive
+//! substring (e.g. `analyze a100 mul`).
+
+use gpu_kernels::curveprogs::{
+    butterfly_program_analyzed, mul_contract_program, xyzz_madd_program_analyzed,
+};
+use gpu_kernels::ffprogs::{ff_program_analyzed, ff_program_inputs, KernelFacts};
+use gpu_kernels::{FfOp, Field32};
+use gpu_sim::analysis::{self, StaticMetrics};
+use gpu_sim::isa::{Program, Reg};
+use gpu_sim::machine::SmspConfig;
+use zkp_examples::device_from_args;
+use zkp_ff::{Fq381Config, Fr381Config};
+
+struct Entry {
+    name: String,
+    field: &'static str,
+    program: Program,
+    inputs: Vec<Reg>,
+    facts: KernelFacts,
+}
+
+fn kernel_zoo() -> Vec<Entry> {
+    let fq = Field32::of::<Fq381Config, 6>();
+    let fr = Field32::of::<Fr381Config, 4>();
+    let mut zoo: Vec<Entry> = FfOp::all()
+        .into_iter()
+        .map(|op| {
+            let (program, facts) = ff_program_analyzed(&fq, op, 1);
+            Entry {
+                name: op.name().to_owned(),
+                field: fq.name,
+                program,
+                inputs: ff_program_inputs(op),
+                facts,
+            }
+        })
+        .collect();
+    let (program, layout, facts) = xyzz_madd_program_analyzed(&fq);
+    zoo.push(Entry {
+        name: "XYZZ madd".to_owned(),
+        field: fq.name,
+        program,
+        inputs: layout.entry_regs(),
+        facts,
+    });
+    let (program, layout, facts) = butterfly_program_analyzed(&fr);
+    zoo.push(Entry {
+        name: "NTT butterfly".to_owned(),
+        field: fr.name,
+        program,
+        inputs: layout.entry_regs(),
+        facts,
+    });
+    let (program, layout, facts) = mul_contract_program(&fr);
+    zoo.push(Entry {
+        name: "curve FF_mul".to_owned(),
+        field: fr.name,
+        program,
+        inputs: layout.entry_regs(),
+        facts,
+    });
+    zoo
+}
+
+fn json_str(s: &str) -> String {
+    format!("\"{}\"", s.replace('\\', "\\\\").replace('"', "\\\""))
+}
+
+fn main() {
+    let device = device_from_args();
+    let filter = std::env::args().nth(2).map(|s| s.to_lowercase());
+    let config = SmspConfig::from(&device);
+    let warps = 2; // §IV-B: two resident warps per SMSP.
+
+    let mut objects = Vec::new();
+    for entry in kernel_zoo() {
+        if let Some(fr) = &filter {
+            if !entry.name.to_lowercase().contains(fr.as_str()) {
+                continue;
+            }
+        }
+        let metrics = StaticMetrics::compute(&entry.program);
+        let lints: Vec<String> = analysis::lint(&entry.program, &entry.inputs)
+            .iter()
+            .map(|d| json_str(&d.to_string()))
+            .collect();
+        let schedule =
+            analysis::predict_schedule(&entry.program, &config, warps, &entry.facts.hints)
+                .map(|p| p.to_json())
+                .unwrap_or_else(|e| format!("{{\"error\":{}}}", json_str(&e.to_string())));
+        let ranges = analysis::analyze_ranges(
+            &entry.program,
+            &entry.facts.assumptions,
+            &entry.facts.obligations,
+        );
+        objects.push(format!(
+            "{{\"kernel\":{},\"field\":{},\"device\":{},\"warps\":{},\
+             \"metrics\":{},\"lints\":[{}],\"schedule\":{},\"ranges\":{}}}",
+            json_str(&entry.name),
+            json_str(entry.field),
+            json_str(device.name),
+            warps,
+            metrics.to_json(),
+            lints.join(","),
+            schedule,
+            ranges.to_json()
+        ));
+    }
+    println!("[{}]", objects.join(",\n"));
+}
