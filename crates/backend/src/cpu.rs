@@ -1,0 +1,91 @@
+//! The reference CPU backend: real `zkp-msm`/`zkp-ntt` kernels on a
+//! `zkp-runtime` pool, bit-identical to the pre-backend prover.
+
+use crate::{witness_maps, ExecBackend, G1Msm};
+use zkp_curves::{Affine, Bls12Config, G1Curve, G2Curve, Jacobian};
+use zkp_msm::{msm_parallel_with_config, MsmConfig};
+use zkp_ntt::{distribute_powers_parallel, ntt_parallel_on, TwiddleTable};
+use zkp_r1cs::ConstraintSystem;
+use zkp_runtime::ThreadPool;
+
+/// Chunk floor for the element-wise scaling passes — matches
+/// `zkp_ntt::quotient_poly_on` so decompositions (and therefore rounding
+/// of nothing — these are exact field ops) stay structurally identical.
+const SCALE_CHUNK: usize = 4096;
+
+/// Executes every op with the real CPU kernels.
+#[derive(Clone, Copy)]
+pub struct CpuBackend<'p> {
+    pool: &'p ThreadPool,
+    msm_cfg: MsmConfig,
+}
+
+impl<'p> CpuBackend<'p> {
+    /// A backend on an explicit pool.
+    pub fn on(pool: &'p ThreadPool) -> Self {
+        Self {
+            pool,
+            msm_cfg: MsmConfig::default(),
+        }
+    }
+
+    /// A backend on the process-global pool (`ZKP_THREADS` sized).
+    pub fn global() -> CpuBackend<'static> {
+        CpuBackend::on(zkp_runtime::global())
+    }
+
+    /// Overrides the MSM configuration (window size, signed digits, …).
+    pub fn with_msm_config(mut self, cfg: MsmConfig) -> Self {
+        self.msm_cfg = cfg;
+        self
+    }
+}
+
+impl<C: Bls12Config> ExecBackend<C> for CpuBackend<'_> {
+    fn name(&self) -> String {
+        "cpu".into()
+    }
+
+    fn pool(&self) -> &ThreadPool {
+        self.pool
+    }
+
+    fn msm_g1(
+        &self,
+        _which: G1Msm,
+        bases: &[Affine<G1Curve<C>>],
+        scalars: &[C::Fr],
+    ) -> Jacobian<G1Curve<C>> {
+        msm_parallel_with_config(bases, scalars, &self.msm_cfg, self.pool).point
+    }
+
+    fn msm_g2(&self, bases: &[Affine<G2Curve<C>>], scalars: &[C::Fr]) -> Jacobian<G2Curve<C>> {
+        msm_parallel_with_config(bases, scalars, &self.msm_cfg, self.pool).point
+    }
+
+    fn ntt_forward(&self, table: &TwiddleTable<C::Fr>, values: &mut [C::Fr]) {
+        ntt_parallel_on(values, table, false, self.pool);
+    }
+
+    fn ntt_inverse(&self, table: &TwiddleTable<C::Fr>, values: &mut [C::Fr]) {
+        ntt_parallel_on(values, table, true, self.pool);
+    }
+
+    fn coset_mul(&self, values: &mut [C::Fr], g: C::Fr, scale: C::Fr) {
+        distribute_powers_parallel(self.pool, values, g);
+        self.pool
+            .for_each_chunk_mut(values, SCALE_CHUNK, |_, _, chunk| {
+                for x in chunk.iter_mut() {
+                    *x *= scale;
+                }
+            });
+    }
+
+    fn witness_eval(
+        &self,
+        cs: &ConstraintSystem<C::Fr>,
+        domain_size: u64,
+    ) -> crate::WitnessMaps<C::Fr> {
+        witness_maps(cs, domain_size)
+    }
+}

@@ -1,0 +1,333 @@
+//! Pluggable execution backends for the Groth16 prover.
+//!
+//! The prover in `zkp-groth16` is a *stage graph* — witness-map
+//! evaluation, the 7-transform quotient pipeline, four G1 MSMs and one G2
+//! MSM — and every heavy operation in it is issued through the
+//! [`ExecBackend`] trait defined here. Three implementations ship:
+//!
+//! * [`CpuBackend`] — dispatches to the real `zkp-msm`/`zkp-ntt` kernels
+//!   on a `zkp-runtime` thread pool. Bit-identical to the pre-backend
+//!   prover at any thread count.
+//! * [`TracingBackend`] — a decorator that forwards to an inner backend
+//!   and records an [`ExecTrace`] (op kind, size, wall time) for
+//!   per-stage breakdowns.
+//! * [`SimGpuBackend`] — executes on the CPU path for functional
+//!   correctness but *charges* modeled time from the calibrated
+//!   `gpu-kernels` library models and the `gpu-sim` device/transfer
+//!   model, so one real proof yields a modeled end-to-end GPU latency
+//!   (the paper's runtime-breakdown tables, derived from an actual
+//!   execution trace).
+//!
+//! Dispatch is object-safe: the trait is generic over the curve
+//! configuration at the *trait* level, so `&dyn ExecBackend<C>` works and
+//! [`BackendSpec::build`] can hand back a boxed backend chosen at runtime
+//! from a spec string like `sim:a40:sppark`.
+
+pub mod cpu;
+pub mod sim;
+pub mod trace;
+pub mod tracing;
+
+use gpu_sim::DeviceSpec;
+use zkp_curves::{Affine, Bls12Config, G1Curve, G2Curve, Jacobian};
+use zkp_ff::{Field, PrimeField};
+use zkp_ntt::{Domain, TwiddleTable};
+use zkp_r1cs::ConstraintSystem;
+use zkp_runtime::ThreadPool;
+
+pub use cpu::CpuBackend;
+pub use gpu_kernels::LibraryId;
+pub use sim::{cpu_op_seconds, GpuCostModel, SimGpuBackend};
+pub use trace::{ExecTrace, G1Msm, ModeledCost, OpClass, OpKind, OpRecord, StageRow, TraceSummary};
+pub use tracing::TracingBackend;
+
+/// The three QAP witness maps `(⟨A,z⟩, ⟨B,z⟩, ⟨C,z⟩)` over the domain.
+pub type WitnessMaps<F> = (Vec<F>, Vec<F>, Vec<F>);
+
+/// The heavy-operation interface the prover dispatches through.
+///
+/// Implementations must be schedule-deterministic: for a fixed input the
+/// returned values are bit-identical at any pool thread count (the work
+/// decomposition of every kernel is a pure function of problem shape).
+pub trait ExecBackend<C: Bls12Config>: Sync {
+    /// Backend name for traces and reports (e.g. `"cpu"`,
+    /// `"sim:NVIDIA A40:sppark"`).
+    fn name(&self) -> String;
+
+    /// The pool the prover's stage graph forks on. Backend ops run on the
+    /// same pool so nesting stays deadlock-free.
+    fn pool(&self) -> &ThreadPool;
+
+    /// One of the prover's four G1 MSMs.
+    fn msm_g1(
+        &self,
+        which: G1Msm,
+        bases: &[Affine<G1Curve<C>>],
+        scalars: &[C::Fr],
+    ) -> Jacobian<G1Curve<C>>;
+
+    /// The G2 MSM (the one the paper notes runs on the CPU, §II-A).
+    fn msm_g2(&self, bases: &[Affine<G2Curve<C>>], scalars: &[C::Fr]) -> Jacobian<G2Curve<C>>;
+
+    /// Forward NTT over the table's domain.
+    fn ntt_forward(&self, table: &TwiddleTable<C::Fr>, values: &mut [C::Fr]);
+
+    /// Inverse NTT *without* the `n⁻¹` scaling — the pipeline folds that
+    /// into the following [`coset_mul`](Self::coset_mul).
+    fn ntt_inverse(&self, table: &TwiddleTable<C::Fr>, values: &mut [C::Fr]);
+
+    /// `values[i] *= gⁱ · scale` — the coset shift fused with the INTT's
+    /// `n⁻¹` scaling.
+    fn coset_mul(&self, values: &mut [C::Fr], g: C::Fr, scale: C::Fr);
+
+    /// Evaluates the QAP witness maps over the (padded) domain.
+    fn witness_eval(&self, cs: &ConstraintSystem<C::Fr>, domain_size: u64) -> WitnessMaps<C::Fr>;
+
+    /// Drains and returns the trace recorded since the last call. Backends
+    /// that do not record return an empty trace.
+    fn take_trace(&self) -> ExecTrace {
+        ExecTrace::empty(self.name(), self.pool().num_threads())
+    }
+}
+
+/// Delegation so decorators and the prover can hold backends by reference.
+impl<C: Bls12Config, B: ExecBackend<C> + ?Sized> ExecBackend<C> for &B {
+    fn name(&self) -> String {
+        (**self).name()
+    }
+    fn pool(&self) -> &ThreadPool {
+        (**self).pool()
+    }
+    fn msm_g1(
+        &self,
+        which: G1Msm,
+        bases: &[Affine<G1Curve<C>>],
+        scalars: &[C::Fr],
+    ) -> Jacobian<G1Curve<C>> {
+        (**self).msm_g1(which, bases, scalars)
+    }
+    fn msm_g2(&self, bases: &[Affine<G2Curve<C>>], scalars: &[C::Fr]) -> Jacobian<G2Curve<C>> {
+        (**self).msm_g2(bases, scalars)
+    }
+    fn ntt_forward(&self, table: &TwiddleTable<C::Fr>, values: &mut [C::Fr]) {
+        (**self).ntt_forward(table, values)
+    }
+    fn ntt_inverse(&self, table: &TwiddleTable<C::Fr>, values: &mut [C::Fr]) {
+        (**self).ntt_inverse(table, values)
+    }
+    fn coset_mul(&self, values: &mut [C::Fr], g: C::Fr, scale: C::Fr) {
+        (**self).coset_mul(values, g, scale)
+    }
+    fn witness_eval(&self, cs: &ConstraintSystem<C::Fr>, domain_size: u64) -> WitnessMaps<C::Fr> {
+        (**self).witness_eval(cs, domain_size)
+    }
+    fn take_trace(&self) -> ExecTrace {
+        (**self).take_trace()
+    }
+}
+
+/// The prover-side QAP witness maps: `(⟨A_j,z⟩, ⟨B_j,z⟩, ⟨C_j,z⟩)` per
+/// domain row, zero-padded to `domain_size`, with the input-consistency
+/// rows appended (libsnark/arkworks construction). This is the reference
+/// implementation every backend's `witness_eval` must agree with.
+///
+/// # Panics
+///
+/// Panics if `domain_size` cannot hold the constraint and consistency rows.
+pub fn witness_maps<F: PrimeField>(cs: &ConstraintSystem<F>, domain_size: u64) -> WitnessMaps<F> {
+    let n = domain_size as usize;
+    assert!(
+        n > cs.num_constraints() + cs.num_public(),
+        "domain too small for the constraint system"
+    );
+    let mut a = vec![F::zero(); n];
+    let mut b = vec![F::zero(); n];
+    let mut c = vec![F::zero(); n];
+    for (row, constraint) in cs.constraints.iter().enumerate() {
+        a[row] = constraint.a.evaluate(&cs.assignment);
+        b[row] = constraint.b.evaluate(&cs.assignment);
+        c[row] = constraint.c.evaluate(&cs.assignment);
+    }
+    // Input-consistency rows: A = variable j, for j = 0..=num_public
+    // (z[0] = 1, then the public inputs).
+    a[cs.num_constraints()] = F::one();
+    for (j, x) in cs.assignment.public.iter().enumerate() {
+        a[cs.num_constraints() + 1 + j] = *x;
+    }
+    (a, b, c)
+}
+
+/// The 7-transform quotient pipeline `h = (a·b − c)/Z`, with every
+/// transform and coset scaling issued through `backend`. The structure —
+/// three concurrent INTT→coset→NTT chains, the element-wise quotient, one
+/// final coset INTT — matches `zkp_ntt::quotient_poly_on` exactly, so the
+/// CPU backend reproduces it bit for bit.
+///
+/// Returns the quotient coefficients and the transform count (7).
+///
+/// # Panics
+///
+/// Panics if the evaluation slices or the table disagree with the domain.
+pub fn quotient_pipeline<C: Bls12Config, B: ExecBackend<C> + ?Sized>(
+    domain: &Domain<C::Fr>,
+    table: &TwiddleTable<C::Fr>,
+    a_evals: &[C::Fr],
+    b_evals: &[C::Fr],
+    c_evals: &[C::Fr],
+    backend: &B,
+) -> (Vec<C::Fr>, u32) {
+    let n = domain.size() as usize;
+    assert!(
+        a_evals.len() == n && b_evals.len() == n && c_evals.len() == n,
+        "evaluation vectors must match the domain size"
+    );
+    let pool = backend.pool();
+    let n_inv = domain.size_inv();
+    // (1–3) INTT + (4–6) coset NTT per input vector; the three chains are
+    // independent and run concurrently on the backend's pool.
+    let intt_then_coset = |evals: &[C::Fr]| {
+        let mut v = evals.to_vec();
+        backend.ntt_inverse(table, &mut v);
+        backend.coset_mul(&mut v, domain.coset_gen(), n_inv);
+        backend.ntt_forward(table, &mut v);
+        v
+    };
+    let (mut a, (b, c)) = pool.join(
+        || intt_then_coset(a_evals),
+        || pool.join(|| intt_then_coset(b_evals), || intt_then_coset(c_evals)),
+    );
+    // Element-wise (a·b - c) / Z — Z is the constant gⁿ - 1 on the coset.
+    // This stays on the pool: it is part of the serial-residual phase, not
+    // a backend-accelerated kernel.
+    let z_inv = domain
+        .vanishing_on_coset()
+        .inverse()
+        .expect("coset avoids the domain");
+    pool.for_each_chunk_mut(&mut a, 4096, |_, offset, chunk| {
+        for (j, x) in chunk.iter_mut().enumerate() {
+            *x = (*x * b[offset + j] - c[offset + j]) * z_inv;
+        }
+    });
+    // (7) coset INTT: back to coefficients of h.
+    backend.ntt_inverse(table, &mut a);
+    backend.coset_mul(&mut a, domain.coset_gen_inv(), n_inv);
+    (a, 7)
+}
+
+/// Parses a library name as the paper spells it (`"sppark"`, `"ymc"`, …).
+pub fn library_by_name(name: &str) -> Option<LibraryId> {
+    let all = [
+        LibraryId::Arkworks,
+        LibraryId::Bellperson,
+        LibraryId::Sppark,
+        LibraryId::Cuzk,
+        LibraryId::Yrrid,
+        LibraryId::Ymc,
+    ];
+    all.into_iter()
+        .find(|lib| lib.name().eq_ignore_ascii_case(name))
+}
+
+/// A parsed backend selection, e.g. from a `--backend` CLI flag.
+#[derive(Debug, Clone)]
+pub enum BackendSpec {
+    /// The plain CPU backend.
+    Cpu,
+    /// The CPU backend wrapped in a [`TracingBackend`].
+    Traced,
+    /// The simulated-GPU backend on `device`, with `msm_lib`'s MSM model.
+    Sim {
+        /// Target device.
+        device: DeviceSpec,
+        /// Library whose MSM model charges the G1 MSMs. NTTs use the same
+        /// library when it has an NTT at the scale, else the best model.
+        msm_lib: LibraryId,
+    },
+}
+
+impl BackendSpec {
+    /// Parses `cpu`, `tracing`/`traced`, or `sim:<device>:<lib>` (library
+    /// optional, default `sppark`; device matched by name fragment against
+    /// the `gpu-sim` catalog, e.g. `a40`).
+    pub fn parse(spec: &str) -> Result<Self, String> {
+        let lower = spec.to_ascii_lowercase();
+        match lower.as_str() {
+            "cpu" => return Ok(BackendSpec::Cpu),
+            "tracing" | "traced" => return Ok(BackendSpec::Traced),
+            _ => {}
+        }
+        let Some(rest) = lower.strip_prefix("sim:") else {
+            return Err(format!(
+                "unknown backend '{spec}' (expected cpu, tracing, or sim:<device>[:<lib>])"
+            ));
+        };
+        let (device_name, lib_name) = match rest.split_once(':') {
+            Some((d, l)) => (d, l),
+            None => (rest, "sppark"),
+        };
+        let device = gpu_sim::device::by_name(device_name)
+            .ok_or_else(|| format!("unknown device '{device_name}' in backend spec '{spec}'"))?;
+        let msm_lib = library_by_name(lib_name)
+            .ok_or_else(|| format!("unknown library '{lib_name}' in backend spec '{spec}'"))?;
+        Ok(BackendSpec::Sim { device, msm_lib })
+    }
+
+    /// Builds the backend on the global thread pool.
+    pub fn build<C: Bls12Config>(&self) -> Box<dyn ExecBackend<C>> {
+        match self {
+            BackendSpec::Cpu => Box::new(CpuBackend::global()),
+            BackendSpec::Traced => Box::new(TracingBackend::new(CpuBackend::global())),
+            BackendSpec::Sim { device, msm_lib } => {
+                Box::new(SimGpuBackend::global(device.clone(), *msm_lib))
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use zkp_ff::Fr381;
+    use zkp_r1cs::circuits::mimc;
+
+    #[test]
+    fn witness_maps_match_row_evaluations() {
+        let cs = mimc(Fr381::from_u64(3), 4);
+        assert!(cs.is_satisfied());
+        let rows = cs.num_constraints() + cs.num_public() + 1;
+        let n = rows.next_power_of_two() as u64;
+        let (a, b, c) = witness_maps(&cs, n);
+        assert_eq!(a.len(), n as usize);
+        // Each constraint row satisfies a·b = c.
+        for row in 0..cs.num_constraints() {
+            assert_eq!(a[row] * b[row], c[row]);
+        }
+        // Consistency rows carry the public inputs; padding is zero.
+        assert!(a[cs.num_constraints()].is_one());
+        assert!(a[rows..].iter().all(|x| x.is_zero()));
+    }
+
+    #[test]
+    fn spec_parses_the_three_families() {
+        assert!(matches!(BackendSpec::parse("cpu"), Ok(BackendSpec::Cpu)));
+        assert!(matches!(
+            BackendSpec::parse("tracing"),
+            Ok(BackendSpec::Traced)
+        ));
+        match BackendSpec::parse("sim:a40:ymc") {
+            Ok(BackendSpec::Sim { device, msm_lib }) => {
+                assert!(device.name.contains("A40"));
+                assert_eq!(msm_lib, LibraryId::Ymc);
+            }
+            other => panic!("unexpected parse: {other:?}"),
+        }
+        // Library defaults to sppark.
+        match BackendSpec::parse("sim:l40") {
+            Ok(BackendSpec::Sim { msm_lib, .. }) => assert_eq!(msm_lib, LibraryId::Sppark),
+            other => panic!("unexpected parse: {other:?}"),
+        }
+        assert!(BackendSpec::parse("gpu").is_err());
+        assert!(BackendSpec::parse("sim:nosuchdevice").is_err());
+        assert!(BackendSpec::parse("sim:a40:nosuchlib").is_err());
+    }
+}

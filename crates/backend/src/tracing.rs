@@ -1,0 +1,116 @@
+//! A decorator backend that records every dispatched op.
+
+use crate::trace::{ExecTrace, OpRecord};
+use crate::{ExecBackend, G1Msm, OpKind};
+use std::sync::Mutex;
+use std::time::Instant;
+use zkp_curves::{Affine, Bls12Config, G1Curve, G2Curve, Jacobian};
+use zkp_ntt::TwiddleTable;
+use zkp_r1cs::ConstraintSystem;
+use zkp_runtime::ThreadPool;
+
+/// Forwards every op to an inner backend and appends an [`OpRecord`]
+/// (kind, size, measured wall seconds) to an internal trace.
+///
+/// Wrap the *plain* [`CpuBackend`](crate::CpuBackend): the simulated-GPU
+/// backend records its own trace, and stacking two recorders would
+/// double-count.
+pub struct TracingBackend<B> {
+    inner: B,
+    records: Mutex<Vec<OpRecord>>,
+}
+
+impl<B> TracingBackend<B> {
+    /// Wraps `inner` with a fresh, empty trace.
+    pub fn new(inner: B) -> Self {
+        Self {
+            inner,
+            records: Mutex::new(Vec::new()),
+        }
+    }
+
+    /// The wrapped backend.
+    pub fn inner(&self) -> &B {
+        &self.inner
+    }
+
+    fn record<T>(&self, kind: OpKind, size: u64, f: impl FnOnce() -> T) -> T {
+        let start = Instant::now();
+        let out = f();
+        let wall_s = start.elapsed().as_secs_f64();
+        self.records
+            .lock()
+            .expect("trace lock poisoned")
+            .push(OpRecord {
+                kind,
+                size,
+                wall_s,
+                modeled: None,
+            });
+        out
+    }
+}
+
+impl<C: Bls12Config, B: ExecBackend<C>> ExecBackend<C> for TracingBackend<B> {
+    fn name(&self) -> String {
+        format!("traced:{}", ExecBackend::<C>::name(&self.inner))
+    }
+
+    fn pool(&self) -> &ThreadPool {
+        self.inner.pool()
+    }
+
+    fn msm_g1(
+        &self,
+        which: G1Msm,
+        bases: &[Affine<G1Curve<C>>],
+        scalars: &[C::Fr],
+    ) -> Jacobian<G1Curve<C>> {
+        self.record(OpKind::MsmG1(which), scalars.len() as u64, || {
+            self.inner.msm_g1(which, bases, scalars)
+        })
+    }
+
+    fn msm_g2(&self, bases: &[Affine<G2Curve<C>>], scalars: &[C::Fr]) -> Jacobian<G2Curve<C>> {
+        self.record(OpKind::MsmG2, scalars.len() as u64, || {
+            self.inner.msm_g2(bases, scalars)
+        })
+    }
+
+    fn ntt_forward(&self, table: &TwiddleTable<C::Fr>, values: &mut [C::Fr]) {
+        self.record(OpKind::NttForward, values.len() as u64, || {
+            self.inner.ntt_forward(table, values)
+        })
+    }
+
+    fn ntt_inverse(&self, table: &TwiddleTable<C::Fr>, values: &mut [C::Fr]) {
+        self.record(OpKind::NttInverse, values.len() as u64, || {
+            self.inner.ntt_inverse(table, values)
+        })
+    }
+
+    fn coset_mul(&self, values: &mut [C::Fr], g: C::Fr, scale: C::Fr) {
+        self.record(OpKind::CosetMul, values.len() as u64, || {
+            self.inner.coset_mul(values, g, scale)
+        })
+    }
+
+    fn witness_eval(
+        &self,
+        cs: &ConstraintSystem<C::Fr>,
+        domain_size: u64,
+    ) -> crate::WitnessMaps<C::Fr> {
+        self.record(OpKind::WitnessEval, domain_size, || {
+            self.inner.witness_eval(cs, domain_size)
+        })
+    }
+
+    fn take_trace(&self) -> ExecTrace {
+        let records = std::mem::take(&mut *self.records.lock().expect("trace lock poisoned"));
+        ExecTrace {
+            backend: ExecBackend::<C>::name(self),
+            threads: self.inner.pool().num_threads(),
+            records,
+        }
+    }
+}

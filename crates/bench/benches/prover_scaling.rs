@@ -12,10 +12,11 @@
 
 use rand::{rngs::StdRng, SeedableRng};
 use std::time::Instant;
+use zkp_backend::{CpuBackend, ExecTrace, TracingBackend};
 use zkp_bench::random_pairs;
 use zkp_curves::bls12_381::{Bls12381, G1};
 use zkp_ff::{Field, Fr381};
-use zkp_groth16::{prove_on, setup};
+use zkp_groth16::{prove_traced, setup};
 use zkp_msm::{msm_parallel_with_config, MsmConfig};
 use zkp_ntt::{ntt_parallel_on, Domain, TwiddleTable};
 use zkp_r1cs::circuits::mimc;
@@ -37,6 +38,27 @@ struct Row {
     size: usize,
     threads: usize,
     seconds: f64,
+    /// Which execution backend ran the workload.
+    backend: String,
+    /// Per-stage rows from the execution trace, when the workload runs
+    /// through a tracing backend (the full prove does; raw kernels don't).
+    breakdown: Option<ExecTrace>,
+}
+
+/// Renders a trace's per-stage summary as a JSON array fragment.
+fn breakdown_json(trace: &ExecTrace) -> String {
+    let rows: Vec<String> = trace
+        .summarize()
+        .rows
+        .iter()
+        .map(|r| {
+            format!(
+                "{{\"stage\": \"{}\", \"calls\": {}, \"elements\": {}, \"seconds\": {:.6}}}",
+                r.stage, r.calls, r.elements, r.wall_s
+            )
+        })
+        .collect();
+    format!("[{}]", rows.join(", "))
 }
 
 fn thread_counts() -> Vec<usize> {
@@ -77,6 +99,8 @@ fn main() {
             size: n,
             threads: t,
             seconds: secs,
+            backend: "cpu".into(),
+            breakdown: None,
         });
     }
 
@@ -100,6 +124,8 @@ fn main() {
             size: n,
             threads: t,
             seconds: secs,
+            backend: "cpu".into(),
+            breakdown: None,
         });
     }
 
@@ -111,9 +137,16 @@ fn main() {
     println!("prove mimc ({constraints} constraints)");
     for &t in &counts {
         let pool = ThreadPool::with_threads(t);
+        // The prove rows go through the tracing backend so the JSON gets a
+        // per-stage breakdown alongside the end-to-end time; recording is
+        // one mutex push per dispatched op and does not perturb the timing.
+        let backend = TracingBackend::new(CpuBackend::on(&pool));
+        let mut trace = ExecTrace::empty("traced:cpu".to_string(), t);
         let secs = time_best(reps, || {
             let mut prove_rng = StdRng::seed_from_u64(44);
-            std::hint::black_box(prove_on(&pk, &cs, &mut prove_rng, &pool));
+            let (proof, stats) = prove_traced::<Bls12381, _, _>(&pk, &cs, &mut prove_rng, &backend);
+            std::hint::black_box(proof);
+            trace = stats.trace;
         });
         println!("  threads={t:<3} {secs:.4}s");
         rows.push(Row {
@@ -121,6 +154,8 @@ fn main() {
             size: constraints,
             threads: t,
             seconds: secs,
+            backend: trace.backend.clone(),
+            breakdown: Some(trace),
         });
     }
 
@@ -133,14 +168,19 @@ fn main() {
     let mut json = String::from("{\n  \"results\": [\n");
     for (i, r) in rows.iter().enumerate() {
         let speedup = base[r.bench] / r.seconds;
+        let breakdown = r.breakdown.as_ref().map_or(String::new(), |t| {
+            format!(", \"breakdown\": {}", breakdown_json(t))
+        });
         json.push_str(&format!(
             "    {{\"bench\": \"{}\", \"size\": {}, \"threads\": {}, \
-             \"seconds\": {:.6}, \"speedup_vs_1\": {:.3}}}{}\n",
+             \"backend\": \"{}\", \"seconds\": {:.6}, \"speedup_vs_1\": {:.3}{}}}{}\n",
             r.bench,
             r.size,
             r.threads,
+            r.backend,
             r.seconds,
             speedup,
+            breakdown,
             if i + 1 < rows.len() { "," } else { "" }
         ));
     }

@@ -6,6 +6,7 @@
 //! data and cross-validated against the 64-bit host fields of `zkp-ff` —
 //! the same algorithm at the two limb widths the paper contrasts (§II).
 
+pub mod calibration;
 pub mod curveprogs;
 pub mod ffprogs;
 pub mod field32;

@@ -9,6 +9,7 @@
 //! qualitative descriptions fix each model's structure; a small number of
 //! calibration constants (documented below) pin absolute positions.
 
+use crate::calibration::{best_window, pippenger_padds};
 use crate::ffprogs::FfOp;
 use crate::field32::Field32;
 use crate::microbench::bench_ff_op;
@@ -142,40 +143,12 @@ impl PhaseEstimate {
     }
 }
 
-const LAUNCH_OVERHEAD_S: f64 = 5e-6;
+/// Fixed cost per kernel launch.
+pub const LAUNCH_OVERHEAD_S: f64 = 5e-6;
 /// Scalar bytes (8 × 32-bit limbs).
-const SCALAR_BYTES: u64 = 32;
+pub const SCALAR_BYTES: u64 = 32;
 /// Affine G1 point bytes (2 × 12 limbs).
-const POINT_BYTES: u64 = 96;
-
-/// Pippenger work at scale `n` with window `c`: accumulation and reduction
-/// PADD counts (Fig. 4a).
-fn pippenger_padds(n: u64, c: u32, signed: bool) -> (f64, f64, u32) {
-    let scalar_bits = 253 + u32::from(signed);
-    let w = scalar_bits.div_ceil(c);
-    let buckets = if signed {
-        (1u64 << (c - 1)) as f64
-    } else {
-        ((1u64 << c) - 1) as f64
-    };
-    let nonzero = 1.0 - 1.0 / (buckets + 1.0);
-    let accumulation = n as f64 * f64::from(w) * nonzero;
-    let reduction = 2.0 * buckets * f64::from(w);
-    (accumulation, reduction, w)
-}
-
-/// Picks the window size minimizing total PADDs.
-fn best_window(n: u64, signed: bool) -> u32 {
-    (6..=26)
-        .min_by(|&a, &b| {
-            let t = |c| {
-                let (acc, red, _) = pippenger_padds(n, c, signed);
-                acc + red
-            };
-            t(a).partial_cmp(&t(b)).expect("finite work")
-        })
-        .expect("non-empty window range")
-}
+pub const POINT_BYTES: u64 = 96;
 
 /// PADD cost in SMSP-cycles for the two bucket representations
 /// (Table V operation counts × measured per-op costs).
@@ -335,39 +308,13 @@ pub fn ntt_estimate(lib: LibraryId, device: &DeviceSpec, log_n: u32) -> Option<P
 // CPU baseline (arkworks on the dual EPYC 7742, §III-B)
 // ---------------------------------------------------------------------------
 
-/// CPU clock used for the calibrated baseline (EPYC 7742 boost-ish).
-pub const CPU_CLOCK_HZ: f64 = 2.25e9;
-
-/// Table IV CPU latencies in cycles.
-pub const CPU_MUL_CYCLES: f64 = 402.0;
-/// Table IV CPU add/sub latency.
-pub const CPU_ADD_CYCLES: f64 = 29.0;
-/// Table IV CPU double latency.
-pub const CPU_DBL_CYCLES: f64 = 19.0;
-
-/// CPU MSM seconds at scale `2^log_n` — the paper's (effectively
-/// single-threaded) arkworks Pippenger baseline, with Jacobian mixed
-/// additions and Table IV per-op costs.
-pub fn cpu_msm_seconds(log_n: u32) -> f64 {
-    let n = 1u64 << log_n;
-    let c = best_window(n, false);
-    let (acc, red, _) = pippenger_padds(n, c, false);
-    // Table V Jacobian mixed add weighted by Table IV costs, with the
-    // ~2× squaring/lazy-reduction savings real arkworks code achieves.
-    let padd_cycles = 0.5 * (11.0 * CPU_MUL_CYCLES + 9.0 * CPU_ADD_CYCLES + 5.0 * CPU_DBL_CYCLES);
-    (acc + red) * padd_cycles / CPU_CLOCK_HZ
-}
-
-/// CPU NTT seconds — the (single-threaded, like the MSM baseline)
-/// arkworks radix-2 NTT.
-pub fn cpu_ntt_seconds(log_n: u32) -> f64 {
-    let n = 1u64 << log_n;
-    let butterflies = (n / 2) as f64 * f64::from(log_n);
-    // Butterfly = 1 mul + 1 add + 1 sub on the 4-limb scalar field; the
-    // 6-limb Table IV mul cost halves on 4 limbs (quadratic in limbs).
-    let bfly_cycles = CPU_MUL_CYCLES / 2.0 + 2.0 * CPU_ADD_CYCLES;
-    butterflies * bfly_cycles / CPU_CLOCK_HZ
-}
+// The CPU baseline and the Pippenger work model are calibration constants
+// shared with `zkprophet::prover_model` and `zkp-backend`'s simulated-GPU
+// backend; they live in [`crate::calibration`] so the consumers can never
+// drift, and are re-exported here for compatibility.
+pub use crate::calibration::{
+    cpu_msm_seconds, cpu_ntt_seconds, CPU_ADD_CYCLES, CPU_CLOCK_HZ, CPU_DBL_CYCLES, CPU_MUL_CYCLES,
+};
 
 #[cfg(test)]
 mod tests {
@@ -382,13 +329,6 @@ mod tests {
         assert!(k.mul12 > 5.0 * k.add12);
         assert!(k.mul8 < k.mul12);
         assert!(k.instr_mul12 > 300.0);
-    }
-
-    #[test]
-    fn window_choice_grows_with_scale() {
-        assert!(best_window(1 << 15, false) < best_window(1 << 26, false));
-        let c = best_window(1 << 22, false);
-        assert!((10..=22).contains(&c), "c = {c}");
     }
 
     #[test]
@@ -427,11 +367,5 @@ mod tests {
         let ntt = ntt_estimate(LibraryId::Bellperson, &d, 24).expect("exists");
         assert!(msm.time.transfer_fraction() < 0.3);
         assert!(ntt.time.transfer_fraction() > 0.5);
-    }
-
-    #[test]
-    fn cpu_costs_scale() {
-        assert!(cpu_msm_seconds(20) > 20.0 * cpu_msm_seconds(15));
-        assert!(cpu_ntt_seconds(20) > cpu_ntt_seconds(15));
     }
 }

@@ -29,6 +29,9 @@ mod qap;
 mod serialize;
 
 pub use batch::verify_batch;
-pub use protocol::{prove, prove_on, setup, verify, Proof, ProverStats, ProvingKey, VerifyingKey};
+pub use protocol::{
+    prove, prove_on, prove_traced, prove_with_backend, setup, verify, Proof, ProverStats,
+    ProvingKey, TracedProverStats, VerifyingKey,
+};
 pub use qap::Qap;
 pub use serialize::PROOF_BYTES;

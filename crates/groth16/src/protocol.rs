@@ -3,14 +3,15 @@
 use crate::qap::Qap;
 use core::fmt;
 use rand::Rng;
+use zkp_backend::{quotient_pipeline, CpuBackend, ExecBackend, ExecTrace, G1Msm};
 use zkp_curves::batch_to_affine;
 use zkp_curves::tower::Fq12;
 use zkp_curves::{
     multi_pairing, pairing, Affine, Bls12Config, G1Curve, G2Curve, Jacobian, SwCurve,
 };
 use zkp_ff::Field;
-use zkp_msm::{msm_parallel_with_config, FixedBase, MsmConfig};
-use zkp_ntt::{quotient_poly_on, TwiddleTable};
+use zkp_msm::FixedBase;
+use zkp_ntt::TwiddleTable;
 use zkp_r1cs::ConstraintSystem;
 use zkp_runtime::ThreadPool;
 
@@ -196,14 +197,8 @@ pub fn prove<C: Bls12Config, R: Rng + ?Sized>(
     prove_on(pk, cs, rng, zkp_runtime::global())
 }
 
-/// [`prove`] on an explicit thread pool.
-///
-/// The prover runs as a task graph: the 7-transform NTT pipeline — and the
-/// h-query MSM that consumes its output — executes concurrently with the
-/// four witness MSMs (A, B₁, B₂, L), each of which fans out internally.
-/// The proof is identical at any thread count given the same `rng` stream,
-/// because the blinding factors are drawn before the graph is spawned and
-/// every parallel kernel is schedule-deterministic.
+/// [`prove`] on an explicit thread pool, via the reference
+/// [`CpuBackend`].
 ///
 /// # Panics
 ///
@@ -214,6 +209,57 @@ pub fn prove_on<C: Bls12Config, R: Rng + ?Sized>(
     cs: &ConstraintSystem<C::Fr>,
     rng: &mut R,
     pool: &ThreadPool,
+) -> (Proof<C>, ProverStats) {
+    prove_with_backend(pk, cs, rng, &CpuBackend::on(pool))
+}
+
+/// Extended prover output: the work counters plus the op-level execution
+/// trace the backend recorded (empty for non-recording backends).
+#[derive(Debug, Clone)]
+pub struct TracedProverStats {
+    /// The classic work counters.
+    pub base: ProverStats,
+    /// Per-op records drained from the backend after the run.
+    pub trace: ExecTrace,
+}
+
+/// [`prove_with_backend`], draining the backend's trace afterwards.
+///
+/// # Panics
+///
+/// Panics if the system's shape disagrees with the proving key or the
+/// assignment does not satisfy the constraints (checked in debug builds).
+pub fn prove_traced<C: Bls12Config, R: Rng + ?Sized, B: ExecBackend<C> + ?Sized>(
+    pk: &ProvingKey<C>,
+    cs: &ConstraintSystem<C::Fr>,
+    rng: &mut R,
+    backend: &B,
+) -> (Proof<C>, TracedProverStats) {
+    let (proof, base) = prove_with_backend(pk, cs, rng, backend);
+    let trace = backend.take_trace();
+    (proof, TracedProverStats { base, trace })
+}
+
+/// Generates a proof with every heavy operation dispatched through an
+/// execution backend (see `zkp-backend`).
+///
+/// The prover runs as a stage graph on the backend's pool: the 7-transform
+/// NTT pipeline — and the h-query MSM that consumes its output — executes
+/// concurrently with the four witness MSMs (A, B₁, B₂, L), each of which
+/// fans out internally. The proof is identical at any thread count *and
+/// under any correct backend* given the same `rng` stream, because the
+/// blinding factors are drawn before the graph is spawned and every
+/// backend op is schedule-deterministic.
+///
+/// # Panics
+///
+/// Panics if the system's shape disagrees with the proving key or the
+/// assignment does not satisfy the constraints (checked in debug builds).
+pub fn prove_with_backend<C: Bls12Config, R: Rng + ?Sized, B: ExecBackend<C> + ?Sized>(
+    pk: &ProvingKey<C>,
+    cs: &ConstraintSystem<C::Fr>,
+    rng: &mut R,
+    backend: &B,
 ) -> (Proof<C>, ProverStats) {
     debug_assert!(cs.is_satisfied(), "witness does not satisfy the circuit");
     assert_eq!(
@@ -230,13 +276,9 @@ pub fn prove_on<C: Bls12Config, R: Rng + ?Sized>(
     let r = C::Fr::random(rng);
     let s = C::Fr::random(rng);
 
-    let msm_cfg = MsmConfig::default();
-    let (a_evals, b_evals, c_evals) = qap.witness_maps(cs);
+    let (a_evals, b_evals, c_evals) = backend.witness_eval(cs, qap.domain.size());
     let table = TwiddleTable::new(&qap.domain);
-
-    let g1_msm = |points: &[Affine<G1Curve<C>>], scalars: &[C::Fr]| {
-        msm_parallel_with_config(points, scalars, &msm_cfg, pool).point
-    };
+    let pool = backend.pool();
 
     // --- Task graph. ---
     // ntt(h pipeline) ──► h-MSM ─┐
@@ -249,24 +291,21 @@ pub fn prove_on<C: Bls12Config, R: Rng + ?Sized>(
             // NTT phase: h = (a·b - c)/Z (7 transforms, Fig. 3), then the
             // one MSM that needs h's coefficients.
             let (h_coeffs, ntt_count) =
-                quotient_poly_on(&qap.domain, &table, &a_evals, &b_evals, &c_evals, pool);
+                quotient_pipeline(&qap.domain, &table, &a_evals, &b_evals, &c_evals, backend);
             let h_len = pk.h_query.len().min(h_coeffs.len());
-            let h_acc = g1_msm(&pk.h_query[..h_len], &h_coeffs[..h_len]);
+            let h_acc = backend.msm_g1(G1Msm::H, &pk.h_query[..h_len], &h_coeffs[..h_len]);
             (h_acc, ntt_count, h_len)
         },
         || {
             pool.join(
-                || g1_msm(&pk.a_query, &z),
+                || backend.msm_g1(G1Msm::A, &pk.a_query, &z),
                 || {
                     pool.join(
-                        || g1_msm(&pk.b_g1_query, &z),
+                        || backend.msm_g1(G1Msm::B1, &pk.b_g1_query, &z),
                         || {
                             pool.join(
-                                || {
-                                    msm_parallel_with_config(&pk.b_g2_query, &z, &msm_cfg, pool)
-                                        .point
-                                },
-                                || g1_msm(&pk.l_query, priv_z),
+                                || backend.msm_g2(&pk.b_g2_query, &z),
+                                || backend.msm_g1(G1Msm::L, &pk.l_query, priv_z),
                             )
                         },
                     )

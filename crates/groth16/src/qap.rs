@@ -91,21 +91,12 @@ impl<F: PrimeField> Qap<F> {
 
     /// The prover-side evaluation vectors: `(⟨A_j,z⟩, ⟨B_j,z⟩, ⟨C_j,z⟩)` for
     /// every domain row, zero-padded to the domain size.
+    ///
+    /// Delegates to [`zkp_backend::witness_maps`] — the reference
+    /// implementation every execution backend's `witness_eval` must agree
+    /// with.
     pub fn witness_maps(&self, cs: &ConstraintSystem<F>) -> (Vec<F>, Vec<F>, Vec<F>) {
-        let n = self.domain.size() as usize;
-        let mut a = vec![F::zero(); n];
-        let mut b = vec![F::zero(); n];
-        let mut c = vec![F::zero(); n];
-        for (row, constraint) in cs.constraints.iter().enumerate() {
-            a[row] = constraint.a.evaluate(&cs.assignment);
-            b[row] = constraint.b.evaluate(&cs.assignment);
-            c[row] = constraint.c.evaluate(&cs.assignment);
-        }
-        let z = cs.assignment.to_vec();
-        for j in 0..=cs.num_public() {
-            a[cs.num_constraints() + j] = z[j];
-        }
-        (a, b, c)
+        zkp_backend::witness_maps(cs, self.domain.size())
     }
 }
 

@@ -1,0 +1,157 @@
+//! Cross-backend equivalence and the pre-refactor regression digest.
+//!
+//! The prover is required to be *bit-identical* across execution backends
+//! and thread counts: the CPU backend must reproduce the pre-backend
+//! prover exactly (pinned below as a committed proof digest), and the
+//! tracing and simulated-GPU backends — which run the same kernels and
+//! only observe — must match it byte for byte.
+
+use rand::{rngs::StdRng, SeedableRng};
+use zkp_backend::{CpuBackend, ExecBackend, LibraryId, SimGpuBackend, TracingBackend};
+use zkp_curves::bls12_381::Bls12381;
+use zkp_ff::{Field, Fr381};
+use zkp_groth16::{prove_traced, prove_with_backend, setup, verify, ProverStats, ProvingKey};
+use zkp_r1cs::circuits::mimc;
+use zkp_r1cs::ConstraintSystem;
+use zkp_runtime::ThreadPool;
+
+/// Hex of `Proof::to_bytes()` for the fixture below, captured from the
+/// prover *before* the backend refactor (same circuit, same seeds). The
+/// CPU backend must keep reproducing it forever.
+const REFERENCE_PROOF_HEX: &str = "17e391075ff338b69c009356a120f05578dd156190059e4bca10f4a35840c2\
+     ed3e519d737a546b3ef0398ed6c57508f24b84c094caa8d2b5263d762039329e5c831d18096669ce9a68e752697b\
+     f5c92d02d3268d0be40bb064fb9f56efbabd4b124e0178f0092c58ac5f6686a35cf49ac87fdecf44c7728401e3b7\
+     714c212119f7df7822added96815473bc7a30710934464db3cf0a91b7f5231830379f066a29214cac2a2e485c0e0\
+     d1b1231988e1b0d07234c9ac0e9d4f161349341214dfe5";
+
+fn reference_proof_hex() -> String {
+    REFERENCE_PROOF_HEX
+        .chars()
+        .filter(|c| !c.is_whitespace())
+        .collect()
+}
+
+fn digest_hex(bytes: &[u8]) -> String {
+    bytes.iter().map(|b| format!("{b:02x}")).collect()
+}
+
+/// The fixture: mimc(5, 32 rounds), setup seed 7, prover seed 9.
+fn fixture() -> (ConstraintSystem<Fr381>, ProvingKey<Bls12381>) {
+    let cs = mimc(Fr381::from_u64(5), 32);
+    let mut rng = StdRng::seed_from_u64(7);
+    let pk = setup::<Bls12381, _>(&cs, &mut rng);
+    (cs, pk)
+}
+
+fn prove_with<B: ExecBackend<Bls12381> + ?Sized>(
+    pk: &ProvingKey<Bls12381>,
+    cs: &ConstraintSystem<Fr381>,
+    backend: &B,
+) -> (String, ProverStats) {
+    let mut rng = StdRng::seed_from_u64(9);
+    let (proof, stats) = prove_with_backend(pk, cs, &mut rng, backend);
+    (digest_hex(&proof.to_bytes()), stats)
+}
+
+#[test]
+fn cpu_backend_reproduces_the_committed_digest() {
+    let (cs, pk) = fixture();
+    let (digest, stats) = prove_with(&pk, &cs, &CpuBackend::global());
+    assert_eq!(digest, reference_proof_hex());
+    assert_eq!(
+        stats,
+        ProverStats {
+            g1_msm_sizes: [66, 66, 64, 127],
+            g2_msm_size: 66,
+            ntt_count: 7,
+            domain_size: 128,
+        }
+    );
+}
+
+#[test]
+fn all_backends_agree_at_every_thread_count() {
+    let (cs, pk) = fixture();
+    let reference = reference_proof_hex();
+    for threads in [1usize, 2, 8] {
+        let pool = ThreadPool::with_threads(threads);
+        let cpu = CpuBackend::on(&pool);
+        let traced = TracingBackend::new(CpuBackend::on(&pool));
+        let sim = SimGpuBackend::new(
+            gpu_sim::device::by_name("a40").expect("a40 in catalog"),
+            LibraryId::Sppark,
+            &pool,
+        );
+        let (d_cpu, s_cpu) = prove_with(&pk, &cs, &cpu);
+        let (d_traced, s_traced) = prove_with(&pk, &cs, &traced);
+        let (d_sim, s_sim) = prove_with(&pk, &cs, &sim);
+        assert_eq!(d_cpu, reference, "cpu diverged at {threads} threads");
+        assert_eq!(d_traced, reference, "tracing diverged at {threads} threads");
+        assert_eq!(d_sim, reference, "sim-gpu diverged at {threads} threads");
+        assert_eq!(s_cpu, s_traced);
+        assert_eq!(s_cpu, s_sim);
+    }
+}
+
+#[test]
+fn traced_run_records_the_whole_stage_graph() {
+    let (cs, pk) = fixture();
+    let backend = TracingBackend::new(CpuBackend::global());
+    let mut rng = StdRng::seed_from_u64(9);
+    let (proof, stats) = prove_traced(&pk, &cs, &mut rng, &backend);
+    assert!(verify(&pk.vk, &proof, &cs.assignment.public));
+
+    let trace = &stats.trace;
+    assert_eq!(trace.records.len(), 1 + 7 + 4 + 4 + 1); // witness, NTTs, cosets, G1 MSMs, G2
+    let summary = trace.summarize();
+    let count = |stage: &str| {
+        summary
+            .rows
+            .iter()
+            .find(|r| r.stage == stage)
+            .map_or(0, |r| r.calls)
+    };
+    assert_eq!(count("witness/QAP eval"), 1);
+    assert_eq!(count("NTT inverse") + count("NTT forward"), 7);
+    assert_eq!(count("coset scaling"), 4);
+    assert_eq!(count("G2 MSM (B2)"), 1);
+    for msm in ["G1 MSM (A)", "G1 MSM (B1)", "G1 MSM (L)", "G1 MSM (H)"] {
+        assert_eq!(count(msm), 1, "{msm}");
+    }
+    // Recorded MSM sizes match the work counters.
+    let size_of = |stage: &str| {
+        trace
+            .records
+            .iter()
+            .find(|r| r.kind.stage() == stage)
+            .expect("stage recorded")
+            .size
+    };
+    assert_eq!(size_of("G1 MSM (A)"), stats.base.g1_msm_sizes[0]);
+    assert_eq!(size_of("G1 MSM (H)"), stats.base.g1_msm_sizes[3]);
+    assert_eq!(size_of("NTT inverse"), stats.base.domain_size);
+
+    // The trace drained; a second take is empty.
+    assert!(ExecBackend::<Bls12381>::take_trace(&backend)
+        .records
+        .is_empty());
+}
+
+#[test]
+fn sim_backend_charges_every_op_and_verifies() {
+    let (cs, pk) = fixture();
+    let device = gpu_sim::device::by_name("a40").expect("a40 in catalog");
+    let backend = SimGpuBackend::global(device, LibraryId::Sppark);
+    let mut rng = StdRng::seed_from_u64(9);
+    let (proof, stats) = prove_traced(&pk, &cs, &mut rng, &backend);
+    assert!(verify(&pk.vk, &proof, &cs.assignment.public));
+    assert!(!stats.trace.records.is_empty());
+    assert!(stats
+        .trace
+        .records
+        .iter()
+        .all(|r| r.modeled.is_some_and(|m| m.seconds > 0.0)));
+    let summary = stats.trace.summarize();
+    assert!(summary.modeled_end_to_end_s() > 0.0);
+    assert!(summary.wall_total_s() > 0.0);
+}

@@ -1,5 +1,6 @@
 //! One module per paper table/figure; see DESIGN.md's experiment index.
 
+pub mod e2e_trace;
 pub mod energy;
 pub mod ff_layer;
 pub mod kernel_layer;
@@ -61,5 +62,7 @@ pub fn full_report(device: &DeviceSpec) -> String {
     out += &scaling::render_montgomery_trick(&scaling::montgomery_trick());
     out += "\n";
     out += &kernel_layer::render_absolute_times(device);
+    out += "\n";
+    out += &e2e_trace::render_e2e_section(device);
     out
 }

@@ -11,12 +11,10 @@ use gpu_kernels::libraries::{
 };
 use gpu_sim::device::DeviceSpec;
 
-/// G1 MSMs on the GPU critical path.
-pub const G1_MSMS: u32 = 3;
-/// NTT-shaped transforms in the `h` pipeline (Fig. 3).
-pub const NTTS: u32 = 7;
-/// A G2 point operation costs ~3× its G1 counterpart (Fq2 arithmetic).
-pub const G2_COST_FACTOR: f64 = 3.0;
+// Pipeline-shape constants live in `gpu_kernels::calibration`, shared with
+// the `zkp-backend` cost models so the closed-form composition and the
+// trace-charging backend can never drift; re-exported here for callers.
+pub use gpu_kernels::calibration::{G1_MSMS, G2_COST_FACTOR, NTTS};
 
 /// The per-phase timing of one GPU proof.
 #[derive(Debug, Clone)]

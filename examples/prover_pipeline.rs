@@ -4,15 +4,93 @@
 //!
 //! Pass `--all` for the complete report including the FF-op layer.
 //!
+//! Pass `--backend <spec>` to instead run one **real proof** through a
+//! pluggable execution backend and print its trace-derived breakdown:
+//! `cpu`, `tracing`, or `sim:<device>[:<lib>]` (e.g. `sim:a40:sppark`).
+//! An optional `--rounds N` sizes the MiMC circuit.
+//!
 //! ```sh
 //! cargo run --release -p zkp-examples --bin prover_pipeline [device] [--all]
+//! cargo run --release -p zkp-examples --bin prover_pipeline -- --backend sim:a40:sppark
 //! ```
 
+use rand::{rngs::StdRng, SeedableRng};
+use std::time::Instant;
+use zkp_backend::BackendSpec;
+use zkp_curves::bls12_381::Bls12381;
 use zkp_examples::device_from_args;
-use zkprophet::experiments::{energy, kernel_layer, scaling};
+use zkp_ff::{Field, Fr381};
+use zkp_groth16::{prove_traced, setup, verify};
+use zkp_r1cs::circuits::mimc;
+use zkprophet::experiments::{e2e_trace, energy, kernel_layer, scaling};
 use zkprophet::full_report;
 
+fn arg_value(flag: &str) -> Option<String> {
+    let mut args = std::env::args();
+    while let Some(a) = args.next() {
+        if a == flag {
+            return args.next();
+        }
+    }
+    None
+}
+
+/// Runs one real proof through the chosen backend and prints the
+/// trace-derived per-stage breakdown (plus the Amdahl extrapolation when
+/// the backend simulates a device).
+fn run_backend_demo(spec_str: &str, rounds: usize) {
+    let spec = BackendSpec::parse(spec_str).unwrap_or_else(|e| {
+        eprintln!("{e}");
+        std::process::exit(2);
+    });
+    let backend = spec.build::<Bls12381>();
+    println!("backend: {}", backend.name());
+    println!("circuit: mimc, {rounds} rounds");
+
+    let cs = mimc(Fr381::from_u64(11), rounds);
+    let mut rng = StdRng::seed_from_u64(42);
+    let pk = setup::<Bls12381, _>(&cs, &mut rng);
+    let start = Instant::now();
+    let (proof, stats) = prove_traced(&pk, &cs, &mut rng, backend.as_ref());
+    let measured_prove_s = start.elapsed().as_secs_f64();
+    let verified = verify(&pk.vk, &proof, &cs.assignment.public);
+    println!("stats:   {:?}", stats.base);
+    println!();
+
+    if stats.trace.records.is_empty() {
+        // The plain CPU backend records nothing; report the run only.
+        println!(
+            "proved in {measured_prove_s:.3}s, verified: {verified} \
+             (backend records no trace; try tracing or sim:<device>)"
+        );
+        if !verified {
+            std::process::exit(1);
+        }
+        return;
+    }
+    let tp = e2e_trace::TracedProof {
+        trace: stats.trace,
+        verified,
+        measured_prove_s,
+    };
+    println!("{}", e2e_trace::render_trace_breakdown(&tp));
+    if let BackendSpec::Sim { device, .. } = &spec {
+        let rows = e2e_trace::amdahl_table(device, &tp.trace, e2e_trace::AMDAHL_SCALES);
+        println!("{}", e2e_trace::render_amdahl(device, &rows));
+    }
+    if !verified {
+        std::process::exit(1);
+    }
+}
+
 fn main() {
+    if let Some(spec) = arg_value("--backend") {
+        let rounds = arg_value("--rounds")
+            .and_then(|r| r.parse().ok())
+            .unwrap_or(e2e_trace::TRACE_ROUNDS);
+        run_backend_demo(&spec, rounds);
+        return;
+    }
     let device = device_from_args();
     if std::env::args().any(|a| a == "--all") {
         println!("{}", full_report(&device));
