@@ -3,7 +3,7 @@
 
 use crate::{witness_maps, ExecBackend, G1Msm};
 use zkp_curves::{Affine, Bls12Config, G1Curve, G2Curve, Jacobian};
-use zkp_msm::{msm_parallel_with_config, MsmConfig};
+use zkp_msm::{msm_parallel_with_config, MsmConfig, MsmPlan};
 use zkp_ntt::{distribute_powers_parallel, ntt_parallel_on, TwiddleTable};
 use zkp_r1cs::ConstraintSystem;
 use zkp_runtime::ThreadPool;
@@ -20,12 +20,24 @@ pub struct CpuBackend<'p> {
     msm_cfg: MsmConfig,
 }
 
+/// The fastest measured CPU configuration: GLV-decomposed, signed-digit
+/// XYZZ buckets. `ZKP_MSM_GLV=0` disables the endomorphism split (the
+/// knob the CI smoke uses to A/B the two paths — proofs must match
+/// byte for byte either way).
+fn default_msm_config() -> MsmConfig {
+    let mut cfg = MsmConfig::glv_style();
+    if std::env::var("ZKP_MSM_GLV").is_ok_and(|v| v == "0") {
+        cfg.endomorphism = false;
+    }
+    cfg
+}
+
 impl<'p> CpuBackend<'p> {
     /// A backend on an explicit pool.
     pub fn on(pool: &'p ThreadPool) -> Self {
         Self {
             pool,
-            msm_cfg: MsmConfig::default(),
+            msm_cfg: default_msm_config(),
         }
     }
 
@@ -57,6 +69,19 @@ impl<C: Bls12Config> ExecBackend<C> for CpuBackend<'_> {
         scalars: &[C::Fr],
     ) -> Jacobian<G1Curve<C>> {
         msm_parallel_with_config(bases, scalars, &self.msm_cfg, self.pool).point
+    }
+
+    fn msm_g1_planned(
+        &self,
+        _which: G1Msm,
+        plan: &MsmPlan<G1Curve<C>>,
+        scalars: &[C::Fr],
+    ) -> Jacobian<G1Curve<C>> {
+        plan.execute(scalars, self.pool).point
+    }
+
+    fn msm_algorithm(&self) -> String {
+        self.msm_cfg.describe()
     }
 
     fn msm_g2(&self, bases: &[Affine<G2Curve<C>>], scalars: &[C::Fr]) -> Jacobian<G2Curve<C>> {

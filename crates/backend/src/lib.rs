@@ -31,6 +31,7 @@ pub mod tracing;
 use gpu_sim::DeviceSpec;
 use zkp_curves::{Affine, Bls12Config, G1Curve, G2Curve, Jacobian};
 use zkp_ff::{Field, PrimeField};
+use zkp_msm::MsmPlan;
 use zkp_ntt::{Domain, TwiddleTable};
 use zkp_r1cs::ConstraintSystem;
 use zkp_runtime::ThreadPool;
@@ -65,6 +66,26 @@ pub trait ExecBackend<C: Bls12Config>: Sync {
         bases: &[Affine<G1Curve<C>>],
         scalars: &[C::Fr],
     ) -> Jacobian<G1Curve<C>>;
+
+    /// One of the prover's four G1 MSMs against a prebuilt per-key
+    /// [`MsmPlan`] (GLV expansion + window precompute cached across
+    /// proofs). The default ignores the cache and runs the plain path
+    /// over the plan's original bases — correct for any backend; the CPU
+    /// backend overrides it with the actual cached execution.
+    fn msm_g1_planned(
+        &self,
+        which: G1Msm,
+        plan: &MsmPlan<G1Curve<C>>,
+        scalars: &[C::Fr],
+    ) -> Jacobian<G1Curve<C>> {
+        self.msm_g1(which, plan.bases(), scalars)
+    }
+
+    /// Human-readable tag of the G1 MSM algorithm this backend runs
+    /// (e.g. `"glv+signed+xyzz"`), for traces and benchmark metadata.
+    fn msm_algorithm(&self) -> String {
+        "default".into()
+    }
 
     /// The G2 MSM (the one the paper notes runs on the CPU, §II-A).
     fn msm_g2(&self, bases: &[Affine<G2Curve<C>>], scalars: &[C::Fr]) -> Jacobian<G2Curve<C>>;
@@ -105,6 +126,17 @@ impl<C: Bls12Config, B: ExecBackend<C> + ?Sized> ExecBackend<C> for &B {
         scalars: &[C::Fr],
     ) -> Jacobian<G1Curve<C>> {
         (**self).msm_g1(which, bases, scalars)
+    }
+    fn msm_g1_planned(
+        &self,
+        which: G1Msm,
+        plan: &MsmPlan<G1Curve<C>>,
+        scalars: &[C::Fr],
+    ) -> Jacobian<G1Curve<C>> {
+        (**self).msm_g1_planned(which, plan, scalars)
+    }
+    fn msm_algorithm(&self) -> String {
+        (**self).msm_algorithm()
     }
     fn msm_g2(&self, bases: &[Affine<G2Curve<C>>], scalars: &[C::Fr]) -> Jacobian<G2Curve<C>> {
         (**self).msm_g2(bases, scalars)

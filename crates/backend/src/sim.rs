@@ -211,6 +211,8 @@ impl<'p> SimGpuBackend<'p> {
         let out = f();
         let wall_s = start.elapsed().as_secs_f64();
         let modeled = Some(self.model.charge(kind, size));
+        // The modeled library (in `modeled.lib`) is the algorithm identity
+        // here; `algo` stays unset to avoid double-reporting.
         self.records
             .lock()
             .expect("trace lock poisoned")
@@ -219,6 +221,7 @@ impl<'p> SimGpuBackend<'p> {
                 size,
                 wall_s,
                 modeled,
+                algo: None,
             });
         out
     }
@@ -242,6 +245,21 @@ impl<C: Bls12Config> ExecBackend<C> for SimGpuBackend<'_> {
         self.run(OpKind::MsmG1(which), scalars.len() as u64, || {
             self.cpu.msm_g1(which, bases, scalars)
         })
+    }
+
+    fn msm_g1_planned(
+        &self,
+        which: G1Msm,
+        plan: &zkp_msm::MsmPlan<G1Curve<C>>,
+        scalars: &[C::Fr],
+    ) -> Jacobian<G1Curve<C>> {
+        self.run(OpKind::MsmG1(which), scalars.len() as u64, || {
+            self.cpu.msm_g1_planned(which, plan, scalars)
+        })
+    }
+
+    fn msm_algorithm(&self) -> String {
+        format!("model:{}", self.msm_lib.name())
     }
 
     fn msm_g2(&self, bases: &[Affine<G2Curve<C>>], scalars: &[C::Fr]) -> Jacobian<G2Curve<C>> {

@@ -107,7 +107,7 @@ pub struct ModeledCost {
 }
 
 /// One recorded operation.
-#[derive(Debug, Clone, Copy)]
+#[derive(Debug, Clone)]
 pub struct OpRecord {
     /// What ran.
     pub kind: OpKind,
@@ -117,6 +117,10 @@ pub struct OpRecord {
     pub wall_s: f64,
     /// Modeled device cost, if the backend charges one.
     pub modeled: Option<ModeledCost>,
+    /// Algorithm tag for MSM ops (e.g. `"glv+signed+xyzz"`, or the plan
+    /// tag with its precompute shape); `None` for non-MSM ops and
+    /// backends that do not annotate.
+    pub algo: Option<String>,
 }
 
 /// A full recorded run.
@@ -257,18 +261,21 @@ mod tests {
                     size: 8,
                     wall_s: 1.0,
                     modeled: None,
+                    algo: None,
                 },
                 OpRecord {
                     kind: OpKind::NttForward,
                     size: 8,
                     wall_s: 2.0,
                     modeled: None,
+                    algo: None,
                 },
                 OpRecord {
                     kind: OpKind::MsmG1(G1Msm::A),
                     size: 4,
                     wall_s: 0.5,
                     modeled: None,
+                    algo: None,
                 },
             ],
         };
@@ -288,6 +295,7 @@ mod tests {
             size: 16,
             wall_s: 0.0,
             modeled: Some(modeled),
+            algo: None,
         };
         let trace = ExecTrace {
             backend: "sim".into(),

@@ -34,7 +34,7 @@ impl<B> TracingBackend<B> {
         &self.inner
     }
 
-    fn record<T>(&self, kind: OpKind, size: u64, f: impl FnOnce() -> T) -> T {
+    fn record<T>(&self, kind: OpKind, size: u64, algo: Option<String>, f: impl FnOnce() -> T) -> T {
         let start = Instant::now();
         let out = f();
         let wall_s = start.elapsed().as_secs_f64();
@@ -46,6 +46,7 @@ impl<B> TracingBackend<B> {
                 size,
                 wall_s,
                 modeled: None,
+                algo,
             });
         out
     }
@@ -66,31 +67,48 @@ impl<C: Bls12Config, B: ExecBackend<C>> ExecBackend<C> for TracingBackend<B> {
         bases: &[Affine<G1Curve<C>>],
         scalars: &[C::Fr],
     ) -> Jacobian<G1Curve<C>> {
-        self.record(OpKind::MsmG1(which), scalars.len() as u64, || {
+        let algo = Some(ExecBackend::<C>::msm_algorithm(&self.inner));
+        self.record(OpKind::MsmG1(which), scalars.len() as u64, algo, || {
             self.inner.msm_g1(which, bases, scalars)
         })
     }
 
+    fn msm_g1_planned(
+        &self,
+        which: G1Msm,
+        plan: &zkp_msm::MsmPlan<G1Curve<C>>,
+        scalars: &[C::Fr],
+    ) -> Jacobian<G1Curve<C>> {
+        let algo = Some(plan.algorithm());
+        self.record(OpKind::MsmG1(which), scalars.len() as u64, algo, || {
+            self.inner.msm_g1_planned(which, plan, scalars)
+        })
+    }
+
+    fn msm_algorithm(&self) -> String {
+        ExecBackend::<C>::msm_algorithm(&self.inner)
+    }
+
     fn msm_g2(&self, bases: &[Affine<G2Curve<C>>], scalars: &[C::Fr]) -> Jacobian<G2Curve<C>> {
-        self.record(OpKind::MsmG2, scalars.len() as u64, || {
+        self.record(OpKind::MsmG2, scalars.len() as u64, None, || {
             self.inner.msm_g2(bases, scalars)
         })
     }
 
     fn ntt_forward(&self, table: &TwiddleTable<C::Fr>, values: &mut [C::Fr]) {
-        self.record(OpKind::NttForward, values.len() as u64, || {
+        self.record(OpKind::NttForward, values.len() as u64, None, || {
             self.inner.ntt_forward(table, values)
         })
     }
 
     fn ntt_inverse(&self, table: &TwiddleTable<C::Fr>, values: &mut [C::Fr]) {
-        self.record(OpKind::NttInverse, values.len() as u64, || {
+        self.record(OpKind::NttInverse, values.len() as u64, None, || {
             self.inner.ntt_inverse(table, values)
         })
     }
 
     fn coset_mul(&self, values: &mut [C::Fr], g: C::Fr, scale: C::Fr) {
-        self.record(OpKind::CosetMul, values.len() as u64, || {
+        self.record(OpKind::CosetMul, values.len() as u64, None, || {
             self.inner.coset_mul(values, g, scale)
         })
     }
@@ -100,7 +118,7 @@ impl<C: Bls12Config, B: ExecBackend<C>> ExecBackend<C> for TracingBackend<B> {
         cs: &ConstraintSystem<C::Fr>,
         domain_size: u64,
     ) -> crate::WitnessMaps<C::Fr> {
-        self.record(OpKind::WitnessEval, domain_size, || {
+        self.record(OpKind::WitnessEval, domain_size, None, || {
             self.inner.witness_eval(cs, domain_size)
         })
     }

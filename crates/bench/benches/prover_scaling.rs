@@ -12,7 +12,7 @@
 
 use rand::{rngs::StdRng, SeedableRng};
 use std::time::Instant;
-use zkp_backend::{CpuBackend, ExecTrace, TracingBackend};
+use zkp_backend::{CpuBackend, ExecBackend, ExecTrace, TracingBackend};
 use zkp_bench::random_pairs;
 use zkp_curves::bls12_381::{Bls12381, G1};
 use zkp_ff::{Field, Fr381};
@@ -40,6 +40,10 @@ struct Row {
     seconds: f64,
     /// Which execution backend ran the workload.
     backend: String,
+    /// Which MSM algorithm the workload used (`MsmConfig::describe()` /
+    /// `ExecBackend::msm_algorithm`), or `"-"` for non-MSM kernels. Makes
+    /// rows comparable across runs where the default config changed.
+    algorithm: String,
     /// Per-stage rows from the execution trace, when the workload runs
     /// through a tracing backend (the full prove does; raw kernels don't).
     breakdown: Option<ExecTrace>,
@@ -84,24 +88,33 @@ fn main() {
     let mut rows: Vec<Row> = Vec::new();
 
     // --- MSM ---------------------------------------------------------------
+    // Both the unsigned baseline and the GLV-decomposed path, so the
+    // speedup of the endomorphism split is visible in the JSON.
     let n = 1usize << msm_log;
     let (points, scalars) = random_pairs::<G1>(n, 41);
-    let config = MsmConfig::default();
-    println!("msm 2^{msm_log} ({n} pairs)");
-    for &t in &counts {
-        let pool = ThreadPool::with_threads(t);
-        let secs = time_best(reps, || {
-            std::hint::black_box(msm_parallel_with_config(&points, &scalars, &config, &pool));
-        });
-        println!("  threads={t:<3} {secs:.4}s");
-        rows.push(Row {
-            bench: "msm",
-            size: n,
-            threads: t,
-            seconds: secs,
-            backend: "cpu".into(),
-            breakdown: None,
-        });
+    for config in [MsmConfig::default(), MsmConfig::glv_style()] {
+        let algo = config.describe();
+        println!("msm 2^{msm_log} ({n} pairs, {algo})");
+        for &t in &counts {
+            let pool = ThreadPool::with_threads(t);
+            let secs = time_best(reps, || {
+                std::hint::black_box(msm_parallel_with_config(&points, &scalars, &config, &pool));
+            });
+            println!("  threads={t:<3} {secs:.4}s");
+            rows.push(Row {
+                bench: if config.endomorphism {
+                    "msm_glv"
+                } else {
+                    "msm"
+                },
+                size: n,
+                threads: t,
+                seconds: secs,
+                backend: "cpu".into(),
+                algorithm: algo.clone(),
+                breakdown: None,
+            });
+        }
     }
 
     // --- NTT ---------------------------------------------------------------
@@ -125,6 +138,7 @@ fn main() {
             threads: t,
             seconds: secs,
             backend: "cpu".into(),
+            algorithm: "-".into(),
             breakdown: None,
         });
     }
@@ -141,6 +155,7 @@ fn main() {
         // per-stage breakdown alongside the end-to-end time; recording is
         // one mutex push per dispatched op and does not perturb the timing.
         let backend = TracingBackend::new(CpuBackend::on(&pool));
+        let algorithm = ExecBackend::<Bls12381>::msm_algorithm(&backend);
         let mut trace = ExecTrace::empty("traced:cpu".to_string(), t);
         let secs = time_best(reps, || {
             let mut prove_rng = StdRng::seed_from_u64(44);
@@ -155,6 +170,7 @@ fn main() {
             threads: t,
             seconds: secs,
             backend: trace.backend.clone(),
+            algorithm: algorithm.clone(),
             breakdown: Some(trace),
         });
     }
@@ -165,6 +181,11 @@ fn main() {
         .filter(|r| r.threads == 1)
         .map(|r| (r.bench, r.seconds))
         .collect();
+    // Host metadata on every row: a ~1x thread speedup is expected, not a
+    // regression, when the CI box only has one hardware thread.
+    let host_cpus = std::thread::available_parallelism()
+        .map(std::num::NonZeroUsize::get)
+        .unwrap_or(1);
     let mut json = String::from("{\n  \"results\": [\n");
     for (i, r) in rows.iter().enumerate() {
         let speedup = base[r.bench] / r.seconds;
@@ -172,12 +193,15 @@ fn main() {
             format!(", \"breakdown\": {}", breakdown_json(t))
         });
         json.push_str(&format!(
-            "    {{\"bench\": \"{}\", \"size\": {}, \"threads\": {}, \
-             \"backend\": \"{}\", \"seconds\": {:.6}, \"speedup_vs_1\": {:.3}{}}}{}\n",
+            "    {{\"bench\": \"{}\", \"size\": {}, \"threads\": {}, \"host_cpus\": {}, \
+             \"backend\": \"{}\", \"algorithm\": \"{}\", \"seconds\": {:.6}, \
+             \"speedup_vs_1\": {:.3}{}}}{}\n",
             r.bench,
             r.size,
             r.threads,
+            host_cpus,
             r.backend,
+            r.algorithm,
             r.seconds,
             speedup,
             breakdown,

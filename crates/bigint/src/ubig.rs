@@ -247,6 +247,20 @@ impl UBig {
         r.is_zero().then_some(q)
     }
 
+    /// Division rounded to the *nearest* integer, ties away from zero:
+    /// `round(self / rhs) = (self + rhs/2) / rhs`.
+    ///
+    /// This is the exact Babai rounding step of GLV lattice decomposition;
+    /// the tight half-width subscalar bounds hold only with exact rounding
+    /// (a truncating Barrett approximation can exceed them by a few units).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `rhs` is zero.
+    pub fn div_round_nearest(&self, rhs: &Self) -> Self {
+        self.add(&rhs.shr(1)).div_rem(rhs).0
+    }
+
     /// Returns `true` if `rhs` divides `self`.
     pub fn is_multiple_of(&self, rhs: &Self) -> bool {
         self.div_rem(rhs).1.is_zero()
@@ -448,6 +462,26 @@ mod tests {
         let (q, r) = ub("5").div_rem(&ub("7"));
         assert!(q.is_zero());
         assert_eq!(r, ub("5"));
+    }
+
+    #[test]
+    fn round_nearest_division() {
+        let d = ub("7");
+        assert_eq!(ub("0").div_round_nearest(&d), UBig::zero());
+        assert_eq!(ub("3").div_round_nearest(&d), UBig::zero()); // 3/7 < 1/2
+        assert_eq!(ub("4").div_round_nearest(&d), UBig::one()); // 4/7 > 1/2
+        assert_eq!(ub("11").div_round_nearest(&d), UBig::from(2u64)); // 17/7 ≈ 2.43
+                                                                      // Even divisor: ties round up (away from zero).
+        assert_eq!(ub("3").div_round_nearest(&ub("6")), UBig::one());
+        assert_eq!(ub("2").div_round_nearest(&ub("6")), UBig::zero());
+        // A wide operand: round(2^200 / r) agrees with floor((2^200 + r/2)/r).
+        let r = ub("73eda753299d7d483339d80809a1d80553bda402fffe5bfeffffffff00000001");
+        let n = UBig::one().shl(200);
+        let q = n.div_round_nearest(&r);
+        let lo = &q * &r;
+        // |n - q*r| <= r/2
+        let dist = if lo > n { lo.sub(&n) } else { n.sub(&lo) };
+        assert!(dist <= r.shr(1));
     }
 
     #[test]

@@ -9,6 +9,7 @@
 //! (Groth16 verification is "constant time, < 1 ms" and out of scope).
 
 use crate::derive::{bls_orders, find_subgroup_generator, select_twist_order};
+use crate::glv::{derive_glv, GlvParams};
 use crate::sw::{Affine, Jacobian, SwCurve};
 use crate::tower::{Fq12, Fq2, TowerConfig};
 use core::fmt;
@@ -60,6 +61,9 @@ pub struct Derived<C: Bls12Config> {
     pub hard_exponent: UBig,
     /// `q² - 1`, the Fq2 unit-group order.
     pub fq2_units: UBig,
+    /// GLV endomorphism parameters for G1 (`φ(x,y) = (β·x, y)`, eigenvalue
+    /// `λ = X² - 1`), derived and cross-checked against `φ(G) = λ·G`.
+    pub glv_g1: GlvParams<G1Curve<C>>,
 }
 
 impl<C: Bls12Config> Derived<C> {
@@ -97,6 +101,11 @@ impl<C: Bls12Config> Derived<C> {
             .checked_exact_div(&r)
             .expect("r divides q⁴ - q² + 1 (12th cyclotomic polynomial)");
 
+        // GLV endomorphism for G1 (the generator is passed explicitly: we
+        // are *inside* the lazy initializer, so G1Curve::generator() would
+        // re-enter it).
+        let glv_g1 = derive_glv::<G1Curve<C>>(C::X, &q.sub(&UBig::one()), &g1);
+
         Derived {
             n1: orders.n1,
             h1: orders.h1,
@@ -108,6 +117,7 @@ impl<C: Bls12Config> Derived<C> {
             q_squared: q2,
             hard_exponent: hard,
             fq2_units: orders.fq2_units,
+            glv_g1,
         }
     }
 }
@@ -161,6 +171,10 @@ impl<C: Bls12Config> SwCurve for G1Curve<C> {
 
     fn generator() -> Affine<Self> {
         C::derived().g1
+    }
+
+    fn glv() -> Option<&'static GlvParams<Self>> {
+        Some(&C::derived().glv_g1)
     }
 
     const NAME: &'static str = "G1";

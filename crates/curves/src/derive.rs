@@ -290,6 +290,37 @@ pub fn select_twist_order<Cu: SwCurve>(orders: &BlsOrders, r: &UBig) -> (UBig, U
     );
 }
 
+/// Derives a *primitive* cube root of unity in a field of known unit-group
+/// order by exponentiating random elements to `(|F| - 1)/3`.
+///
+/// The result `ω` satisfies `ω³ = 1, ω ≠ 1`; the other primitive root is
+/// `ω²`. Which of the two corresponds to a specific endomorphism (e.g. the
+/// GLV `φ(x,y) = (β·x, y)` acting as `λ`) must be disambiguated by the
+/// caller against that endomorphism's defining equation — see
+/// [`crate::glv::derive_glv`].
+///
+/// # Panics
+///
+/// Panics if `3` does not divide the unit-group order (no cube roots of
+/// unity besides 1 exist in that case).
+pub fn find_cube_root_of_unity<F: Field>(units: &UBig) -> F {
+    let third = units
+        .checked_exact_div(&UBig::from(3u64))
+        .expect("unit-group order must be divisible by 3 for cube roots of unity");
+    let mut rng = StdRng::seed_from_u64(0xc0b3_0075);
+    loop {
+        let cand = F::random(&mut rng);
+        if cand.is_zero() {
+            continue;
+        }
+        let omega = cand.pow(third.limbs());
+        if !omega.is_one() {
+            debug_assert!(omega.pow(&[3]).is_one());
+            return omega;
+        }
+    }
+}
+
 /// Deterministic search for a quadratic non-residue in an arbitrary field,
 /// used when instantiating Tonelli–Shanks in extensions.
 pub fn find_nonresidue<F: Field>(order: &UBig) -> F {

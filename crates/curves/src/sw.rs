@@ -30,6 +30,13 @@ pub trait SwCurve:
     /// A generator of the prime-order subgroup.
     fn generator() -> Affine<Self>;
 
+    /// GLV endomorphism parameters, for curves with an efficiently
+    /// computable endomorphism (BLS12 G1). `None` — the default — makes
+    /// callers such as the MSM engine fall back to the plain path.
+    fn glv() -> Option<&'static crate::glv::GlvParams<Self>> {
+        None
+    }
+
     /// Curve name for diagnostics, e.g. `"BLS12-381 G1"`.
     const NAME: &'static str;
 }

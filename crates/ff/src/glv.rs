@@ -1,0 +1,373 @@
+//! GLV scalar decomposition (Gallant–Lambert–Vanstone).
+//!
+//! For a curve with an efficiently computable endomorphism `φ` acting on a
+//! prime-order subgroup as multiplication by `λ`, a scalar `k` splits as
+//! `k = k1 + λ·k2 (mod r)` with `|k1|, |k2| ≈ √r`. An MSM can then replace
+//! every (point, 255-bit scalar) pair by two (point, ~128-bit scalar) pairs —
+//! the second point being the cheap `φ(P)` — halving the number of Pippenger
+//! window passes (the first-order MSM lever in ZKProphet §IV-D and SZKP).
+//!
+//! This module is curve-agnostic: it performs the lattice arithmetic given
+//! the subgroup order `r` and the integer `x2` defining the BLS lattice
+//! basis. For BLS12 curves `r = X⁴ - X² + 1` and `λ = X² - 1`, so
+//!
+//! ```text
+//! v1 = (X² - 1, -1)     (X² - 1) - λ      = 0        (mod r)
+//! v2 = (1,      X²)     1 + λ·X² = X⁴ - X² + 1 = r  ≡ 0 (mod r)
+//! ```
+//!
+//! is a basis of the lattice `{(a, b) : a + b·λ ≡ 0 (mod r)}` with
+//! determinant exactly `r`. Babai round-off against this basis yields
+//! subscalars bounded by `|k1| ≤ X²/2` and `|k2| ≤ (X² + 1)/2`, i.e. at most
+//! `⌈bits(r)/2⌉ + 1` bits — both magnitudes fit in a `u128` for the curves
+//! in this workspace (`X² < 2^128`).
+
+use crate::PrimeField;
+use zkp_bigint::UBig;
+
+/// A signed subscalar produced by GLV decomposition.
+///
+/// The magnitude is guaranteed `< 2^127` for both supported BLS12 curves,
+/// so a `u128` holds it exactly.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Hash)]
+pub struct GlvScalar {
+    /// Sign: `true` means the subscalar is `-mag`.
+    pub neg: bool,
+    /// Absolute value.
+    pub mag: u128,
+}
+
+impl GlvScalar {
+    /// Number of significant bits of the magnitude (`0` for zero).
+    pub fn bits(&self) -> u32 {
+        128 - self.mag.leading_zeros()
+    }
+
+    /// Little-endian 64-bit limbs of the magnitude.
+    pub fn limbs(&self) -> [u64; 2] {
+        [self.mag as u64, (self.mag >> 64) as u64]
+    }
+
+    /// Embeds the signed value into a prime field (for verification).
+    pub fn to_field<F: PrimeField>(&self) -> F {
+        let mut limbs = vec![0u64; F::NUM_LIMBS.max(2)];
+        limbs[0] = self.mag as u64;
+        limbs[1] = (self.mag >> 64) as u64;
+        let f = F::from_le_limbs(&limbs[..F::NUM_LIMBS])
+            .expect("GLV subscalar magnitude is far below the modulus");
+        if self.neg {
+            -f
+        } else {
+            f
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Fast path: Barrett-reciprocal Babai rounding over fixed-width limbs
+// ---------------------------------------------------------------------------
+
+/// Little-endian schoolbook multiply-accumulate: `out += a·b`. `out` must
+/// have room for `a.len() + b.len()` limbs; the final carry must fit.
+fn mul_acc(a: &[u64], b: &[u64], out: &mut [u64]) {
+    for (i, &ai) in a.iter().enumerate() {
+        if ai == 0 {
+            continue;
+        }
+        let mut carry = 0u128;
+        for (j, &bj) in b.iter().enumerate() {
+            let cur = out[i + j] as u128 + ai as u128 * bj as u128 + carry;
+            out[i + j] = cur as u64;
+            carry = cur >> 64;
+        }
+        let mut idx = i + b.len();
+        while carry != 0 {
+            let cur = out[idx] as u128 + carry;
+            out[idx] = cur as u64;
+            carry = cur >> 64;
+            idx += 1;
+        }
+    }
+}
+
+/// `a += b` (b zero-extended); the carry out of `a` must be zero.
+fn add_assign(a: &mut [u64], b: &[u64]) {
+    let mut carry = 0u128;
+    for (i, limb) in a.iter_mut().enumerate() {
+        let cur = *limb as u128 + b.get(i).copied().unwrap_or(0) as u128 + carry;
+        *limb = cur as u64;
+        carry = cur >> 64;
+    }
+    debug_assert_eq!(carry, 0, "limb addition overflowed its buffer");
+}
+
+/// `a -= b` (b zero-extended); requires `a >= b`.
+fn sub_assign(a: &mut [u64], b: &[u64]) {
+    let mut borrow = 0i128;
+    for (i, limb) in a.iter_mut().enumerate() {
+        let cur = *limb as i128 - b.get(i).copied().unwrap_or(0) as i128 + borrow;
+        *limb = cur as u64;
+        borrow = cur >> 64;
+    }
+    debug_assert_eq!(borrow, 0, "limb subtraction underflowed");
+}
+
+/// Compares zero-extended little-endian limb slices.
+fn cmp_limbs(a: &[u64], b: &[u64]) -> core::cmp::Ordering {
+    for i in (0..a.len().max(b.len())).rev() {
+        let (x, y) = (
+            a.get(i).copied().unwrap_or(0),
+            b.get(i).copied().unwrap_or(0),
+        );
+        if x != y {
+            return x.cmp(&y);
+        }
+    }
+    core::cmp::Ordering::Equal
+}
+
+/// Signed `a - b` whose magnitude must fit a `u128`.
+fn signed_sub_u128(a: &[u64], b: &[u64]) -> GlvScalar {
+    let neg = cmp_limbs(a, b) == core::cmp::Ordering::Less;
+    let (hi, lo) = if neg { (b, a) } else { (a, b) };
+    let mut buf = [0u64; 6];
+    buf[..hi.len()].copy_from_slice(hi);
+    sub_assign(&mut buf, lo);
+    assert!(
+        buf[2..].iter().all(|&l| l == 0),
+        "GLV subscalar magnitude exceeds 128 bits"
+    );
+    let mag = buf[0] as u128 | (buf[1] as u128) << 64;
+    GlvScalar {
+        neg: neg && mag != 0,
+        mag,
+    }
+}
+
+/// Precomputed lattice data for [`decompose_glv`]'s hot path: the Babai
+/// quotient `round(k·x2 / r)` is computed with a Barrett reciprocal
+/// (`μ = ⌊2^384/r⌋`, one multiply-high plus at most two corrections)
+/// instead of a bit-by-bit [`UBig`] long division — same exact rounding,
+/// allocation-free, ~an order of magnitude faster per scalar. Built once
+/// per curve (see `zkp-curves`' derived GLV parameters).
+#[derive(Debug, Clone)]
+pub struct GlvPrecomp {
+    /// The subgroup order `r` (≤ 255 bits).
+    r: [u64; 4],
+    /// `⌊r/2⌋`.
+    half_r: [u64; 4],
+    /// `X²` (≤ 128 bits).
+    x2: [u64; 2],
+    /// `X² - 1`.
+    x2m1: [u64; 2],
+    /// Barrett reciprocal `⌊2^384 / r⌋` (≤ 132 bits).
+    mu: [u64; 3],
+}
+
+impl GlvPrecomp {
+    /// Builds the fixed-width tables from the lattice parameters. One
+    /// `UBig` division (for `μ`), paid once per curve derivation.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `r` exceeds 256 bits or `x2` exceeds 128 bits (no BLS12
+    /// curve in this workspace does).
+    pub fn new(x2: &UBig, r: &UBig) -> Self {
+        fn packed<const N: usize>(v: &UBig, what: &str) -> [u64; N] {
+            let limbs = v.limbs();
+            assert!(limbs.len() <= N, "GLV {what} exceeds {} limbs", N);
+            let mut out = [0u64; N];
+            out[..limbs.len()].copy_from_slice(limbs);
+            out
+        }
+        let mu = UBig::one().shl(384).div_rem(r).0;
+        Self {
+            r: packed(r, "subgroup order"),
+            half_r: packed(&r.shr(1), "half order"),
+            x2: packed(x2, "X²"),
+            x2m1: packed(&x2.sub(&UBig::one()), "X²-1"),
+            mu: packed(&mu, "Barrett reciprocal"),
+        }
+    }
+
+    /// Exact Babai decomposition `k = k1 + λ·k2 (mod r)`; bit-identical to
+    /// [`decompose_glv`] on the same lattice (property-tested), without
+    /// the per-scalar long division.
+    pub fn decompose(&self, k: &[u64]) -> (GlvScalar, GlvScalar) {
+        assert!(k.len() <= 4, "scalar wider than 256 bits");
+        let mut kk = [0u64; 4];
+        kk[..k.len()].copy_from_slice(k);
+
+        // n = k·x2 + ⌊r/2⌋  (< 2^384), so c1 = ⌊n/r⌋ = round(k·x2/r).
+        let mut n = [0u64; 6];
+        mul_acc(&kk, &self.x2, &mut n);
+        add_assign(&mut n, &self.half_r);
+
+        // Barrett estimate q = ⌊n·μ/2^384⌋ ∈ [c1 - 2, c1]; correct up.
+        let mut prod = [0u64; 9];
+        mul_acc(&n, &self.mu, &mut prod);
+        let mut q = [prod[6], prod[7], prod[8]];
+        let mut qr = [0u64; 7];
+        mul_acc(&q, &self.r, &mut qr);
+        let mut rem = [0u64; 7];
+        rem[..6].copy_from_slice(&n);
+        sub_assign(&mut rem, &qr);
+        while cmp_limbs(&rem, &self.r) != core::cmp::Ordering::Less {
+            sub_assign(&mut rem, &self.r);
+            add_assign(&mut q, &[1]);
+        }
+
+        // c2 = round(k/r) ∈ {0, 1}: for canonical k this is just k > r/2.
+        let c2 = cmp_limbs(&kk, &self.half_r) == core::cmp::Ordering::Greater;
+
+        // k1 = k - c1·(x2 - 1) - c2;  k2 = c1 - c2·x2.
+        let mut t = [0u64; 5];
+        mul_acc(&q, &self.x2m1, &mut t);
+        if c2 {
+            add_assign(&mut t, &[1]);
+        }
+        let k1 = signed_sub_u128(&kk, &t);
+        let k2 = signed_sub_u128(&q, if c2 { &self.x2 } else { &[0u64; 2] });
+        (k1, k2)
+    }
+}
+
+/// Signed difference `a - b` over [`UBig`], returned as (negative?, |a-b|).
+fn signed_sub(a: &UBig, b: &UBig) -> (bool, UBig) {
+    if a >= b {
+        (false, a.sub(b))
+    } else {
+        (true, b.sub(a))
+    }
+}
+
+fn to_u128(v: &UBig) -> u128 {
+    let limbs = v.limbs();
+    assert!(
+        limbs.len() <= 2,
+        "GLV subscalar magnitude exceeds 128 bits: {v}"
+    );
+    let lo = limbs.first().copied().unwrap_or(0) as u128;
+    let hi = limbs.get(1).copied().unwrap_or(0) as u128;
+    lo | (hi << 64)
+}
+
+/// Decomposes a canonical scalar `k ∈ [0, r)` into `(k1, k2)` with
+/// `k = k1 + λ·k2 (mod r)` where `λ = x2 - 1 mod r`, using exact Babai
+/// rounding against the BLS lattice basis `v1 = (x2-1, -1)`, `v2 = (1, x2)`.
+///
+/// `k` is given as canonical little-endian limbs (e.g. from
+/// [`PrimeField::to_uint`]); `x2` is the BLS parameter squared (`X²`) and
+/// `r = x2² - x2 + 1` the subgroup order.
+///
+/// The Babai coefficients are `c1 = round(k·x2 / r)` and
+/// `c2 = round(k / r) ∈ {0, 1}`; then
+///
+/// ```text
+/// k1 = k - c1·(x2 - 1) - c2        k2 = c1 - c2·x2
+/// ```
+///
+/// With exact (round-to-nearest) division the bounds `|k1| ≤ x2/2` and
+/// `|k2| ≤ (x2 + 1)/2` hold, i.e. both magnitudes are at most
+/// `⌈bits(r)/2⌉ + 1` bits.
+pub fn decompose_glv(k: &[u64], x2: &UBig, r: &UBig) -> (GlvScalar, GlvScalar) {
+    let k = UBig::from_limbs(k);
+    debug_assert!(&k < r, "scalar must be canonical (< r)");
+    // c1 = round(k·x2 / r); c2 = round(k / r) which for k < r is just the
+    // predicate k > r/2 (ties cannot occur: r is odd).
+    let c1 = k.mul(x2).div_round_nearest(r);
+    let c2 = u64::from(k > r.shr(1));
+    let c2_big = UBig::from(c2);
+
+    // k1 = k - c1·(x2 - 1) - c2  (signed)
+    let t = c1.mul(&x2.sub(&UBig::one())).add(&c2_big);
+    let (k1_neg, k1_mag) = signed_sub(&k, &t);
+    // k2 = c1 - c2·x2  (signed)
+    let (k2_neg, k2_mag) = signed_sub(&c1, &c2_big.mul(x2));
+
+    (
+        GlvScalar {
+            neg: k1_neg && !k1_mag.is_zero(),
+            mag: to_u128(&k1_mag),
+        },
+        GlvScalar {
+            neg: k2_neg && !k2_mag.is_zero(),
+            mag: to_u128(&k2_mag),
+        },
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{Field, Fr377, Fr381};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    /// BLS12-381 parameter |X| (X itself is negative; x2 = X² is what the
+    /// lattice uses, so the sign is irrelevant here).
+    const X_381: u64 = 0xd201_0000_0001_0000;
+    /// BLS12-377 parameter X.
+    const X_377: u64 = 0x8508_c000_0000_0001;
+
+    fn setup<F: PrimeField>(x: u64) -> (UBig, UBig, F) {
+        let x2 = UBig::from(x).mul(&UBig::from(x));
+        let r = UBig::from_limbs(&F::modulus_limbs());
+        // r = x2² - x2 + 1 for BLS12 curves.
+        assert_eq!(x2.mul(&x2).sub(&x2).add(&UBig::one()), r);
+        let lambda = x2.sub(&UBig::one()).div_rem(&r).1;
+        let lambda_f = F::from_le_limbs(&pad::<F>(lambda.limbs())).expect("λ < r");
+        (x2, r, lambda_f)
+    }
+
+    fn pad<F: PrimeField>(limbs: &[u64]) -> Vec<u64> {
+        let mut v = limbs.to_vec();
+        v.resize(F::NUM_LIMBS, 0);
+        v
+    }
+
+    fn check_field<F: PrimeField>(x: u64, seed: u64) {
+        let (x2, r, lambda) = setup::<F>(x);
+        // λ is a primitive cube root of unity mod r: λ² + λ + 1 = 0.
+        assert!((lambda * lambda + lambda + F::one()).is_zero());
+        let pre = GlvPrecomp::new(&x2, &r);
+        let half_bits = F::modulus_bits().div_ceil(2) + 1;
+        let mut rng = StdRng::seed_from_u64(seed);
+        for i in 0..200 {
+            let k = match i {
+                0 => F::zero(),
+                1 => F::one(),
+                2 => -F::one(), // r - 1, the largest canonical scalar
+                _ => F::random(&mut rng),
+            };
+            let (k1, k2) = decompose_glv(&k.to_uint(), &x2, &r);
+            // The Barrett fast path is bit-identical to the reference.
+            assert_eq!(pre.decompose(&k.to_uint()), (k1, k2));
+            // Identity: k1 + λ·k2 = k in F.
+            let recombined = k1.to_field::<F>() + lambda * k2.to_field::<F>();
+            assert_eq!(recombined, k, "identity failed for {k:?}");
+            // Half-width bound.
+            assert!(k1.bits() <= half_bits, "k1 too wide: {} bits", k1.bits());
+            assert!(k2.bits() <= half_bits, "k2 too wide: {} bits", k2.bits());
+        }
+    }
+
+    #[test]
+    fn decomposition_bls12_381() {
+        check_field::<Fr381>(X_381, 17);
+    }
+
+    #[test]
+    fn decomposition_bls12_377() {
+        check_field::<Fr377>(X_377, 18);
+    }
+
+    #[test]
+    fn zero_decomposes_to_zero() {
+        let x2 = UBig::from(X_381).mul(&UBig::from(X_381));
+        let r = UBig::from_limbs(&Fr381::modulus_limbs());
+        let (k1, k2) = decompose_glv(&Fr381::zero().to_uint(), &x2, &r);
+        assert_eq!(k1, GlvScalar::default());
+        assert_eq!(k2, GlvScalar::default());
+    }
+}

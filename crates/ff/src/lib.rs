@@ -11,6 +11,8 @@
 //! * Concrete fields [`Fr381`], [`Fq381`], [`Fr377`], [`Fq377`] for the two
 //!   curves the studied libraries support.
 //! * [`batch_inverse`] — the Montgomery inversion trick of §IV-D1b.
+//! * [`glv`] — GLV lattice decomposition of scalars into half-width signed
+//!   subscalars, the endomorphism lever behind fast MSM libraries (§IV-D).
 //! * [`counter`] — op-counting instrumentation behind the paper's
 //!   finite-field-layer breakdowns (Fig. 8, Table V).
 //!
@@ -32,6 +34,7 @@ mod batch;
 mod configs;
 pub mod counter;
 mod fp;
+pub mod glv;
 mod params;
 mod traits;
 
@@ -39,5 +42,6 @@ pub use batch::{batch_inverse, batch_inverse_counted, batch_inverse_parallel};
 pub use configs::{Fq377, Fq377Config, Fq381, Fq381Config, Fr377, Fr377Config, Fr381, Fr381Config};
 pub use counter::{Counted, OpCounts};
 pub use fp::{Fp, FpConfig};
+pub use glv::{decompose_glv, GlvScalar};
 pub use params::FieldParams;
 pub use traits::{pow_uint, Field, PrimeField};

@@ -30,8 +30,8 @@ mod serialize;
 
 pub use batch::verify_batch;
 pub use protocol::{
-    prove, prove_on, prove_traced, prove_with_backend, setup, verify, Proof, ProverStats,
-    ProvingKey, TracedProverStats, VerifyingKey,
+    prove, prove_on, prove_traced, prove_with_backend, prove_with_plan, setup, verify, Proof,
+    ProverPlan, ProverStats, ProvingKey, TracedProverStats, VerifyingKey,
 };
 pub use qap::Qap;
 pub use serialize::PROOF_BYTES;

@@ -10,7 +10,7 @@ use zkp_curves::{
     multi_pairing, pairing, Affine, Bls12Config, G1Curve, G2Curve, Jacobian, SwCurve,
 };
 use zkp_ff::Field;
-use zkp_msm::FixedBase;
+use zkp_msm::{FixedBase, MsmConfig, MsmPlan};
 use zkp_ntt::TwiddleTable;
 use zkp_r1cs::ConstraintSystem;
 use zkp_runtime::ThreadPool;
@@ -182,6 +182,77 @@ pub fn setup<C: Bls12Config, R: Rng + ?Sized>(
     }
 }
 
+/// Cached per-proving-key MSM plans for the prover's four G1 MSMs.
+///
+/// The MSM bases — `a_query`, `b_g1_query`, `l_query`, `h_query` — are
+/// fixed for the life of a proving key; only the scalars change per
+/// witness. Building a `ProverPlan` pays the GLV point expansion and the
+/// Fig. 12 window precompute once, after which every
+/// [`prove_with_plan`] call reuses the tables. Proof bytes are identical
+/// to the unplanned prover: the plan changes the *schedule*, never the
+/// group element.
+pub struct ProverPlan<C: Bls12Config> {
+    /// Plan over `pk.a_query`.
+    pub a: MsmPlan<G1Curve<C>>,
+    /// Plan over `pk.b_g1_query`.
+    pub b1: MsmPlan<G1Curve<C>>,
+    /// Plan over `pk.l_query`.
+    pub l: MsmPlan<G1Curve<C>>,
+    /// Plan over `pk.h_query`.
+    pub h: MsmPlan<G1Curve<C>>,
+}
+
+impl<C: Bls12Config> ProverPlan<C> {
+    /// Builds the four plans with the fastest CPU configuration and an
+    /// unbounded precompute budget, on the global pool.
+    pub fn build(pk: &ProvingKey<C>) -> Self {
+        Self::build_with(pk, &MsmConfig::glv_style(), None, zkp_runtime::global())
+    }
+
+    /// Builds the four plans under an explicit MSM configuration and an
+    /// optional total memory budget in bytes. The budget is split across
+    /// the queries proportionally to their base counts — the Fig. 12
+    /// memory/window trade-off applied key-wide.
+    pub fn build_with(
+        pk: &ProvingKey<C>,
+        config: &MsmConfig,
+        budget_bytes: Option<u64>,
+        pool: &ThreadPool,
+    ) -> Self {
+        let total = (pk.a_query.len() + pk.b_g1_query.len() + pk.l_query.len() + pk.h_query.len())
+            .max(1) as u64;
+        let share = |n: usize| budget_bytes.map(|b| b * n as u64 / total);
+        Self {
+            a: MsmPlan::build(&pk.a_query, config, share(pk.a_query.len()), pool),
+            b1: MsmPlan::build(&pk.b_g1_query, config, share(pk.b_g1_query.len()), pool),
+            l: MsmPlan::build(&pk.l_query, config, share(pk.l_query.len()), pool),
+            h: MsmPlan::build(&pk.h_query, config, share(pk.h_query.len()), pool),
+        }
+    }
+
+    /// Total bytes held by the four expanded point tables.
+    pub fn storage_bytes(&self) -> u64 {
+        self.a.storage_bytes()
+            + self.b1.storage_bytes()
+            + self.l.storage_bytes()
+            + self.h.storage_bytes()
+    }
+
+    /// Algorithm tag of the dominant (A-query) plan.
+    pub fn algorithm(&self) -> String {
+        self.a.algorithm()
+    }
+
+    fn for_msm(&self, which: G1Msm) -> &MsmPlan<G1Curve<C>> {
+        match which {
+            G1Msm::A => &self.a,
+            G1Msm::B1 => &self.b1,
+            G1Msm::L => &self.l,
+            G1Msm::H => &self.h,
+        }
+    }
+}
+
 /// Generates a proof for the satisfied constraint system (Fig. 3's *Prover*:
 /// 7 NTT-shaped transforms for `h`, then the G1/G2 MSMs).
 ///
@@ -261,6 +332,40 @@ pub fn prove_with_backend<C: Bls12Config, R: Rng + ?Sized, B: ExecBackend<C> + ?
     rng: &mut R,
     backend: &B,
 ) -> (Proof<C>, ProverStats) {
+    prove_impl(pk, None, cs, rng, backend)
+}
+
+/// [`prove_with_backend`] with the G1 MSMs routed through a prebuilt
+/// [`ProverPlan`] — the per-key precompute cache. Byte-identical proofs
+/// to the unplanned prover for the same `rng` stream, at any thread
+/// count.
+///
+/// # Panics
+///
+/// Panics if the plan's base counts disagree with the proving key, if the
+/// system's shape disagrees with the proving key, or if the assignment
+/// does not satisfy the constraints (checked in debug builds).
+pub fn prove_with_plan<C: Bls12Config, R: Rng + ?Sized, B: ExecBackend<C> + ?Sized>(
+    pk: &ProvingKey<C>,
+    plan: &ProverPlan<C>,
+    cs: &ConstraintSystem<C::Fr>,
+    rng: &mut R,
+    backend: &B,
+) -> (Proof<C>, ProverStats) {
+    assert_eq!(plan.a.len(), pk.a_query.len(), "plan/key mismatch: A");
+    assert_eq!(plan.b1.len(), pk.b_g1_query.len(), "plan/key mismatch: B1");
+    assert_eq!(plan.l.len(), pk.l_query.len(), "plan/key mismatch: L");
+    assert_eq!(plan.h.len(), pk.h_query.len(), "plan/key mismatch: H");
+    prove_impl(pk, Some(plan), cs, rng, backend)
+}
+
+fn prove_impl<C: Bls12Config, R: Rng + ?Sized, B: ExecBackend<C> + ?Sized>(
+    pk: &ProvingKey<C>,
+    plan: Option<&ProverPlan<C>>,
+    cs: &ConstraintSystem<C::Fr>,
+    rng: &mut R,
+    backend: &B,
+) -> (Proof<C>, ProverStats) {
     debug_assert!(cs.is_satisfied(), "witness does not satisfy the circuit");
     assert_eq!(
         cs.num_variables(),
@@ -280,6 +385,15 @@ pub fn prove_with_backend<C: Bls12Config, R: Rng + ?Sized, B: ExecBackend<C> + ?
     let table = TwiddleTable::new(&qap.domain);
     let pool = backend.pool();
 
+    // G1 MSM dispatch: through the per-key plan when one is supplied and
+    // covers the scalar vector exactly, else the plain backend path.
+    let g1_msm = |which: G1Msm, bases: &[Affine<G1Curve<C>>], scalars: &[C::Fr]| match plan {
+        Some(p) if p.for_msm(which).len() == scalars.len() => {
+            backend.msm_g1_planned(which, p.for_msm(which), scalars)
+        }
+        _ => backend.msm_g1(which, bases, scalars),
+    };
+
     // --- Task graph. ---
     // ntt(h pipeline) ──► h-MSM ─┐
     // A-MSM ─────────────────────┤
@@ -293,19 +407,19 @@ pub fn prove_with_backend<C: Bls12Config, R: Rng + ?Sized, B: ExecBackend<C> + ?
             let (h_coeffs, ntt_count) =
                 quotient_pipeline(&qap.domain, &table, &a_evals, &b_evals, &c_evals, backend);
             let h_len = pk.h_query.len().min(h_coeffs.len());
-            let h_acc = backend.msm_g1(G1Msm::H, &pk.h_query[..h_len], &h_coeffs[..h_len]);
+            let h_acc = g1_msm(G1Msm::H, &pk.h_query[..h_len], &h_coeffs[..h_len]);
             (h_acc, ntt_count, h_len)
         },
         || {
             pool.join(
-                || backend.msm_g1(G1Msm::A, &pk.a_query, &z),
+                || g1_msm(G1Msm::A, &pk.a_query, &z),
                 || {
                     pool.join(
-                        || backend.msm_g1(G1Msm::B1, &pk.b_g1_query, &z),
+                        || g1_msm(G1Msm::B1, &pk.b_g1_query, &z),
                         || {
                             pool.join(
                                 || backend.msm_g2(&pk.b_g2_query, &z),
-                                || backend.msm_g1(G1Msm::L, &pk.l_query, priv_z),
+                                || g1_msm(G1Msm::L, &pk.l_query, priv_z),
                             )
                         },
                     )

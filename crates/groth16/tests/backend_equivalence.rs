@@ -7,10 +7,14 @@
 //! only observe — must match it byte for byte.
 
 use rand::{rngs::StdRng, SeedableRng};
-use zkp_backend::{CpuBackend, ExecBackend, LibraryId, SimGpuBackend, TracingBackend};
+use zkp_backend::{CpuBackend, ExecBackend, LibraryId, OpKind, SimGpuBackend, TracingBackend};
 use zkp_curves::bls12_381::Bls12381;
 use zkp_ff::{Field, Fr381};
-use zkp_groth16::{prove_traced, prove_with_backend, setup, verify, ProverStats, ProvingKey};
+use zkp_groth16::{
+    prove_traced, prove_with_backend, prove_with_plan, setup, verify, ProverPlan, ProverStats,
+    ProvingKey,
+};
+use zkp_msm::MsmConfig;
 use zkp_r1cs::circuits::mimc;
 use zkp_r1cs::ConstraintSystem;
 use zkp_runtime::ThreadPool;
@@ -91,6 +95,61 @@ fn all_backends_agree_at_every_thread_count() {
         assert_eq!(s_cpu, s_traced);
         assert_eq!(s_cpu, s_sim);
     }
+}
+
+#[test]
+fn glv_and_planned_provers_reproduce_the_digest_at_every_thread_count() {
+    // The GLV-decomposed MSM path and the per-key precompute plan change
+    // the *schedule*, never the group elements — the proof bytes must
+    // match the pre-refactor digest at every thread count.
+    let (cs, pk) = fixture();
+    let reference = reference_proof_hex();
+    let plan = ProverPlan::build(&pk);
+    for threads in [1usize, 2, 8] {
+        let pool = ThreadPool::with_threads(threads);
+        let plain = CpuBackend::on(&pool).with_msm_config(MsmConfig::default());
+        let glv = CpuBackend::on(&pool).with_msm_config(MsmConfig::glv_style());
+        let (d_plain, s_plain) = prove_with(&pk, &cs, &plain);
+        let (d_glv, s_glv) = prove_with(&pk, &cs, &glv);
+        assert_eq!(d_plain, reference, "plain diverged at {threads} threads");
+        assert_eq!(d_glv, reference, "glv diverged at {threads} threads");
+        assert_eq!(s_plain, s_glv);
+
+        let mut rng = StdRng::seed_from_u64(9);
+        let (proof, s_planned) = prove_with_plan(&pk, &plan, &cs, &mut rng, &glv);
+        assert_eq!(
+            digest_hex(&proof.to_bytes()),
+            reference,
+            "planned prover diverged at {threads} threads"
+        );
+        assert_eq!(s_planned, s_plain);
+    }
+}
+
+#[test]
+fn traced_planned_run_labels_msms_with_the_plan_algorithm() {
+    let (cs, pk) = fixture();
+    let plan = ProverPlan::build(&pk);
+    assert!(plan.algorithm().contains("precomp"));
+    assert!(plan.storage_bytes() > 0);
+    let backend = TracingBackend::new(CpuBackend::global());
+    let mut rng = StdRng::seed_from_u64(9);
+    let (proof, _) = prove_with_plan(&pk, &plan, &cs, &mut rng, &backend);
+    assert_eq!(digest_hex(&proof.to_bytes()), reference_proof_hex());
+    let trace = ExecBackend::<Bls12381>::take_trace(&backend);
+    let g1_algos: Vec<_> = trace
+        .records
+        .iter()
+        .filter(|r| matches!(r.kind, OpKind::MsmG1(_)))
+        .map(|r| r.algo.clone())
+        .collect();
+    assert_eq!(g1_algos.len(), 4);
+    assert!(
+        g1_algos
+            .iter()
+            .all(|a| a.as_deref().is_some_and(|s| s.contains("precomp"))),
+        "planned MSMs must carry the plan's algorithm tag: {g1_algos:?}"
+    );
 }
 
 #[test]

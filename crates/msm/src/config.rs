@@ -9,6 +9,10 @@ pub enum BucketRepr {
     /// XYZZ buckets — the cheaper mixed addition `sppark`/`ymc` use.
     #[default]
     Xyzz,
+    /// Affine buckets with per-round batched slope inversions (§IV-D1b);
+    /// the merge/reduction tail still runs in XYZZ. Cheapest per-add
+    /// `FF_mul` count at the price of collision-deferral rounds.
+    BatchAffine,
 }
 
 /// Configuration of a Pippenger MSM run.
@@ -22,6 +26,7 @@ pub enum BucketRepr {
 ///     signed_digits: true,
 ///     bucket_repr: BucketRepr::Xyzz,
 ///     sort_buckets: true,
+///     endomorphism: false,
 /// };
 /// assert!(ymc_style.signed_digits);
 /// ```
@@ -38,6 +43,11 @@ pub struct MsmConfig {
     /// (`sppark`). Semantically a no-op on the CPU; recorded so the GPU
     /// models can see the intent.
     pub sort_buckets: bool,
+    /// GLV endomorphism decomposition: split every scalar as
+    /// `k = k1 + λ·k2` with half-width subscalars and double the point
+    /// set via the one-`FF_mul` map `φ`. Silently ignored on curves
+    /// without GLV parameters (e.g. G2).
+    pub endomorphism: bool,
 }
 
 impl Default for MsmConfig {
@@ -47,11 +57,31 @@ impl Default for MsmConfig {
             signed_digits: false,
             bucket_repr: BucketRepr::Xyzz,
             sort_buckets: false,
+            endomorphism: false,
         }
     }
 }
 
 impl MsmConfig {
+    /// Short human-readable algorithm tag (`"glv+signed+xyzz"`) for
+    /// traces and benchmark metadata.
+    pub fn describe(&self) -> String {
+        format!(
+            "{}{}{}",
+            if self.endomorphism { "glv+" } else { "" },
+            if self.signed_digits {
+                "signed+"
+            } else {
+                "unsigned+"
+            },
+            match self.bucket_repr {
+                BucketRepr::Jacobian => "jacobian",
+                BucketRepr::Xyzz => "xyzz",
+                BucketRepr::BatchAffine => "batch-affine",
+            },
+        )
+    }
+
     /// The configuration `sppark` models: XYZZ buckets, sorted, unsigned.
     pub fn sppark_style() -> Self {
         Self {
@@ -59,6 +89,7 @@ impl MsmConfig {
             signed_digits: false,
             bucket_repr: BucketRepr::Xyzz,
             sort_buckets: true,
+            endomorphism: false,
         }
     }
 
@@ -69,6 +100,7 @@ impl MsmConfig {
             signed_digits: true,
             bucket_repr: BucketRepr::Xyzz,
             sort_buckets: true,
+            endomorphism: false,
         }
     }
 
@@ -79,6 +111,19 @@ impl MsmConfig {
             signed_digits: false,
             bucket_repr: BucketRepr::Jacobian,
             sort_buckets: false,
+            endomorphism: false,
+        }
+    }
+
+    /// GLV decomposition + signed-digit XYZZ buckets — the fastest CPU
+    /// configuration measured on BLS12 G1 (§IV-D).
+    pub fn glv_style() -> Self {
+        Self {
+            window_bits: None,
+            signed_digits: true,
+            bucket_repr: BucketRepr::Xyzz,
+            sort_buckets: false,
+            endomorphism: true,
         }
     }
 }

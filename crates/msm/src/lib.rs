@@ -9,6 +9,12 @@
 //!   bucket representation (Jacobian vs XYZZ), signed-digit recoding, and
 //!   window sizing.
 //! * [`msm_parallel`] — multi-threaded sub-MSM decomposition.
+//! * [`MsmConfig::endomorphism`] — GLV decomposition (`k = k1 + λ·k2`
+//!   with half-width signed subscalars over `[P…, φ(P)…]`) on curves that
+//!   expose an endomorphism.
+//! * [`MsmPlan`] — a per-base-set plan caching the GLV expansion and the
+//!   Fig. 12 window precompute for bases reused across proofs (the
+//!   Groth16 proving key).
 //! * [`PrecomputedPoints`] — the window-reduction-by-precomputation
 //!   optimization of §IV-D1a (Fig. 12).
 //! * [`msm_serial`] — a double-and-add reference for cross-checking.
@@ -32,6 +38,7 @@ mod batch_affine;
 mod config;
 mod fixed_base;
 mod pippenger;
+mod plan;
 mod precompute;
 
 pub use batch_affine::{msm_batch_affine, BatchAffineOutput, BatchAffineStats};
@@ -41,4 +48,5 @@ pub use pippenger::{
     default_window_bits, msm, msm_parallel, msm_parallel_with_config, msm_serial, msm_with_config,
     num_windows, MsmOutput, MsmStats,
 };
+pub use plan::MsmPlan;
 pub use precompute::{precompute_cost, PrecomputeCost, PrecomputedPoints};

@@ -7,6 +7,16 @@
 //! per window), and finally combine window sums with doublings (*Window
 //! Reduction* — the serial part, "often performed on the CPU").
 //!
+//! # GLV decomposition
+//!
+//! When [`MsmConfig::endomorphism`] is set and the curve exposes GLV
+//! parameters ([`SwCurve::glv`]), every scalar is first split as
+//! `k = k1 + λ·k2 (mod r)` with half-width signed subscalars, and the point
+//! set is doubled with the one-`FF_mul` endomorphism `φ(x,y) = (β·x, y)`.
+//! The engine then runs over `2n` points but *half* the windows — the
+//! first-order MSM lever of §IV-D / SZKP. Curves without an endomorphism
+//! (G2) fall back to the plain path transparently.
+//!
 //! # Parallel decomposition
 //!
 //! Every MSM runs on a [`zkp_runtime::ThreadPool`] over a task grid of
@@ -20,9 +30,10 @@
 //! and the [`MsmStats`] are bit-identical at any pool width.
 
 use crate::config::{BucketRepr, MsmConfig};
-use core::marker::PhantomData;
+use zkp_curves::glv::GlvParams;
 use zkp_curves::{Affine, Jacobian, SwCurve, Xyzz};
-use zkp_ff::PrimeField;
+use zkp_ff::glv::GlvScalar;
+use zkp_ff::{batch_inverse, Field, PrimeField};
 use zkp_runtime::ThreadPool;
 
 /// Execution statistics of one MSM, consumed by the GPU kernel models.
@@ -45,6 +56,14 @@ pub struct MsmStats {
     pub windows: u32,
     /// Buckets per window.
     pub buckets_per_window: u64,
+    /// Scalars split into half-width subscalars by GLV decomposition.
+    pub glv_decompositions: u64,
+    /// `FF_mul` operations spent applying the endomorphism `φ` (one per
+    /// mapped point; zero when the `φ`-table was precomputed).
+    pub endomorphism_muls: u64,
+    /// Batched inversions performed by batch-affine bucket accumulation
+    /// (zero for projective bucket representations).
+    pub batch_inversions: u64,
 }
 
 impl MsmStats {
@@ -118,14 +137,21 @@ impl<Cu: SwCurve> Accumulator<Cu> for XyzzAcc<Cu> {
     }
 }
 
-/// Decomposes one scalar into its row of the signed-digit matrix.
+/// Decomposes a raw little-endian magnitude into its row of the
+/// signed-digit matrix, optionally negating every digit (how a negative
+/// GLV subscalar enters the bucket engine: `-Σ d·2^(qs) = Σ (-d)·2^(qs)`).
 ///
 /// A digit `d` is stored as a plain `i32`: `d > 0` adds the point to
 /// bucket `d - 1`, `d < 0` adds its negation to bucket `-d - 1`, `0` is
 /// skipped. With `signed`, digits are recoded into `[-2^(s-1), 2^(s-1)]`,
 /// halving the bucket count — the signed-digit trick `ymc` uses (§IV-A).
-fn decompose_row<F: PrimeField>(scalar: &F, window_bits: u32, signed: bool, row: &mut [i32]) {
-    let limbs = scalar.to_uint();
+pub(crate) fn decompose_row_limbs(
+    limbs: &[u64],
+    window_bits: u32,
+    signed: bool,
+    negate: bool,
+    row: &mut [i32],
+) {
     let mut carry = 0u64;
     let base = 1u64 << window_bits;
     for (w, slot) in row.iter_mut().enumerate() {
@@ -152,6 +178,16 @@ fn decompose_row<F: PrimeField>(scalar: &F, window_bits: u32, signed: bool, row:
         };
     }
     debug_assert_eq!(carry, 0, "top window must absorb the final carry");
+    if negate {
+        for slot in row {
+            *slot = -*slot;
+        }
+    }
+}
+
+/// Decomposes one scalar into its row of the signed-digit matrix.
+fn decompose_row<F: PrimeField>(scalar: &F, window_bits: u32, signed: bool, row: &mut [i32]) {
+    decompose_row_limbs(&scalar.to_uint(), window_bits, signed, false, row);
 }
 
 /// Fills the flat `n × w` signed-digit matrix (scalar-major rows) in
@@ -179,7 +215,7 @@ fn decompose_matrix<F: PrimeField>(
     digits
 }
 
-struct MatPtr(*mut i32);
+pub(crate) struct MatPtr(pub(crate) *mut i32);
 
 impl MatPtr {
     /// Pointer to element `i`. A method keeps closure capture on the whole
@@ -188,7 +224,7 @@ impl MatPtr {
     /// # Safety
     ///
     /// `i` must be in bounds of the underlying allocation.
-    unsafe fn at(&self, i: usize) -> *mut i32 {
+    pub(crate) unsafe fn at(&self, i: usize) -> *mut i32 {
         unsafe { self.0.add(i) }
     }
 }
@@ -213,6 +249,17 @@ pub fn num_windows<F: PrimeField>(window_bits: u32, signed: bool) -> u32 {
     bits.div_ceil(window_bits)
 }
 
+/// Buckets per window for a digit encoding: signed digits cover
+/// `[-2^(s-1), 2^(s-1)]` with `2^(s-1)` buckets, unsigned `[1, 2^s)` with
+/// `2^s - 1`.
+pub(crate) fn buckets_for(window_bits: u32, signed: bool) -> u64 {
+    if signed {
+        1u64 << (window_bits - 1)
+    } else {
+        (1u64 << window_bits) - 1
+    }
+}
+
 /// Input chunks per window. A chunk costs one bucket-wise merge
 /// (`2^s` PADDs), so chunks are only opened once the per-window
 /// accumulation work dwarfs that; the cap bounds partial-bucket memory.
@@ -222,6 +269,371 @@ fn chunk_grid(n: usize, buckets_per_window: u64) -> usize {
     let merge_cost = 8 * buckets_per_window as usize;
     (n / merge_cost.max(1)).clamp(1, 8)
 }
+
+// ---------------------------------------------------------------------------
+// The shared bucket engine
+// ---------------------------------------------------------------------------
+
+/// A fully prepared bucket-engine problem: points paired row-for-row with a
+/// flat signed-digit matrix. Shared by the plain, GLV-decomposed, and
+/// precomputed-plan entry points.
+pub(crate) struct EngineInput<'a, Cu: SwCurve> {
+    /// The points, one per digit-matrix row.
+    pub points: &'a [Affine<Cu>],
+    /// Flat `points.len() × windows` digit matrix, row-major.
+    pub digits: &'a [i32],
+    /// Window size `s` in bits.
+    pub window_bits: u32,
+    /// Number of windows `w`.
+    pub windows: u32,
+    /// Buckets per window.
+    pub buckets_per_window: u64,
+}
+
+/// Dispatches the engine over the configured bucket representation.
+pub(crate) fn run_bucket_engine<Cu: SwCurve>(
+    repr: BucketRepr,
+    inp: EngineInput<'_, Cu>,
+    pool: &ThreadPool,
+) -> MsmOutput<Cu> {
+    match repr {
+        BucketRepr::Jacobian => bucket_engine::<Cu, JacAcc<Cu>>(inp, false, pool),
+        BucketRepr::Xyzz => bucket_engine::<Cu, XyzzAcc<Cu>>(inp, false, pool),
+        // Batch-affine accumulation; merged partials and the reduction tail
+        // still run in XYZZ (the affine trick only pays in accumulation).
+        BucketRepr::BatchAffine => bucket_engine::<Cu, XyzzAcc<Cu>>(inp, true, pool),
+    }
+}
+
+/// Batch-affine bucket accumulation for one (window, chunk) task —
+/// §IV-D1b inside the parallel engine. Affine buckets, per-round batched
+/// slope inversions (serial [`batch_inverse`]: we are already inside a
+/// pool task), collisions deferred to the next round.
+///
+/// Returns the affine buckets, the non-zero digit count, and the number of
+/// batched inversions performed.
+#[allow(clippy::type_complexity)]
+fn accumulate_affine_chunk<Cu: SwCurve>(
+    points: &[Affine<Cu>],
+    digits: &[i32],
+    w: usize,
+    win: usize,
+    lo: usize,
+    hi: usize,
+    buckets_per_window: usize,
+) -> (Vec<Option<Affine<Cu>>>, u64, u64) {
+    let mut buckets: Vec<Option<Affine<Cu>>> = vec![None; buckets_per_window];
+    let mut nonzero = 0u64;
+    let mut jobs: Vec<(usize, Affine<Cu>)> = Vec::new();
+    for i in lo..hi {
+        let d = digits[i * w + win];
+        if d == 0 {
+            continue;
+        }
+        nonzero += 1;
+        let p = if d > 0 { points[i] } else { points[i].neg() };
+        if !p.is_identity() {
+            jobs.push((d.unsigned_abs() as usize - 1, p));
+        }
+    }
+
+    let mut inversions = 0u64;
+    let mut busy = vec![false; buckets_per_window];
+    while !jobs.is_empty() {
+        // ≤ 1 update per bucket per round; the rest waits.
+        let mut round: Vec<(usize, Affine<Cu>)> = Vec::with_capacity(jobs.len());
+        let mut deferred: Vec<(usize, Affine<Cu>)> = Vec::new();
+        for job in jobs {
+            if busy[job.0] {
+                deferred.push(job);
+            } else {
+                busy[job.0] = true;
+                round.push(job);
+            }
+        }
+        for job in &round {
+            busy[job.0] = false;
+        }
+
+        // Phase 1: slope denominators (x₂-x₁ for chords, 2y for tangents;
+        // trivial cases batch-invert a harmless 1).
+        let mut denoms: Vec<Cu::Base> = round
+            .iter()
+            .map(|(b, p)| match &buckets[*b] {
+                None => Cu::Base::one(),
+                Some(q) if q.x == p.x && q.y == p.y => p.y.double(),
+                Some(q) if q.x == p.x => Cu::Base::one(),
+                Some(q) => p.x - q.x,
+            })
+            .collect();
+        if !denoms.is_empty() {
+            batch_inverse(&mut denoms);
+            inversions += 1;
+        }
+
+        // Phase 2: apply the affine formulas with the shared inverses.
+        for ((b, p), dinv) in round.iter().zip(&denoms) {
+            match buckets[*b] {
+                None => buckets[*b] = Some(*p),
+                Some(q) if q.x == p.x && q.y == p.y => {
+                    // Affine doubling: λ = 3x² / 2y.
+                    let xx = q.x.square();
+                    let lambda = (xx.double() + xx) * *dinv;
+                    let x3 = lambda.square() - q.x.double();
+                    let y3 = lambda * (q.x - x3) - q.y;
+                    buckets[*b] = Some(Affine {
+                        x: x3,
+                        y: y3,
+                        infinity: false,
+                    });
+                }
+                Some(q) if q.x == p.x => {
+                    // P + (−P): the bucket empties.
+                    buckets[*b] = None;
+                }
+                Some(q) => {
+                    // Affine addition: λ = (y₂-y₁)/(x₂-x₁).
+                    let lambda = (p.y - q.y) * *dinv;
+                    let x3 = lambda.square() - q.x - p.x;
+                    let y3 = lambda * (q.x - x3) - q.y;
+                    buckets[*b] = Some(Affine {
+                        x: x3,
+                        y: y3,
+                        infinity: false,
+                    });
+                }
+            }
+        }
+        jobs = deferred;
+    }
+    (buckets, nonzero, inversions)
+}
+
+fn bucket_engine<Cu: SwCurve, Acc: Accumulator<Cu>>(
+    inp: EngineInput<'_, Cu>,
+    batch_affine: bool,
+    pool: &ThreadPool,
+) -> MsmOutput<Cu> {
+    let n = inp.points.len();
+    let (s, w, buckets_per_window) = (inp.window_bits, inp.windows, inp.buckets_per_window);
+    debug_assert_eq!(inp.digits.len(), n * w as usize);
+    if n == 0 {
+        return MsmOutput {
+            point: Jacobian::identity(),
+            stats: MsmStats::default(),
+        };
+    }
+
+    // Bucket accumulation over the windows × chunks task grid. Each task
+    // returns its partial buckets, the non-zero digits it consumed (the
+    // canonical accumulation-PADD count, summed deterministically), and
+    // its batched-inversion count.
+    let chunks = chunk_grid(n, buckets_per_window);
+    let chunk_len = n.div_ceil(chunks);
+    let wu = w as usize;
+    let (points, digits) = (inp.points, inp.digits);
+    let partials: Vec<(Vec<Acc>, u64, u64)> = pool.map(wu * chunks, 1, |t| {
+        let win = t / chunks;
+        let lo = (t % chunks) * chunk_len;
+        let hi = (lo + chunk_len).min(n);
+        if batch_affine {
+            let (affine, nonzero, inversions) = accumulate_affine_chunk(
+                points,
+                digits,
+                wu,
+                win,
+                lo,
+                hi,
+                buckets_per_window as usize,
+            );
+            let buckets = affine
+                .into_iter()
+                .map(|slot| {
+                    let mut acc = Acc::identity();
+                    if let Some(p) = slot {
+                        acc.add_affine(&p);
+                    }
+                    acc
+                })
+                .collect();
+            (buckets, nonzero, inversions)
+        } else {
+            let mut buckets = vec![Acc::identity(); buckets_per_window as usize];
+            let mut nonzero = 0u64;
+            for i in lo..hi {
+                let d = digits[i * wu + win];
+                if d > 0 {
+                    buckets[d as usize - 1].add_affine(&points[i]);
+                    nonzero += 1;
+                } else if d < 0 {
+                    buckets[(-d) as usize - 1].add_affine(&points[i].neg());
+                    nonzero += 1;
+                }
+            }
+            (buckets, nonzero, 0)
+        }
+    });
+    let accumulation_padds = partials.iter().map(|(_, c, _)| c).sum();
+    let batch_inversions = partials.iter().map(|(_, _, b)| b).sum();
+
+    // Per-window: merge chunk partials bucket-wise (in chunk order), then
+    // Sum-of-Sums Σ (i+1)·B_i via running suffix sums.
+    let window_sums: Vec<Jacobian<Cu>> = pool.map(wu, 1, |win| {
+        let parts = &partials[win * chunks..(win + 1) * chunks];
+        let sum_of_sums = |buckets: &[Acc]| {
+            let mut running = Acc::identity();
+            let mut sum = Acc::identity();
+            for b in buckets.iter().rev() {
+                running.add_acc(b);
+                sum.add_acc(&running);
+            }
+            sum.into_jacobian()
+        };
+        if chunks == 1 {
+            sum_of_sums(&parts[0].0)
+        } else {
+            let mut merged = parts[0].0.clone();
+            for (part, _, _) in &parts[1..] {
+                for (m, p) in merged.iter_mut().zip(part) {
+                    m.add_acc(p);
+                }
+            }
+            sum_of_sums(&merged)
+        }
+    });
+
+    // Window reduction (serial; Fig. 4a bottom): Horner over 2^s.
+    let mut acc = Jacobian::identity();
+    for ws in window_sums.iter().rev() {
+        for _ in 0..s {
+            acc = acc.double();
+        }
+        acc = acc.add(ws);
+    }
+
+    let stats = MsmStats {
+        accumulation_padds,
+        reduction_padds: 2 * buckets_per_window * u64::from(w),
+        window_padds: u64::from(w),
+        window_pdbls: u64::from(s) * u64::from(w),
+        windows: w,
+        buckets_per_window,
+        batch_inversions,
+        ..MsmStats::default()
+    };
+    MsmOutput { point: acc, stats }
+}
+
+// ---------------------------------------------------------------------------
+// GLV preparation helpers (shared with the precomputed-plan path)
+// ---------------------------------------------------------------------------
+
+/// Decomposes every scalar as `k = k1 + λ·k2` in parallel.
+pub(crate) fn glv_split<Cu: SwCurve>(
+    scalars: &[Cu::Scalar],
+    glv: &GlvParams<Cu>,
+    pool: &ThreadPool,
+) -> Vec<(GlvScalar, GlvScalar)> {
+    const CHUNK: usize = 512;
+    let n = scalars.len();
+    let tasks = n.div_ceil(CHUNK).max(1);
+    pool.map(tasks, 1, |t| {
+        scalars[t * CHUNK..((t + 1) * CHUNK).min(n)]
+            .iter()
+            .map(|k| glv.decompose(k))
+            .collect::<Vec<_>>()
+    })
+    .into_iter()
+    .flatten()
+    .collect()
+}
+
+/// Doubles the point set via the endomorphism: `[P₀..Pₙ, φ(P₀)..φ(Pₙ)]`.
+/// One `FF_mul` per point.
+pub(crate) fn glv_expand_points<Cu: SwCurve>(
+    points: &[Affine<Cu>],
+    glv: &GlvParams<Cu>,
+) -> Vec<Affine<Cu>> {
+    let mut expanded = Vec::with_capacity(2 * points.len());
+    expanded.extend_from_slice(points);
+    expanded.extend(points.iter().map(|p| glv.endomorphism(p)));
+    expanded
+}
+
+/// Fills the flat `2n × w` digit matrix for decomposed subscalars: row `i`
+/// holds `k1` of scalar `i` (paired with `Pᵢ`), row `n + i` holds `k2`
+/// (paired with `φ(Pᵢ)`). Negative subscalars negate their whole row.
+pub(crate) fn glv_digit_matrix(
+    subs: &[(GlvScalar, GlvScalar)],
+    window_bits: u32,
+    num_windows: u32,
+    signed: bool,
+    pool: &ThreadPool,
+) -> Vec<i32> {
+    let n = subs.len();
+    let w = num_windows as usize;
+    let mut digits = vec![0i32; 2 * n * w];
+    let base = MatPtr(digits.as_mut_ptr());
+    pool.parallel_for(2 * n, usize::MAX, 128, |_, range| {
+        // SAFETY: row ranges are contiguous, in bounds, and pairwise
+        // disjoint across chunks, and `digits` outlives the call.
+        let rows =
+            unsafe { std::slice::from_raw_parts_mut(base.at(range.start * w), range.len() * w) };
+        for (row, i) in rows.chunks_exact_mut(w).zip(range) {
+            let sub = if i < n { subs[i].0 } else { subs[i - n].1 };
+            decompose_row_limbs(&sub.limbs(), window_bits, signed, sub.neg, row);
+        }
+    });
+    digits
+}
+
+/// Number of windows a GLV subscalar needs: its magnitude is bounded by
+/// `2^sub_bits`, plus one bit of headroom for the signed-digit carry.
+pub(crate) fn glv_num_windows(sub_bits: u32, window_bits: u32, signed: bool) -> u32 {
+    (sub_bits + u32::from(signed)).div_ceil(window_bits)
+}
+
+/// The GLV-decomposed Pippenger path: `2n` points, half the windows.
+fn msm_glv<Cu: SwCurve>(
+    points: &[Affine<Cu>],
+    scalars: &[Cu::Scalar],
+    glv: &GlvParams<Cu>,
+    config: &MsmConfig,
+    pool: &ThreadPool,
+) -> MsmOutput<Cu> {
+    let n = points.len();
+    if n == 0 {
+        return MsmOutput {
+            point: Jacobian::identity(),
+            stats: MsmStats::default(),
+        };
+    }
+    let s = config
+        .window_bits
+        .unwrap_or_else(|| default_window_bits(2 * n));
+    let w = glv_num_windows(glv.sub_bits, s, config.signed_digits);
+    let subs = glv_split(scalars, glv, pool);
+    let expanded = glv_expand_points(points, glv);
+    let digits = glv_digit_matrix(&subs, s, w, config.signed_digits, pool);
+    let mut out = run_bucket_engine(
+        config.bucket_repr,
+        EngineInput {
+            points: &expanded,
+            digits: &digits,
+            window_bits: s,
+            windows: w,
+            buckets_per_window: buckets_for(s, config.signed_digits),
+        },
+        pool,
+    );
+    out.stats.glv_decompositions = n as u64;
+    out.stats.endomorphism_muls = n as u64;
+    out
+}
+
+// ---------------------------------------------------------------------------
+// Public entry points
+// ---------------------------------------------------------------------------
 
 /// Pippenger MSM with an explicit configuration (serial schedule).
 ///
@@ -255,23 +667,11 @@ pub fn msm_parallel_with_config<Cu: SwCurve>(
         scalars.len(),
         "points and scalars must pair up"
     );
-    match config.bucket_repr {
-        BucketRepr::Jacobian => {
-            msm_engine::<Cu, JacAcc<Cu>>(points, scalars, config, pool, PhantomData)
-        }
-        BucketRepr::Xyzz => {
-            msm_engine::<Cu, XyzzAcc<Cu>>(points, scalars, config, pool, PhantomData)
+    if config.endomorphism {
+        if let Some(glv) = Cu::glv() {
+            return msm_glv(points, scalars, glv, config, pool);
         }
     }
-}
-
-fn msm_engine<Cu: SwCurve, Acc: Accumulator<Cu>>(
-    points: &[Affine<Cu>],
-    scalars: &[Cu::Scalar],
-    config: &MsmConfig,
-    pool: &ThreadPool,
-    _acc: PhantomData<Acc>,
-) -> MsmOutput<Cu> {
     let n = points.len();
     if n == 0 {
         return MsmOutput {
@@ -281,85 +681,18 @@ fn msm_engine<Cu: SwCurve, Acc: Accumulator<Cu>>(
     }
     let s = config.window_bits.unwrap_or_else(|| default_window_bits(n));
     let w = num_windows::<Cu::Scalar>(s, config.signed_digits);
-    let buckets_per_window = if config.signed_digits {
-        1u64 << (s - 1)
-    } else {
-        (1u64 << s) - 1
-    };
-
-    // Flat compact signed-digit matrix: row i holds scalar i's w digits.
     let digits = decompose_matrix(pool, scalars, s, w, config.signed_digits);
-
-    // Bucket accumulation over the windows × chunks task grid. Each task
-    // returns its partial buckets plus the non-zero digits it consumed
-    // (the canonical accumulation-PADD count, summed deterministically).
-    let chunks = chunk_grid(n, buckets_per_window);
-    let chunk_len = n.div_ceil(chunks);
-    let wu = w as usize;
-    let partials: Vec<(Vec<Acc>, u64)> = pool.map(wu * chunks, 1, |t| {
-        let win = t / chunks;
-        let lo = (t % chunks) * chunk_len;
-        let hi = (lo + chunk_len).min(n);
-        let mut buckets = vec![Acc::identity(); buckets_per_window as usize];
-        let mut nonzero = 0u64;
-        for i in lo..hi {
-            let d = digits[i * wu + win];
-            if d > 0 {
-                buckets[d as usize - 1].add_affine(&points[i]);
-                nonzero += 1;
-            } else if d < 0 {
-                buckets[(-d) as usize - 1].add_affine(&points[i].neg());
-                nonzero += 1;
-            }
-        }
-        (buckets, nonzero)
-    });
-    let accumulation_padds = partials.iter().map(|(_, c)| c).sum();
-
-    // Per-window: merge chunk partials bucket-wise (in chunk order), then
-    // Sum-of-Sums Σ (i+1)·B_i via running suffix sums.
-    let window_sums: Vec<Jacobian<Cu>> = pool.map(wu, 1, |win| {
-        let parts = &partials[win * chunks..(win + 1) * chunks];
-        let sum_of_sums = |buckets: &[Acc]| {
-            let mut running = Acc::identity();
-            let mut sum = Acc::identity();
-            for b in buckets.iter().rev() {
-                running.add_acc(b);
-                sum.add_acc(&running);
-            }
-            sum.into_jacobian()
-        };
-        if chunks == 1 {
-            sum_of_sums(&parts[0].0)
-        } else {
-            let mut merged = parts[0].0.clone();
-            for (part, _) in &parts[1..] {
-                for (m, p) in merged.iter_mut().zip(part) {
-                    m.add_acc(p);
-                }
-            }
-            sum_of_sums(&merged)
-        }
-    });
-
-    // Window reduction (serial; Fig. 4a bottom): Horner over 2^s.
-    let mut acc = Jacobian::identity();
-    for ws in window_sums.iter().rev() {
-        for _ in 0..s {
-            acc = acc.double();
-        }
-        acc = acc.add(ws);
-    }
-
-    let stats = MsmStats {
-        accumulation_padds,
-        reduction_padds: 2 * buckets_per_window * u64::from(w),
-        window_padds: u64::from(w),
-        window_pdbls: u64::from(s) * u64::from(w),
-        windows: w,
-        buckets_per_window,
-    };
-    MsmOutput { point: acc, stats }
+    run_bucket_engine(
+        config.bucket_repr,
+        EngineInput {
+            points,
+            digits: &digits,
+            window_bits: s,
+            windows: w,
+            buckets_per_window: buckets_for(s, config.signed_digits),
+        },
+        pool,
+    )
 }
 
 /// Pippenger MSM with defaults (unsigned digits, XYZZ buckets, auto window).

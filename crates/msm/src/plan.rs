@@ -1,0 +1,264 @@
+//! Per-base-set MSM plans — the proving-key precompute cache.
+//!
+//! In Groth16 the MSM bases (the `[aᵢ(τ)]`, `[β·aᵢ + α·bᵢ + cᵢ]`, and
+//! quotient-domain points of the proving key) are *fixed across proofs*;
+//! only the scalars change per witness. A [`MsmPlan`] exploits this by
+//! paying the per-base preparation once:
+//!
+//! 1. **GLV expansion** — the endomorphism-mapped copies `φ(Pᵢ)` are
+//!    computed at build time, so per-proof MSMs skip the `n` `FF_mul`s
+//!    and run over half-width subscalars with half the windows (§IV-D).
+//! 2. **Window precompute** (§IV-D1a / Fig. 12) — shifted copies
+//!    `2^(W·s·j)·Pᵢ` shrink the reduced window count from `w` to `W`,
+//!    bounded by an explicit memory budget exactly like the paper's
+//!    "provided enough device memory is available" trade-off.
+//!
+//! Per-proof work then reduces to scalar decomposition + digit scatter +
+//! one `W`-window bucket run. The plan never changes the computed point:
+//! proofs stay byte-identical to the unplanned prover.
+
+use crate::config::{BucketRepr, MsmConfig};
+use crate::pippenger::{
+    buckets_for, decompose_row_limbs, default_window_bits, glv_expand_points, glv_num_windows,
+    glv_split, num_windows, run_bucket_engine, EngineInput, MatPtr, MsmOutput,
+};
+use zkp_curves::{batch_to_affine, Affine, Jacobian, SwCurve};
+use zkp_ff::PrimeField;
+use zkp_runtime::ThreadPool;
+
+/// A reusable MSM plan for one fixed base-point set.
+#[derive(Debug, Clone)]
+pub struct MsmPlan<Cu: SwCurve> {
+    /// Copies-major point table: copy `j` occupies rows
+    /// `[j·ppc, (j+1)·ppc)`; within a copy the layout is `[P…]` or, under
+    /// GLV, `[P…, φ(P)…]`. Copy `j` is copy `j−1` doubled `W·s` times.
+    expanded: Vec<Affine<Cu>>,
+    /// Number of base points.
+    n: usize,
+    /// Whether scalars are GLV-decomposed at execute time.
+    glv: bool,
+    /// Rows per copy: `n`, or `2n` under GLV.
+    points_per_copy: usize,
+    /// Window size `s` in bits.
+    window_bits: u32,
+    /// Windows reduced per MSM (`W` of Fig. 12).
+    target_windows: u32,
+    /// Stored copies `⌈w/W⌉`.
+    copies: u32,
+    /// Full windows `w` of one (sub)scalar before folding into copies.
+    full_windows: u32,
+    /// Signed-digit recoding.
+    signed: bool,
+    /// Bucket representation for the per-proof runs.
+    bucket_repr: BucketRepr,
+}
+
+impl<Cu: SwCurve> MsmPlan<Cu> {
+    /// Builds a plan for `points` under `config`, spending at most
+    /// `budget_bytes` on the expanded table (`None` = unbounded, i.e. the
+    /// full `W = 1` precompute). The budget knob walks the Fig. 12
+    /// trade-off: more memory → fewer reduced windows.
+    pub fn build(
+        points: &[Affine<Cu>],
+        config: &MsmConfig,
+        budget_bytes: Option<u64>,
+        pool: &ThreadPool,
+    ) -> Self {
+        let n = points.len();
+        let glv = config.endomorphism && Cu::glv().is_some();
+        let base: Vec<Affine<Cu>> = if glv {
+            glv_expand_points(points, Cu::glv().expect("checked above"))
+        } else {
+            points.to_vec()
+        };
+        let ppc = base.len().max(1);
+        let s = config
+            .window_bits
+            .unwrap_or_else(|| default_window_bits(ppc));
+        let full_windows = if glv {
+            glv_num_windows(
+                Cu::glv().expect("checked above").sub_bits,
+                s,
+                config.signed_digits,
+            )
+        } else {
+            num_windows::<Cu::Scalar>(s, config.signed_digits)
+        };
+
+        // Smallest W (deepest precompute) whose table fits the budget;
+        // W = w degrades gracefully to a single un-shifted copy.
+        let point_bytes = core::mem::size_of::<Affine<Cu>>() as u64;
+        let storage = |target: u32| {
+            (base.len() as u64) * u64::from(full_windows.div_ceil(target)) * point_bytes
+        };
+        let target_windows = match budget_bytes {
+            None => 1,
+            Some(budget) => (1..=full_windows)
+                .find(|&t| storage(t) <= budget)
+                .unwrap_or(full_windows),
+        };
+        let copies = full_windows.div_ceil(target_windows);
+
+        // Materialize the shifted copies; each is the previous doubled
+        // W·s times. The doubling sweep parallelizes per point.
+        let mut expanded = Vec::with_capacity(base.len() * copies as usize);
+        expanded.extend_from_slice(&base);
+        let mut current: Vec<Jacobian<Cu>> = base.iter().map(|p| Jacobian::from(*p)).collect();
+        let shift = target_windows * s;
+        for _ in 1..copies {
+            let doubled = pool.map(current.len(), 64, |i| {
+                let mut p = current[i];
+                for _ in 0..shift {
+                    p = p.double();
+                }
+                p
+            });
+            current = doubled;
+            expanded.extend(batch_to_affine(&current));
+        }
+
+        Self {
+            expanded,
+            n,
+            glv,
+            points_per_copy: base.len(),
+            window_bits: s,
+            target_windows,
+            copies,
+            full_windows,
+            signed: config.signed_digits,
+            bucket_repr: config.bucket_repr,
+        }
+    }
+
+    /// The original base points (row-compatible with the unplanned MSM).
+    pub fn bases(&self) -> &[Affine<Cu>] {
+        &self.expanded[..self.n]
+    }
+
+    /// Number of base points the plan serves.
+    pub fn len(&self) -> usize {
+        self.n
+    }
+
+    /// Whether the plan holds no points.
+    pub fn is_empty(&self) -> bool {
+        self.n == 0
+    }
+
+    /// Bytes held by the expanded point table.
+    pub fn storage_bytes(&self) -> u64 {
+        (self.expanded.len() as u64) * core::mem::size_of::<Affine<Cu>>() as u64
+    }
+
+    /// Total stored points (`ppc · copies`).
+    pub fn stored_points(&self) -> usize {
+        self.expanded.len()
+    }
+
+    /// Windows reduced per MSM (`W`).
+    pub fn target_windows(&self) -> u32 {
+        self.target_windows
+    }
+
+    /// Human-readable algorithm tag for traces and benchmark metadata.
+    pub fn algorithm(&self) -> String {
+        let cfg = MsmConfig {
+            window_bits: Some(self.window_bits),
+            signed_digits: self.signed,
+            bucket_repr: self.bucket_repr,
+            sort_buckets: false,
+            endomorphism: self.glv,
+        };
+        format!(
+            "{}+precomp(w={},copies={})",
+            cfg.describe(),
+            self.target_windows,
+            self.copies,
+        )
+    }
+
+    /// Runs the planned MSM. Bit-identical (point *and* canonical stats)
+    /// at any pool width, and equal as a group element to every other MSM
+    /// path over the same inputs.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `scalars.len()` differs from the plan's base point count.
+    pub fn execute(&self, scalars: &[Cu::Scalar], pool: &ThreadPool) -> MsmOutput<Cu> {
+        assert_eq!(scalars.len(), self.n, "scalar count must match the plan");
+        if self.n == 0 {
+            return MsmOutput {
+                point: Jacobian::identity(),
+                stats: Default::default(),
+            };
+        }
+        let (s, big_w, w) = (self.window_bits, self.full_windows, self.target_windows);
+        let ppc = self.points_per_copy;
+        let wu = w as usize;
+
+        // Digit matrix over the expanded table, target_windows columns.
+        // Each base row is recoded over its FULL w windows first — the
+        // signed-digit carry crosses copy boundaries — then digit `q`
+        // scatters to copy `q / W`, column `q % W`.
+        let subs = if self.glv {
+            glv_split(scalars, Cu::glv().expect("glv plan on glv curve"), pool)
+        } else {
+            Vec::new()
+        };
+        let mut digits = vec![0i32; self.expanded.len() * wu];
+        let base = MatPtr(digits.as_mut_ptr());
+        let scatter = |row_idx: usize, full_row: &[i32]| {
+            for (q, &d) in full_row.iter().enumerate() {
+                if d != 0 {
+                    let copy = q / wu;
+                    let idx = (copy * ppc + row_idx) * wu + (q % wu);
+                    // SAFETY: copy < copies and row_idx < ppc, so idx is in
+                    // bounds; distinct base rows write disjoint cells.
+                    unsafe { base.at(idx).write(d) };
+                }
+            }
+        };
+        pool.parallel_for(ppc, usize::MAX, 128, |_, range| {
+            let mut full_row = vec![0i32; big_w as usize];
+            for r in range {
+                full_row.fill(0);
+                if self.glv {
+                    let sub = if r < self.n {
+                        subs[r].0
+                    } else {
+                        subs[r - self.n].1
+                    };
+                    decompose_row_limbs(&sub.limbs(), s, self.signed, sub.neg, &mut full_row);
+                } else {
+                    decompose_row_limbs(
+                        &scalars[r].to_uint(),
+                        s,
+                        self.signed,
+                        false,
+                        &mut full_row,
+                    );
+                }
+                scatter(r, &full_row);
+            }
+        });
+
+        let mut out = run_bucket_engine(
+            self.bucket_repr,
+            EngineInput {
+                points: &self.expanded,
+                digits: &digits,
+                window_bits: s,
+                windows: w,
+                buckets_per_window: buckets_for(s, self.signed),
+            },
+            pool,
+        );
+        if self.glv {
+            out.stats.glv_decompositions = self.n as u64;
+            // φ was applied at build time; per-proof cost is zero.
+            out.stats.endomorphism_muls = 0;
+        }
+        out
+    }
+}

@@ -25,16 +25,24 @@ fn all_configs() -> Vec<MsmConfig> {
         MsmConfig::sppark_style(),
         MsmConfig::ymc_style(),
         MsmConfig::bellperson_style(),
+        MsmConfig::glv_style(),
     ];
     for bits in [3, 5, 8, 13] {
         for signed in [false, true] {
-            for repr in [BucketRepr::Jacobian, BucketRepr::Xyzz] {
-                configs.push(MsmConfig {
-                    window_bits: Some(bits),
-                    signed_digits: signed,
-                    bucket_repr: repr,
-                    sort_buckets: false,
-                });
+            for repr in [
+                BucketRepr::Jacobian,
+                BucketRepr::Xyzz,
+                BucketRepr::BatchAffine,
+            ] {
+                for endomorphism in [false, true] {
+                    configs.push(MsmConfig {
+                        window_bits: Some(bits),
+                        signed_digits: signed,
+                        bucket_repr: repr,
+                        sort_buckets: false,
+                        endomorphism,
+                    });
+                }
             }
         }
     }
@@ -150,6 +158,51 @@ fn stats_reflect_structure() {
 }
 
 #[test]
+fn glv_stats_reflect_decomposition() {
+    let (points, scalars) = random_inputs::<bls12_381::G1>(64, 21);
+    let out = msm_with_config(&points, &scalars, &MsmConfig::glv_style());
+    assert_eq!(out.stats.glv_decompositions, 64);
+    assert_eq!(out.stats.endomorphism_muls, 64);
+    // Half-width subscalars need roughly half the windows of the plain
+    // signed path at the same window size.
+    let s = default_window_bits(128);
+    let plain_w = zkp_msm::num_windows::<zkp_ff::Fr381>(s, true);
+    assert!(out.stats.windows <= plain_w.div_ceil(2) + 1);
+
+    // The plain path reports no GLV work.
+    let plain = msm_with_config(&points, &scalars, &MsmConfig::default());
+    assert_eq!(plain.stats.glv_decompositions, 0);
+    assert_eq!(plain.stats.endomorphism_muls, 0);
+}
+
+#[test]
+fn endomorphism_config_falls_back_on_g2() {
+    // G2 exposes no GLV parameters; the flag must be a silent no-op.
+    let (points, scalars) = random_inputs::<bls12_381::G2>(16, 22);
+    let out = msm_with_config(&points, &scalars, &MsmConfig::glv_style());
+    assert_eq!(out.point, msm_serial(&points, &scalars));
+    assert_eq!(out.stats.glv_decompositions, 0);
+}
+
+#[test]
+fn batch_affine_buckets_count_inversions() {
+    let (points, scalars) = random_inputs::<bls12_381::G1>(48, 23);
+    let batched = msm_with_config(
+        &points,
+        &scalars,
+        &MsmConfig {
+            bucket_repr: BucketRepr::BatchAffine,
+            ..MsmConfig::default()
+        },
+    );
+    assert_eq!(batched.point, msm_serial(&points, &scalars));
+    assert!(batched.stats.batch_inversions > 0);
+    // Projective buckets never invert.
+    let xyzz = msm_with_config(&points, &scalars, &MsmConfig::default());
+    assert_eq!(xyzz.stats.batch_inversions, 0);
+}
+
+#[test]
 fn precomputed_msm_matches_plain() {
     let (points, scalars) = random_inputs::<bls12_381::G1>(40, 14);
     let expect = msm(&points, &scalars);
@@ -196,6 +249,22 @@ proptest! {
         let lhs = msm(&points, &sum);
         let rhs = msm(&points, &s1).add(&msm(&points, &s2));
         prop_assert_eq!(lhs, rhs);
+    }
+
+    #[test]
+    fn decomposed_matches_plain_381(seed in any::<u64>(), n in 1usize..40) {
+        let (points, scalars) = random_inputs::<bls12_381::G1>(n, seed);
+        let plain = msm_with_config(&points, &scalars, &MsmConfig::default()).point;
+        let glv = msm_with_config(&points, &scalars, &MsmConfig::glv_style()).point;
+        prop_assert_eq!(plain, glv);
+    }
+
+    #[test]
+    fn decomposed_matches_plain_377(seed in any::<u64>(), n in 1usize..40) {
+        let (points, scalars) = random_inputs::<bls12_377::G1>(n, seed);
+        let plain = msm_with_config(&points, &scalars, &MsmConfig::default()).point;
+        let glv = msm_with_config(&points, &scalars, &MsmConfig::glv_style()).point;
+        prop_assert_eq!(plain, glv);
     }
 
     #[test]

@@ -86,13 +86,18 @@ fn parallel_is_bit_identical_across_thread_counts() {
             window_bits: Some(4),
             signed_digits: true,
             bucket_repr: BucketRepr::Jacobian,
-            sort_buckets: false,
+            ..MsmConfig::default()
         },
         MsmConfig {
             window_bits: Some(6),
             signed_digits: false,
             bucket_repr: BucketRepr::Xyzz,
-            sort_buckets: false,
+            ..MsmConfig::default()
+        },
+        MsmConfig::glv_style(),
+        MsmConfig {
+            bucket_repr: BucketRepr::BatchAffine,
+            ..MsmConfig::glv_style()
         },
     ] {
         let serial = msm_with_config(&points, &scalars, &config);
@@ -119,7 +124,7 @@ fn window_reduction_work_does_not_scale_with_threads() {
         window_bits: Some(5),
         signed_digits: true,
         bucket_repr: BucketRepr::Xyzz,
-        sort_buckets: false,
+        ..MsmConfig::default()
     };
     let w = u64::from(num_windows::<Fr381>(5, true));
     for threads in THREAD_COUNTS {
@@ -183,6 +188,7 @@ proptest! {
         window_bits in 3u32..9,
         signed in any::<bool>(),
         xyzz in any::<bool>(),
+        endomorphism in any::<bool>(),
     ) {
         let (points, scalars) = random_inputs::<G1>(n, seed);
         let config = MsmConfig {
@@ -190,6 +196,7 @@ proptest! {
             signed_digits: signed,
             bucket_repr: if xyzz { BucketRepr::Xyzz } else { BucketRepr::Jacobian },
             sort_buckets: false,
+            endomorphism,
         };
         let expect = msm_serial(&points, &scalars);
         let serial = msm_with_config(&points, &scalars, &config);

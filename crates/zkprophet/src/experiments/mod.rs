@@ -59,6 +59,8 @@ pub fn full_report(device: &DeviceSpec) -> String {
     out += "\n";
     out += &scaling::render_fig12(&scaling::fig12());
     out += "\n";
+    out += &scaling::render_glv_tradeoff(&scaling::glv_tradeoff());
+    out += "\n";
     out += &scaling::render_montgomery_trick(&scaling::montgomery_trick());
     out += "\n";
     out += &kernel_layer::render_absolute_times(device);

@@ -1,12 +1,15 @@
 //! Scaling experiments (§IV-D): Fig. 11 (GPU generations), Fig. 12
-//! (precomputed windows), and the Montgomery-trick analysis (§IV-D1b).
+//! (precomputed windows), the Montgomery-trick analysis (§IV-D1b), and a
+//! real-run GLV/precompute trade-off table measured with `MsmStats`.
 
 use crate::report::{f, Table};
 use gpu_kernels::{run_ff_op, FfInputs, FfOp, Field32};
 use gpu_sim::device::catalog;
 use gpu_sim::machine::SmspConfig;
-use zkp_ff::Fq381Config;
-use zkp_msm::precompute_cost;
+use rand::{rngs::StdRng, SeedableRng};
+use zkp_curves::{batch_to_affine, bls12_381, Affine, Jacobian};
+use zkp_ff::{Field, Fq381Config, Fr381};
+use zkp_msm::{msm_parallel_with_config, precompute_cost, BucketRepr, MsmConfig, MsmPlan};
 
 // ---------------------------------------------------------------------------
 // Fig. 11 — FF_mul across GPU generations
@@ -151,6 +154,127 @@ pub fn render_fig12(rows: &[Fig12Row]) -> String {
             } else {
                 fits
             },
+        ]);
+    }
+    t.render()
+}
+
+// ---------------------------------------------------------------------------
+// GLV / precompute trade-off — measured, not modeled
+// ---------------------------------------------------------------------------
+
+/// One measured MSM configuration in the GLV/precompute trade-off table.
+#[derive(Debug, Clone)]
+pub struct GlvTradeoffRow {
+    /// Algorithm tag (`MsmConfig::describe()` / `MsmPlan::algorithm()`).
+    pub algorithm: String,
+    /// Windows actually processed by the bucket engine.
+    pub windows: u32,
+    /// Bucket-accumulation point additions.
+    pub accumulation_padds: u64,
+    /// Bucket-reduction point additions.
+    pub reduction_padds: u64,
+    /// Total point additions across all phases.
+    pub total_padds: u64,
+    /// Precomputed-table storage in KiB (0 for unplanned paths).
+    pub storage_kib: u64,
+    /// PADD saving versus the unsigned baseline, in percent.
+    pub saved_pct: f64,
+}
+
+/// Scale of the measured trade-off MSM (`2^10` points — big enough for
+/// the counters to be representative, small enough for the report path).
+const TRADEOFF_LOG_N: u32 = 10;
+
+/// Runs a real BLS12-381 G1 MSM at `2^10` points under the ladder of
+/// configurations Fig. 12 reasons about — unsigned baseline, signed
+/// digits, GLV decomposition, and GLV + precomputed windows at shrinking
+/// memory budgets — and reports the *measured* `MsmStats` counters. This
+/// is the CPU-side analogue of Fig. 12: each precompute step trades table
+/// storage for bucket-reduction PADDs.
+pub fn glv_tradeoff() -> Vec<GlvTradeoffRow> {
+    let n = 1usize << TRADEOFF_LOG_N;
+    let g = Jacobian::from(<bls12_381::G1 as zkp_curves::SwCurve>::generator());
+    let mut acc = g;
+    let mut jac = Vec::with_capacity(n);
+    for _ in 0..n {
+        jac.push(acc);
+        acc = acc.add(&g);
+    }
+    let points: Vec<Affine<bls12_381::G1>> = batch_to_affine(&jac);
+    let mut rng = StdRng::seed_from_u64(91);
+    let scalars: Vec<Fr381> = (0..n).map(|_| Fr381::random(&mut rng)).collect();
+    let pool = zkp_runtime::global();
+
+    let mut rows = Vec::new();
+    let configs = [
+        MsmConfig::default(),
+        MsmConfig {
+            signed_digits: true,
+            bucket_repr: BucketRepr::Xyzz,
+            ..MsmConfig::default()
+        },
+        MsmConfig::glv_style(),
+    ];
+    for cfg in &configs {
+        let out = msm_parallel_with_config(&points, &scalars, cfg, pool);
+        rows.push(GlvTradeoffRow {
+            algorithm: cfg.describe(),
+            windows: out.stats.windows,
+            accumulation_padds: out.stats.accumulation_padds,
+            reduction_padds: out.stats.reduction_padds,
+            total_padds: out.stats.total_padds(),
+            storage_kib: 0,
+            saved_pct: 0.0,
+        });
+    }
+    // Precompute plans at shrinking budgets: None = unlimited (one target
+    // window, the w=1 end of Fig. 12), then 1 MiB and 256 KiB.
+    for budget in [None, Some(1u64 << 20), Some(256u64 << 10)] {
+        let plan = MsmPlan::build(&points, &MsmConfig::glv_style(), budget, pool);
+        let out = plan.execute(&scalars, pool);
+        rows.push(GlvTradeoffRow {
+            algorithm: plan.algorithm(),
+            windows: out.stats.windows,
+            accumulation_padds: out.stats.accumulation_padds,
+            reduction_padds: out.stats.reduction_padds,
+            total_padds: out.stats.total_padds(),
+            storage_kib: plan.storage_bytes() / 1024,
+            saved_pct: 0.0,
+        });
+    }
+    let baseline = rows[0].total_padds as f64;
+    for r in &mut rows {
+        r.saved_pct = 100.0 * (1.0 - r.total_padds as f64 / baseline);
+    }
+    rows
+}
+
+/// Renders the measured GLV/precompute trade-off table.
+pub fn render_glv_tradeoff(rows: &[GlvTradeoffRow]) -> String {
+    let mut t = Table::new(
+        "GLV/precompute trade-off, measured at 2^10 BLS12-381 G1 points \
+         (real MsmStats counters; storage buys fewer bucket-reduction PADDs, \
+          the CPU-side analogue of Fig 12)",
+        &[
+            "Algorithm",
+            "Windows",
+            "Acc PADDs",
+            "Red PADDs",
+            "Total PADDs",
+            "Storage (KiB)",
+            "Saved vs base",
+        ],
+    );
+    for r in rows {
+        t.row(vec![
+            r.algorithm.clone(),
+            r.windows.to_string(),
+            r.accumulation_padds.to_string(),
+            r.reduction_padds.to_string(),
+            r.total_padds.to_string(),
+            r.storage_kib.to_string(),
+            format!("{:.1}%", r.saved_pct),
         ]);
     }
     t.render()
@@ -308,9 +432,34 @@ mod tests {
     }
 
     #[test]
+    fn glv_tradeoff_walks_the_storage_padds_frontier() {
+        let rows = glv_tradeoff();
+        assert_eq!(rows.len(), 6);
+        // Row 0 is the unsigned baseline it normalizes against.
+        assert_eq!(rows[0].saved_pct, 0.0);
+        assert!(rows[0].algorithm.starts_with("unsigned"));
+        // The GLV split roughly halves the windows of the plain path.
+        assert!(rows[2].windows <= rows[0].windows.div_ceil(2) + 1);
+        // Plan rows (3..6) run at shrinking budgets: storage falls,
+        // windows rise — the Fig. 12 frontier, measured.
+        for w in rows[3..].windows(2) {
+            assert!(w[0].storage_kib >= w[1].storage_kib);
+            assert!(w[0].windows <= w[1].windows);
+        }
+        // The unlimited-budget plan delivers the headline saving.
+        assert!(
+            rows[3].saved_pct > 25.0,
+            "full precompute saved only {:.1}%",
+            rows[3].saved_pct
+        );
+        assert!(rows[3].storage_kib > 0);
+    }
+
+    #[test]
     fn renders_do_not_panic() {
         assert!(render_fig11(&fig11()).contains("H100"));
         assert!(render_fig12(&fig12()).contains("GiB"));
+        assert!(render_glv_tradeoff(&glv_tradeoff()).contains("precomp"));
         assert!(render_montgomery_trick(&montgomery_trick()).contains("XYZZ"));
     }
 }

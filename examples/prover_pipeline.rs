@@ -45,6 +45,7 @@ fn run_backend_demo(spec_str: &str, rounds: usize) {
     });
     let backend = spec.build::<Bls12381>();
     println!("backend: {}", backend.name());
+    println!("msm:     {}", backend.msm_algorithm());
     println!("circuit: mimc, {rounds} rounds");
 
     let cs = mimc(Fr381::from_u64(11), rounds);
@@ -55,6 +56,15 @@ fn run_backend_demo(spec_str: &str, rounds: usize) {
     let measured_prove_s = start.elapsed().as_secs_f64();
     let verified = verify(&pk.vk, &proof, &cs.assignment.public);
     println!("stats:   {:?}", stats.base);
+    // Machine-greppable digest: proof bytes must be identical whichever
+    // MSM algorithm ran (the CI msm-glv-smoke step diffs this line across
+    // ZKP_MSM_GLV settings).
+    let digest: String = proof
+        .to_bytes()
+        .iter()
+        .map(|b| format!("{b:02x}"))
+        .collect();
+    println!("proof:   {digest}");
     println!();
 
     if stats.trace.records.is_empty() {
