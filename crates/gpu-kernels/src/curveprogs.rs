@@ -314,11 +314,22 @@ pub fn xyzz_madd_program_analyzed(f: &Field32) -> (Program, XyzzMaddLayout, Kern
 
     let mut facts = KernelFacts::new();
     for off in 0..4 {
-        assume_canonical_loads(&mut facts.assumptions, f, addr_bucket, off * u32::from(n));
+        assume_canonical_loads(
+            &mut facts.assumptions,
+            f,
+            addr_bucket,
+            off * u32::from(n),
+            1,
+        );
     }
     for off in 0..2 {
-        assume_canonical_loads(&mut facts.assumptions, f, addr_point, off * u32::from(n));
+        assume_canonical_loads(&mut facts.assumptions, f, addr_point, off * u32::from(n), 1);
     }
+    // AoS layout, deliberately kept: each lane owns a whole 4n-word bucket
+    // (resp. 2n-word point), the SZKP-style scattered access the memory
+    // analyzer flags as strided.
+    facts.contracts.declare(addr_bucket, 4 * u32::from(n), 8);
+    facts.contracts.declare(addr_point, 2 * u32::from(n), 8);
 
     let mut b = ProgramBuilder::new();
     for (bank, off) in [(x1, 0u32), (y1, 1), (zz1, 2), (zzz1, 3)] {
@@ -415,7 +426,9 @@ pub fn butterfly_program_analyzed(f: &Field32) -> (Program, ButterflyLayout, Ker
 
     let mut facts = KernelFacts::new();
     for addr in [addr_a, addr_b, addr_w] {
-        assume_canonical_loads(&mut facts.assumptions, f, addr, 0);
+        assume_canonical_loads(&mut facts.assumptions, f, addr, 0, 1);
+        // AoS: one n-word element per lane — stride-n access.
+        facts.contracts.declare(addr, u32::from(n), 8);
     }
 
     let mut b = ProgramBuilder::new();
@@ -489,8 +502,11 @@ pub fn mul_contract_program(f: &Field32) -> (Program, MulContractLayout, KernelF
     let registers_used = banks.next;
 
     let mut facts = KernelFacts::new();
-    assume_canonical_loads(&mut facts.assumptions, f, addr_x, 0);
-    assume_canonical_loads(&mut facts.assumptions, f, addr_y, 0);
+    assume_canonical_loads(&mut facts.assumptions, f, addr_x, 0, 1);
+    assume_canonical_loads(&mut facts.assumptions, f, addr_y, 0, 1);
+    for addr in [addr_x, addr_y, addr_out] {
+        facts.contracts.declare(addr, u32::from(n), 8);
+    }
 
     let mut b = ProgramBuilder::new();
     for j in 0..n {

@@ -14,9 +14,18 @@
 //!   `mad{c}.lo/hi` chains (`IMAD`-dominated, §IV-B2).
 
 use crate::field32::Field32;
+use gpu_sim::analysis::addr::MemContracts;
 use gpu_sim::analysis::ranges::{Interval, RangeAssumptions, ValueBound};
 use gpu_sim::analysis::schedule::{BranchHint, ScheduleHints};
 use gpu_sim::isa::{CmpOp, Label, LogicOp, Program, ProgramBuilder, Src};
+
+/// Words between consecutive limbs of one thread's operand in the
+/// warp-interleaved layout: limb `j` of lane `t` lives at
+/// `region_base + j·32 + t`, so each limb access is a fully-coalesced
+/// 4-sector warp transaction (the memory analyzer proves this statically).
+/// The earlier AoS layout (`thread·n + j`) made every FF limb access
+/// stride-`n` — the `UncoalescedAccess` finding this layout fixes.
+pub const LIMB_STRIDE_WORDS: u32 = 32;
 
 /// Static-analysis facts a generator records about the kernel it emits:
 /// branch hints for the schedule predictor, input-range assumptions and
@@ -32,6 +41,9 @@ pub struct KernelFacts {
     pub assumptions: RangeAssumptions,
     /// Value bounds the range analysis must prove.
     pub obligations: Vec<ValueBound>,
+    /// Declared address contracts (per-lane stride and base alignment of
+    /// each pointer parameter) for the memory analyzer.
+    pub contracts: MemContracts,
 }
 
 impl KernelFacts {
@@ -61,13 +73,16 @@ pub fn double_modulus(field: &Field32) -> Vec<u32> {
 }
 
 /// Declares canonical (`< p`) operand limbs loaded through `addr` at word
-/// offsets `base..base+n`: every limb is unconstrained except the top one,
-/// which cannot exceed the modulus's top limb.
+/// offsets `base + j·stride` (`stride` = [`LIMB_STRIDE_WORDS`] for the
+/// warp-interleaved FF kernels, 1 for the AoS curve kernels): every limb
+/// is unconstrained except the top one, which cannot exceed the modulus's
+/// top limb.
 pub(crate) fn assume_canonical_loads(
     assumptions: &mut RangeAssumptions,
     field: &Field32,
     addr: u16,
     base: u32,
+    stride: u32,
 ) {
     let n = field.num_limbs();
     let top = field.modulus[n - 1];
@@ -77,7 +92,7 @@ pub(crate) fn assume_canonical_loads(
         } else {
             Interval::full()
         };
-        assumptions.assume_load(addr, base + j as u32, iv);
+        assumptions.assume_load(addr, base + j as u32 * stride, iv);
     }
 }
 
@@ -176,18 +191,37 @@ pub fn ff_program_analyzed(field: &Field32, op: FfOp, iters: u32) -> (Program, K
     let mut b = ProgramBuilder::new();
     let mut facts = KernelFacts::new();
 
-    // Prologue: load a (and b where used) from global memory.
+    // Prologue: load a (and b where used) from global memory. Offsets
+    // follow the warp-interleaved layout — limb j at `addr + j·32` — so
+    // every limb access is one coalesced 4-sector transaction.
     for j in 0..n {
-        b.ldg(regs::A0 + j, regs::ADDR_A, u32::from(j));
+        b.ldg(regs::A0 + j, regs::ADDR_A, u32::from(j) * LIMB_STRIDE_WORDS);
     }
-    assume_canonical_loads(&mut facts.assumptions, field, regs::ADDR_A, 0);
+    assume_canonical_loads(
+        &mut facts.assumptions,
+        field,
+        regs::ADDR_A,
+        0,
+        LIMB_STRIDE_WORDS,
+    );
+    facts.contracts.declare(regs::ADDR_A, 1, LIMB_STRIDE_WORDS);
     let loads_b = matches!(op, FfOp::Add | FfOp::Sub | FfOp::Mul);
     if loads_b {
         for j in 0..n {
-            b.ldg(regs::B0 + j, regs::ADDR_B, u32::from(j));
+            b.ldg(regs::B0 + j, regs::ADDR_B, u32::from(j) * LIMB_STRIDE_WORDS);
         }
-        assume_canonical_loads(&mut facts.assumptions, field, regs::ADDR_B, 0);
+        assume_canonical_loads(
+            &mut facts.assumptions,
+            field,
+            regs::ADDR_B,
+            0,
+            LIMB_STRIDE_WORDS,
+        );
+        facts.contracts.declare(regs::ADDR_B, 1, LIMB_STRIDE_WORDS);
     }
+    facts
+        .contracts
+        .declare(regs::ADDR_OUT, 1, LIMB_STRIDE_WORDS);
     b.mov(regs::LOOP, imm(0));
 
     // Uniform benchmark loop.
@@ -237,9 +271,13 @@ pub fn ff_program_analyzed(field: &Field32, op: FfOp, iters: u32) -> (Program, K
     b.setp(3, r(regs::LOOP), imm(iters), CmpOp::Lt);
     b.bra(loop_top, Some((3, true)));
 
-    // Epilogue: store the result.
+    // Epilogue: store the result (same interleaved layout as the loads).
     for j in 0..n {
-        b.stg(regs::A0 + j, regs::ADDR_OUT, u32::from(j));
+        b.stg(
+            regs::A0 + j,
+            regs::ADDR_OUT,
+            u32::from(j) * LIMB_STRIDE_WORDS,
+        );
     }
     b.exit();
     (b.build(), facts)

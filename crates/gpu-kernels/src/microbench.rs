@@ -71,9 +71,11 @@ impl FfInputs {
 
 /// Runs one FF-op microbenchmark.
 ///
-/// Memory layout: thread `t` of warp `w` reads `a` at
-/// `(w·32 + t)·n` words, `b` at `base_b + (w·32 + t)·n`, and writes its
-/// result to `base_out + (w·32 + t)·n`.
+/// Memory layout is warp-interleaved (the coalesced layout the memory
+/// analyzer certifies): limb `j` of thread `t` in warp `w` lives at
+/// `region_base + w·32·n + j·32 + t`, so each of the kernel's limb
+/// accesses is one fully-coalesced 4-sector warp transaction. The three
+/// regions (`a`, `b`, output) each span `warps·32·n` words.
 ///
 /// # Panics
 ///
@@ -93,13 +95,15 @@ pub fn run_ff_op(
 
     let base_b = (threads * n) as u32;
     let base_out = 2 * base_b;
+    // Word index of limb j of global thread t in a region starting at 0.
+    let slot = |t: usize, j: usize| (t / 32) * 32 * n + j * 32 + (t % 32);
     let mut machine = Machine::new(config.clone(), 3 * threads * n);
     for (t, (a, b)) in inputs.a.iter().zip(&inputs.b).enumerate() {
         for (j, limb) in a.iter().enumerate() {
-            machine.global_mem[t * n + j] = *limb;
+            machine.global_mem[slot(t, j)] = *limb;
         }
         for (j, limb) in b.iter().enumerate() {
-            machine.global_mem[base_b as usize + t * n + j] = *limb;
+            machine.global_mem[base_b as usize + slot(t, j)] = *limb;
         }
     }
 
@@ -111,10 +115,10 @@ pub fn run_ff_op(
             let mut addr_b = [0u32; 32];
             let mut addr_out = [0u32; 32];
             for t in 0..32 {
-                let gid = (w * 32 + t) as u32;
-                addr_a[t] = gid * n as u32;
-                addr_b[t] = base_b + gid * n as u32;
-                addr_out[t] = base_out + gid * n as u32;
+                let lane0 = (w * 32 * n) as u32;
+                addr_a[t] = lane0 + t as u32;
+                addr_b[t] = base_b + lane0 + t as u32;
+                addr_out[t] = base_out + lane0 + t as u32;
             }
             init.per_thread(regs::ADDR_A as usize, addr_a);
             init.per_thread(regs::ADDR_B as usize, addr_b);
@@ -126,7 +130,9 @@ pub fn run_ff_op(
     let sim = machine.run(&program, &warp_inits);
     let outputs = (0..threads)
         .map(|t| {
-            machine.global_mem[base_out as usize + t * n..base_out as usize + (t + 1) * n].to_vec()
+            (0..n)
+                .map(|j| machine.global_mem[base_out as usize + slot(t, j)])
+                .collect()
         })
         .collect();
 

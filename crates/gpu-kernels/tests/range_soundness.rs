@@ -21,7 +21,7 @@
 use gpu_kernels::curveprogs::{
     butterfly_program_analyzed, mul_contract_program, xyzz_madd_program_analyzed,
 };
-use gpu_kernels::ffprogs::{ff_program_analyzed, regs};
+use gpu_kernels::ffprogs::{ff_program_analyzed, regs, LIMB_STRIDE_WORDS};
 use gpu_kernels::microbench::{run_ff_op, FfInputs};
 use gpu_kernels::{FfOp, Field32};
 use gpu_sim::analysis::{analyze_ranges, LintKind};
@@ -55,12 +55,13 @@ proptest! {
                 let inputs = FfInputs::random(field, 1, seed);
                 let report = run_ff_op(field, op, &config, &inputs, 1, iters);
                 // The kernel's stores all go through ADDR_OUT at word
-                // offset j; the static interval for that store must
-                // contain every limb any thread actually wrote.
+                // offset j·LIMB_STRIDE_WORDS (warp-interleaved layout);
+                // the static interval for that store must contain every
+                // limb any thread actually wrote.
                 for sb in &ra.store_bounds {
                     prop_assert_eq!(sb.addr, regs::ADDR_OUT);
                     for out in &report.outputs {
-                        let limb = out[sb.offset as usize];
+                        let limb = out[(sb.offset / LIMB_STRIDE_WORDS) as usize];
                         prop_assert!(
                             sb.value.contains(limb),
                             "{:?} {}: stored limb {} = {:#x} outside [{:#x}, {:#x}]",

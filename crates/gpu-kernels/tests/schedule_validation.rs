@@ -27,7 +27,7 @@ use gpu_kernels::curveprogs::{butterfly_program_analyzed, xyzz_madd_program_anal
 use gpu_kernels::ffprogs::ff_program_analyzed;
 use gpu_kernels::microbench::{run_ff_op, FfInputs};
 use gpu_kernels::{FfOp, Field32};
-use gpu_sim::analysis::predict_schedule;
+use gpu_sim::analysis::{analyze_memory, predict_schedule, predict_schedule_mem};
 use gpu_sim::device::{a100, h100, v100, DeviceSpec};
 use gpu_sim::machine::{Machine, SmspConfig, WarpInit};
 use rand::{rngs::StdRng, Rng, SeedableRng};
@@ -161,8 +161,18 @@ fn curve_kernel_predictions_track_the_simulator() {
         init.per_thread(layout.addr_bucket as usize, addr_bucket);
         init.per_thread(layout.addr_point as usize, addr_point);
         let sim = machine.run(&program, &[init]);
-        let pred =
-            predict_schedule(&program, &config, 1, &facts.hints).expect("madd is schedulable");
+        // The AoS bucket accesses serialize into multiple LSU wavefronts;
+        // the static memory analysis supplies the per-access timings.
+        let mem = analyze_memory(
+            &program,
+            &layout.entry_regs(),
+            &facts.contracts,
+            &facts.assumptions,
+            &facts.hints,
+            &config,
+        );
+        let pred = predict_schedule_mem(&program, &config, 1, &facts.hints, &mem.mem_timings())
+            .expect("madd is schedulable");
         assert_within("XYZZ madd", device.name, pred.cycles, sim.cycles);
 
         // NTT butterfly, same setup over three element banks.
@@ -188,8 +198,16 @@ fn curve_kernel_predictions_track_the_simulator() {
         init.per_thread(layout.addr_b as usize, addr_b);
         init.per_thread(layout.addr_w as usize, addr_w);
         let sim = machine.run(&program, &[init]);
-        let pred =
-            predict_schedule(&program, &config, 1, &facts.hints).expect("butterfly is schedulable");
+        let mem = analyze_memory(
+            &program,
+            &layout.entry_regs(),
+            &facts.contracts,
+            &facts.assumptions,
+            &facts.hints,
+            &config,
+        );
+        let pred = predict_schedule_mem(&program, &config, 1, &facts.hints, &mem.mem_timings())
+            .expect("butterfly is schedulable");
         assert_within("NTT butterfly", device.name, pred.cycles, sim.cycles);
     }
 }

@@ -43,6 +43,20 @@ pub enum LintKind {
     /// A value-bound proof obligation the range analysis could not
     /// discharge (e.g. a Montgomery output provably `< 2p`).
     RangeUnprovable,
+    /// A global access whose warp-level pattern needs more than the
+    /// minimum number of 32B sectors (strided or unprovably scattered).
+    /// Reported by the memory analysis ([`crate::analysis::memory`]).
+    UncoalescedAccess,
+    /// A `LDG` whose loaded value is already available from an earlier
+    /// load of the provably-same location with no intervening may-alias
+    /// store — redundant DRAM traffic.
+    RedundantLoad,
+    /// A `STG` provably overwritten by a later store to the same location
+    /// on every path, with no intervening may-alias load.
+    DeadStore,
+    /// A load/store pair whose aliasing the affine domain cannot decide —
+    /// the access that blocks a redundancy or dead-store proof.
+    AliasUnprovable,
 }
 
 impl core::fmt::Display for LintKind {
@@ -59,6 +73,10 @@ impl core::fmt::Display for LintKind {
             LintKind::NeverTakenBranch => "never-taken branch",
             LintKind::PossibleOverflow => "possible carry overflow",
             LintKind::RangeUnprovable => "range bound unprovable",
+            LintKind::UncoalescedAccess => "uncoalesced access",
+            LintKind::RedundantLoad => "redundant load",
+            LintKind::DeadStore => "dead store",
+            LintKind::AliasUnprovable => "alias unprovable",
         };
         f.write_str(s)
     }

@@ -1,0 +1,806 @@
+//! Static memory-access analysis: coalescing classification, per-warp
+//! transaction/byte prediction, memory lints, and the static side of the
+//! roofline — no execution required.
+//!
+//! ZKProphet's roofline and stall results (Fig. 9, Fig. 10) hinge on how
+//! each kernel's `LDG`/`STG` map to 32-byte DRAM sectors, and SZKP
+//! identifies scattered bucket access as *the* scaling limiter for MSM.
+//! This pass makes those properties provable before a single cycle is
+//! simulated:
+//!
+//! - every global access is classified via the affine address domain of
+//!   [`crate::analysis::addr`] (coalesced / strided(k) / broadcast /
+//!   unprovable), with the interval domain of [`crate::analysis::ranges`]
+//!   as the fallback bound when affinity is unprovable;
+//! - per-warp 32B-sector transaction counts and bytes moved are predicted
+//!   with the *same* sector rule [`crate::machine`] measures, so a
+//!   differential test can pin static-vs-simulated traffic exactly for
+//!   affine kernels;
+//! - [`MemoryAnalysis::mem_timings`] exports per-access LSU wavefront
+//!   counts that [`crate::analysis::schedule::predict_schedule_mem`]
+//!   consumes, scaling Long-Scoreboard stall prediction with serialized
+//!   transactions;
+//! - static arithmetic intensity (INT32 ops per DRAM byte) places the
+//!   kernel on the roofline per device via
+//!   [`crate::roofline::Roofline::place_static`];
+//! - four memory lints ride on the same dataflow:
+//!   [`LintKind::UncoalescedAccess`], [`LintKind::RedundantLoad`]
+//!   (available-loads, intersection joins), [`LintKind::DeadStore`]
+//!   (all-paths overwrite-before-observe), and
+//!   [`LintKind::AliasUnprovable`].
+//!
+//! The lints are deliberately *not* part of [`crate::analysis::lint`]:
+//! strided access is a performance finding, not a correctness bug, and
+//! handwritten AoS kernels (the realistic SZKP-style scattered case) must
+//! stay buildable while still being reported.
+
+use crate::analysis::addr::{
+    affine_sectors, alias, analyze_addresses, AccessPattern, Alias, Loc, MemContracts,
+};
+use crate::analysis::cfg::Cfg;
+use crate::analysis::lints::{Diagnostic, LintKind};
+use crate::analysis::ranges::{analyze_ranges_with_cfg, RangeAssumptions};
+use crate::analysis::schedule::{build_trace, MemTimings, ScheduleHints, TRACE_LIMIT};
+use crate::isa::{Instr, Program, Reg};
+use crate::machine::{sectors_touched_bound, wavefronts_for, SmspConfig, SECTOR_BYTES};
+
+/// One global access as the static analysis sees it.
+#[derive(Debug, Clone)]
+pub struct AccessReport {
+    /// The `LDG`/`STG` this report describes.
+    pub pc: usize,
+    /// `true` for `LDG`, `false` for `STG`.
+    pub is_load: bool,
+    /// Warp-level pattern classification.
+    pub pattern: AccessPattern,
+    /// Exact per-warp 32B sectors when the address is provably affine.
+    pub sectors: Option<u32>,
+    /// The sector count used for traffic and timing: the exact count when
+    /// affine, otherwise the interval-domain upper bound (capped at one
+    /// sector per lane).
+    pub sectors_bound: u32,
+    /// LSU wavefronts (issue-port cycles) per execution.
+    pub wavefronts: u64,
+    /// How many times one warp executes this access (static trace
+    /// multiplicity; 0 when the trace provably skips it).
+    pub executions: u64,
+}
+
+/// The static memory analysis of one kernel.
+#[derive(Debug, Clone)]
+pub struct MemoryAnalysis {
+    /// Per-access reports in program order.
+    pub accesses: Vec<AccessReport>,
+    /// Memory lints (uncoalesced / redundant-load / dead-store / alias).
+    pub lints: Vec<Diagnostic>,
+    /// `true` when every access is provably affine *and* the execution
+    /// trace resolved — the traffic prediction is then exact, not a bound.
+    pub exact: bool,
+    /// Whether the static trace resolved (multiplicities are exact).
+    pub trace_exact: bool,
+    /// Predicted 32B-sector transactions per warp over the whole kernel.
+    pub transactions_per_warp: u64,
+    /// Predicted DRAM bytes loaded per warp.
+    pub bytes_loaded_per_warp: u64,
+    /// Predicted DRAM bytes stored per warp.
+    pub bytes_stored_per_warp: u64,
+    /// Static INT32-pipe operations per warp (IMAD weighted 2, all lanes),
+    /// mirroring the simulator's `int_ops` accounting for full warps.
+    pub int_ops_per_warp: u64,
+}
+
+impl MemoryAnalysis {
+    /// Total predicted DRAM bytes per warp.
+    pub fn bytes_per_warp(&self) -> u64 {
+        self.bytes_loaded_per_warp + self.bytes_stored_per_warp
+    }
+
+    /// Static arithmetic intensity: INT32 ops per DRAM byte. Infinite for
+    /// a kernel that touches no memory.
+    pub fn arithmetic_intensity(&self) -> f64 {
+        let bytes = self.bytes_per_warp();
+        if bytes == 0 {
+            return f64::INFINITY;
+        }
+        self.int_ops_per_warp as f64 / bytes as f64
+    }
+
+    /// Per-access wavefront table for [`predict_schedule_mem`], so the
+    /// static scoreboard charges each access its serialized transactions.
+    ///
+    /// [`predict_schedule_mem`]: crate::analysis::schedule::predict_schedule_mem
+    pub fn mem_timings(&self) -> MemTimings {
+        let mut mem = MemTimings::new();
+        for a in &self.accesses {
+            mem.set(a.pc, a.wavefronts);
+        }
+        mem
+    }
+
+    /// Renders the analysis as a JSON object (schema-stable: the CI smoke
+    /// step asserts these keys for every kernel in the zoo).
+    pub fn to_json(&self) -> String {
+        let accesses: Vec<String> = self
+            .accesses
+            .iter()
+            .map(|a| {
+                format!(
+                    "{{\"pc\":{},\"kind\":\"{}\",\"pattern\":\"{}\",\"sectors\":{},\
+                     \"sectors_bound\":{},\"wavefronts\":{},\"executions\":{}}}",
+                    a.pc,
+                    if a.is_load { "load" } else { "store" },
+                    a.pattern.label(),
+                    match a.sectors {
+                        Some(s) => s.to_string(),
+                        None => "null".to_string(),
+                    },
+                    a.sectors_bound,
+                    a.wavefronts,
+                    a.executions
+                )
+            })
+            .collect();
+        let lints: Vec<String> = self
+            .lints
+            .iter()
+            .map(|d| format!("\"{d}\"").replace('\n', " "))
+            .collect();
+        format!(
+            "{{\"exact\":{},\"transactions_per_warp\":{},\"bytes_loaded_per_warp\":{},\
+             \"bytes_stored_per_warp\":{},\"int_ops_per_warp\":{},\
+             \"arithmetic_intensity\":{:.6},\"accesses\":[{}],\"lints\":[{}]}}",
+            self.exact,
+            self.transactions_per_warp,
+            self.bytes_loaded_per_warp,
+            self.bytes_stored_per_warp,
+            self.int_ops_per_warp,
+            self.arithmetic_intensity(),
+            accesses.join(","),
+            lints.join(",")
+        )
+    }
+}
+
+/// Runs the full static memory analysis of `program`.
+///
+/// `inputs` are the declared entry registers, `contracts` the declared
+/// address contracts ([`MemContracts`]), `assumptions` the PR-3 range
+/// assumptions (only the interval fallback uses them), and `hints` the
+/// branch hints that resolve loop trip counts for the traffic totals.
+pub fn analyze_memory(
+    program: &Program,
+    inputs: &[Reg],
+    contracts: &MemContracts,
+    assumptions: &RangeAssumptions,
+    hints: &ScheduleHints,
+    config: &SmspConfig,
+) -> MemoryAnalysis {
+    let cfg = Cfg::build(program);
+    let addrs = analyze_addresses(program, &cfg, contracts, inputs);
+    let ranges = analyze_ranges_with_cfg(program, &cfg, assumptions, &[]);
+    let warp_size = config.warp_size;
+
+    // Per-access classification and sector counts.
+    let mut accesses: Vec<AccessReport> = Vec::new();
+    for &(pc, val) in &addrs.accesses {
+        let (is_load, offset) = match program.fetch(pc) {
+            Instr::Ldg { offset, .. } => (true, offset),
+            Instr::Stg { offset, .. } => (false, offset),
+            _ => continue,
+        };
+        let pattern = AccessPattern::of(val);
+        let sectors = affine_sectors(val, offset, warp_size);
+        let sectors_bound = sectors.unwrap_or_else(|| {
+            // Interval fallback: the address register's range bounds how
+            // many sectors the warp can span; never more than one per lane.
+            let iv = ranges
+                .access_addrs
+                .iter()
+                .find(|(p, _)| *p == pc)
+                .map(|(_, iv)| *iv);
+            match iv {
+                Some(iv) => sectors_touched_bound(
+                    u64::from(iv.lo) + u64::from(offset),
+                    u64::from(iv.hi) + u64::from(offset),
+                    warp_size,
+                ),
+                None => warp_size,
+            }
+        });
+        accesses.push(AccessReport {
+            pc,
+            is_load,
+            pattern,
+            sectors,
+            sectors_bound,
+            wavefronts: wavefronts_for(sectors_bound, config.lsu_sectors_per_cycle),
+            executions: 0,
+        });
+    }
+
+    // Execution multiplicities from the static trace (exact when the
+    // hints resolve every branch; otherwise once per reachable access).
+    let trace = build_trace(program, hints, TRACE_LIMIT);
+    let trace_exact = trace.is_ok();
+    let mut int_ops_per_warp = 0u64;
+    match &trace {
+        Ok(trace) => {
+            for &pc in trace {
+                let inst = program.fetch(pc);
+                if inst.uses_int32_pipe() {
+                    let weight = if matches!(inst, Instr::Imad { .. }) {
+                        2
+                    } else {
+                        1
+                    };
+                    int_ops_per_warp += weight * u64::from(warp_size);
+                }
+                if let Some(a) = accesses.iter_mut().find(|a| a.pc == pc) {
+                    a.executions += 1;
+                }
+            }
+        }
+        Err(_) => {
+            for a in &mut accesses {
+                a.executions = 1;
+            }
+            for pc in 0..program.len() {
+                if cfg.reachable[cfg.block_of[pc]] && program.fetch(pc).uses_int32_pipe() {
+                    let weight = if matches!(program.fetch(pc), Instr::Imad { .. }) {
+                        2
+                    } else {
+                        1
+                    };
+                    int_ops_per_warp += weight * u64::from(warp_size);
+                }
+            }
+        }
+    }
+
+    // Traffic totals.
+    let mut transactions = 0u64;
+    let mut bytes_loaded = 0u64;
+    let mut bytes_stored = 0u64;
+    for a in &accesses {
+        let t = u64::from(a.sectors_bound) * a.executions;
+        transactions += t;
+        if a.is_load {
+            bytes_loaded += t * SECTOR_BYTES;
+        } else {
+            bytes_stored += t * SECTOR_BYTES;
+        }
+    }
+
+    let mut lints = Vec::new();
+    uncoalesced_lints(&accesses, &mut lints);
+    redundant_loads(program, &cfg, &addrs, warp_size, &mut lints);
+    dead_stores(program, &cfg, &addrs, warp_size, &mut lints);
+    lints.sort_by_key(|d| d.pc);
+
+    let exact = trace_exact && accesses.iter().all(|a| a.sectors.is_some());
+    MemoryAnalysis {
+        accesses,
+        lints,
+        exact,
+        trace_exact,
+        transactions_per_warp: transactions,
+        bytes_loaded_per_warp: bytes_loaded,
+        bytes_stored_per_warp: bytes_stored,
+        int_ops_per_warp,
+    }
+}
+
+fn uncoalesced_lints(accesses: &[AccessReport], lints: &mut Vec<Diagnostic>) {
+    for a in accesses {
+        let message = match a.pattern {
+            AccessPattern::Broadcast | AccessPattern::Coalesced => continue,
+            AccessPattern::Strided(k) => format!(
+                "{} has lane stride {k} words: {} sectors/warp where a coalesced layout needs 4",
+                if a.is_load { "load" } else { "store" },
+                a.sectors_bound
+            ),
+            AccessPattern::Unprovable => format!(
+                "{} address is not provably affine in the lane id: \
+                 scattered as far as the analyzer can tell (bound: {} sectors/warp)",
+                if a.is_load { "load" } else { "store" },
+                a.sectors_bound
+            ),
+        };
+        lints.push(Diagnostic {
+            kind: LintKind::UncoalescedAccess,
+            pc: a.pc,
+            message,
+        });
+    }
+}
+
+/// The symbolic location of each access, `None` when unprovable.
+fn access_locs(
+    program: &Program,
+    addrs: &crate::analysis::addr::AddrAnalysis,
+) -> Vec<(usize, Option<Loc>)> {
+    addrs
+        .accesses
+        .iter()
+        .map(|&(pc, val)| {
+            let offset = match program.fetch(pc) {
+                Instr::Ldg { offset, .. } | Instr::Stg { offset, .. } => offset,
+                _ => 0,
+            };
+            (pc, Loc::of(val, offset))
+        })
+        .collect()
+}
+
+/// Forward available-loads analysis (a *must* analysis: intersection at
+/// joins). A load is redundant when the provably-identical location is
+/// already available on every path with no intervening may-alias store.
+fn redundant_loads(
+    program: &Program,
+    cfg: &Cfg,
+    addrs: &crate::analysis::addr::AddrAnalysis,
+    warp_size: u32,
+    lints: &mut Vec<Diagnostic>,
+) {
+    let locs = access_locs(program, addrs);
+    let loc_at = |pc: usize| locs.iter().find(|(p, _)| *p == pc).and_then(|(_, l)| *l);
+
+    let transfer =
+        |avail: &mut Vec<Loc>, pc: usize, report: Option<&mut Vec<Diagnostic>>| match program
+            .fetch(pc)
+        {
+            Instr::Ldg { .. } => {
+                if let Some(l) = loc_at(pc) {
+                    if avail.contains(&l) {
+                        if let Some(lints) = report {
+                            lints.push(Diagnostic {
+                                kind: LintKind::RedundantLoad,
+                                pc,
+                                message: "loads a location already loaded on every path \
+                                          with no intervening may-alias store"
+                                    .to_string(),
+                            });
+                        }
+                    } else {
+                        avail.push(l);
+                    }
+                }
+            }
+            Instr::Stg { .. } => match loc_at(pc) {
+                Some(s) => avail.retain(|l| alias(s, *l, warp_size) == Alias::No),
+                None => {
+                    if !avail.is_empty() {
+                        if let Some(lints) = report {
+                            lints.push(Diagnostic {
+                                kind: LintKind::AliasUnprovable,
+                                pc,
+                                message: format!(
+                                    "store address is not provably affine: may alias {} \
+                                     earlier load(s), blocking redundancy proofs",
+                                    avail.len()
+                                ),
+                            });
+                        }
+                    }
+                    avail.clear();
+                }
+            },
+            _ => {}
+        };
+
+    // Fixpoint: None = top (unvisited), join = intersection.
+    let nb = cfg.blocks.len();
+    let mut state_in: Vec<Option<Vec<Loc>>> = vec![None; nb];
+    if nb > 0 {
+        state_in[0] = Some(Vec::new());
+    }
+    let mut work = vec![0usize];
+    while let Some(b) = work.pop() {
+        let Some(entry) = state_in[b].clone() else {
+            continue;
+        };
+        let mut avail = entry;
+        for pc in cfg.blocks[b].start..cfg.blocks[b].end {
+            transfer(&mut avail, pc, None);
+        }
+        for &s in &cfg.blocks[b].succs {
+            let changed = match &mut state_in[s] {
+                Some(existing) => {
+                    let before = existing.len();
+                    existing.retain(|l| avail.contains(l));
+                    existing.len() != before
+                }
+                slot @ None => {
+                    *slot = Some(avail.clone());
+                    true
+                }
+            };
+            if changed && !work.contains(&s) {
+                work.push(s);
+            }
+        }
+    }
+
+    // Reporting pass over the stabilized states.
+    for (b, blk) in cfg.blocks.iter().enumerate() {
+        let Some(entry) = state_in[b].clone() else {
+            continue;
+        };
+        let mut avail = entry;
+        for pc in blk.start..blk.end {
+            transfer(&mut avail, pc, Some(lints));
+        }
+    }
+    lints.dedup_by(|a, b| a.pc == b.pc && a.kind == b.kind);
+}
+
+/// Backward all-paths dead-store analysis. A store is dead when every path
+/// to `EXIT` overwrites the provably-identical location before any
+/// may-alias load observes it. Exit-reachable stores are live by
+/// definition — the launch harness reads memory after the kernel.
+fn dead_stores(
+    program: &Program,
+    cfg: &Cfg,
+    addrs: &crate::analysis::addr::AddrAnalysis,
+    warp_size: u32,
+    lints: &mut Vec<Diagnostic>,
+) {
+    let locs = access_locs(program, addrs);
+    let loc_at = |pc: usize| locs.iter().find(|(p, _)| *p == pc).and_then(|(_, l)| *l);
+
+    // overwritten[l]: on every path from this point, l is stored again
+    // before any may-alias load (and before EXIT makes memory observable).
+    let transfer =
+        |over: &mut Vec<Loc>, pc: usize, report: Option<&mut Vec<Diagnostic>>| match program
+            .fetch(pc)
+        {
+            Instr::Stg { .. } => {
+                if let Some(s) = loc_at(pc) {
+                    if over.contains(&s) {
+                        if let Some(lints) = report {
+                            lints.push(Diagnostic {
+                                kind: LintKind::DeadStore,
+                                pc,
+                                message: "stored value is overwritten on every path before \
+                                          any may-alias load or EXIT observes it"
+                                    .to_string(),
+                            });
+                        }
+                    } else {
+                        over.push(s);
+                    }
+                }
+            }
+            Instr::Ldg { .. } => match loc_at(pc) {
+                Some(l) => over.retain(|s| alias(*s, l, warp_size) == Alias::No),
+                None => over.clear(),
+            },
+            Instr::Exit => over.clear(),
+            _ => {}
+        };
+
+    // Backward fixpoint over reachable blocks; join = intersection.
+    let nb = cfg.blocks.len();
+    let preds = cfg.predecessors();
+    let mut state_out: Vec<Option<Vec<Loc>>> = vec![None; nb];
+    let mut work: Vec<usize> = Vec::new();
+    for (b, blk) in cfg.blocks.iter().enumerate() {
+        if !cfg.reachable[b] {
+            continue;
+        }
+        // Blocks that end the kernel (EXIT or fall-off) seed the analysis.
+        if blk.succs.is_empty() {
+            state_out[b] = Some(Vec::new());
+            work.push(b);
+        }
+    }
+    while let Some(b) = work.pop() {
+        let Some(exit_state) = state_out[b].clone() else {
+            continue;
+        };
+        let mut over = exit_state;
+        for pc in (cfg.blocks[b].start..cfg.blocks[b].end).rev() {
+            transfer(&mut over, pc, None);
+        }
+        for &p in &preds[b] {
+            let changed = match &mut state_out[p] {
+                Some(existing) => {
+                    let before = existing.len();
+                    existing.retain(|l| over.contains(l));
+                    existing.len() != before
+                }
+                slot @ None => {
+                    *slot = Some(over.clone());
+                    true
+                }
+            };
+            if changed && !work.contains(&p) {
+                work.push(p);
+            }
+        }
+    }
+
+    for (b, blk) in cfg.blocks.iter().enumerate() {
+        let Some(exit_state) = state_out[b].clone() else {
+            continue;
+        };
+        let mut over = exit_state;
+        for pc in (blk.start..blk.end).rev() {
+            transfer(&mut over, pc, Some(lints));
+        }
+    }
+    lints.dedup_by(|a, b| a.pc == b.pc && a.kind == b.kind);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::isa::{ProgramBuilder, Src};
+    use crate::machine::{Machine, WarpInit};
+
+    fn cfg() -> SmspConfig {
+        SmspConfig::default()
+    }
+
+    fn contracts1() -> MemContracts {
+        let mut c = MemContracts::new();
+        c.declare(1, 1, 32);
+        c
+    }
+
+    #[test]
+    fn coalesced_kernel_is_exact_and_lint_free() {
+        // Four coalesced loads, one coalesced store, through contract r1.
+        let mut b = ProgramBuilder::new();
+        for j in 0..4u16 {
+            b.ldg(10 + j, 1, u32::from(j) * 32);
+        }
+        b.iadd3(20, Src::Reg(10), Src::Reg(11), Src::Imm(0), false, false);
+        b.stg(20, 1, 128);
+        b.exit();
+        let p = b.build();
+        let m = analyze_memory(
+            &p,
+            &[1],
+            &contracts1(),
+            &RangeAssumptions::default(),
+            &ScheduleHints::default(),
+            &cfg(),
+        );
+        assert!(m.exact);
+        assert!(m.lints.is_empty(), "{:?}", m.lints);
+        assert_eq!(m.transactions_per_warp, 5 * 4); // 5 accesses × 4 sectors
+        assert_eq!(m.bytes_loaded_per_warp, 4 * 4 * 32);
+        assert_eq!(m.bytes_stored_per_warp, 4 * 32);
+        assert!(m
+            .accesses
+            .iter()
+            .all(|a| a.pattern == AccessPattern::Coalesced && a.wavefronts == 1));
+    }
+
+    #[test]
+    fn static_traffic_matches_simulator_for_affine_patterns() {
+        // Strides 0 (broadcast), 1 (coalesced), 3, 8 — static prediction
+        // must equal measured sectors exactly, per warp.
+        for stride in [0u32, 1, 3, 8] {
+            let mut b = ProgramBuilder::new();
+            b.ldg(10, 1, 5);
+            b.stg(10, 2, 9);
+            b.exit();
+            let p = b.build();
+            let mut contracts = MemContracts::new();
+            contracts.declare(1, stride, 32);
+            contracts.declare(2, stride, 32);
+            let m = analyze_memory(
+                &p,
+                &[1, 2],
+                &contracts,
+                &RangeAssumptions::default(),
+                &ScheduleHints::default(),
+                &cfg(),
+            );
+            assert!(m.exact);
+
+            let mut machine = Machine::new(cfg(), 4096);
+            let mut init = WarpInit::default();
+            let mut a1 = [0u32; 32];
+            let mut a2 = [0u32; 32];
+            for t in 0..32u32 {
+                a1[t as usize] = stride * t + 64; // base 64 ≡ 0 mod 8
+                a2[t as usize] = stride * t + 2048;
+            }
+            init.per_thread(1, a1);
+            init.per_thread(2, a2);
+            let r = machine.run(&p, &[init]);
+            assert_eq!(
+                m.transactions_per_warp, r.mem_transactions,
+                "stride {stride}"
+            );
+            assert_eq!(m.bytes_loaded_per_warp, r.dram_bytes_loaded);
+            assert_eq!(m.bytes_stored_per_warp, r.dram_bytes_stored);
+            assert_eq!(m.int_ops_per_warp, r.int_ops);
+        }
+    }
+
+    #[test]
+    fn scattered_gather_lints_and_is_unprovable() {
+        // Load an index, then gather through it: the second load's address
+        // is data-dependent, hence unprovable.
+        let mut b = ProgramBuilder::new();
+        b.ldg(10, 1, 0);
+        b.ldg(11, 10, 0);
+        b.stg(11, 2, 0);
+        b.exit();
+        let p = b.build();
+        let mut contracts = MemContracts::new();
+        contracts.declare(1, 1, 32);
+        contracts.declare(2, 1, 32);
+        let m = analyze_memory(
+            &p,
+            &[1, 2],
+            &contracts,
+            &RangeAssumptions::default(),
+            &ScheduleHints::default(),
+            &cfg(),
+        );
+        assert!(!m.exact);
+        let gather = m.accesses.iter().find(|a| a.pc == 1).unwrap();
+        assert_eq!(gather.pattern, AccessPattern::Unprovable);
+        assert_eq!(gather.sectors, None);
+        assert!(m
+            .lints
+            .iter()
+            .any(|d| d.kind == LintKind::UncoalescedAccess && d.pc == 1));
+    }
+
+    #[test]
+    fn redundant_load_fires_only_without_intervening_alias() {
+        // r1, r2 coalesced contracts on disjoint regions.
+        // load r1+0; store r2+0 (no-alias); load r1+0 again → redundant.
+        let mut b = ProgramBuilder::new();
+        b.ldg(10, 1, 0);
+        b.stg(10, 2, 0);
+        b.ldg(11, 1, 0);
+        b.stg(11, 2, 32);
+        b.exit();
+        let p = b.build();
+        let mut contracts = MemContracts::new();
+        contracts.declare(1, 1, 32);
+        contracts.declare(2, 1, 32);
+        let m = analyze_memory(
+            &p,
+            &[1, 2],
+            &contracts,
+            &RangeAssumptions::default(),
+            &ScheduleHints::default(),
+            &cfg(),
+        );
+        assert!(m
+            .lints
+            .iter()
+            .any(|d| d.kind == LintKind::RedundantLoad && d.pc == 2));
+    }
+
+    #[test]
+    fn may_alias_store_suppresses_redundant_load() {
+        // Same region, same affine location stored in between: the second
+        // load may observe the store, so it is NOT redundant.
+        let mut b = ProgramBuilder::new();
+        b.ldg(10, 1, 0);
+        b.stg(10, 1, 0); // must-alias store into the loaded location
+        b.ldg(11, 1, 0);
+        b.exit();
+        let p = b.build();
+        let m = analyze_memory(
+            &p,
+            &[1],
+            &contracts1(),
+            &RangeAssumptions::default(),
+            &ScheduleHints::default(),
+            &cfg(),
+        );
+        assert!(!m.lints.iter().any(|d| d.kind == LintKind::RedundantLoad));
+    }
+
+    #[test]
+    fn unprovable_store_blocks_redundancy_and_reports_alias() {
+        // An unprovable store between two identical loads: no
+        // RedundantLoad, and the blocker is named.
+        let mut b = ProgramBuilder::new();
+        b.ldg(10, 1, 0);
+        b.ldg(12, 1, 32); // r12 = data → unprovable address
+        b.stg(10, 12, 0);
+        b.ldg(11, 1, 0);
+        b.exit();
+        let p = b.build();
+        let m = analyze_memory(
+            &p,
+            &[1],
+            &contracts1(),
+            &RangeAssumptions::default(),
+            &ScheduleHints::default(),
+            &cfg(),
+        );
+        assert!(!m.lints.iter().any(|d| d.kind == LintKind::RedundantLoad));
+        assert!(m
+            .lints
+            .iter()
+            .any(|d| d.kind == LintKind::AliasUnprovable && d.pc == 2));
+    }
+
+    #[test]
+    fn dead_store_fires_and_exit_keeps_stores_live() {
+        // store r1+0; store r1+0 again → first is dead. The second store
+        // is observed by EXIT, hence live.
+        let mut b = ProgramBuilder::new();
+        b.stg(10, 1, 0);
+        b.stg(11, 1, 0);
+        b.exit();
+        let p = b.build();
+        let m = analyze_memory(
+            &p,
+            &[1, 10, 11],
+            &contracts1(),
+            &RangeAssumptions::default(),
+            &ScheduleHints::default(),
+            &cfg(),
+        );
+        let dead: Vec<usize> = m
+            .lints
+            .iter()
+            .filter(|d| d.kind == LintKind::DeadStore)
+            .map(|d| d.pc)
+            .collect();
+        assert_eq!(dead, vec![0]);
+    }
+
+    #[test]
+    fn intervening_load_keeps_store_live() {
+        let mut b = ProgramBuilder::new();
+        b.stg(10, 1, 0);
+        b.ldg(12, 1, 0); // observes the store
+        b.stg(11, 1, 0);
+        b.exit();
+        let p = b.build();
+        let m = analyze_memory(
+            &p,
+            &[1, 10, 11],
+            &contracts1(),
+            &RangeAssumptions::default(),
+            &ScheduleHints::default(),
+            &cfg(),
+        );
+        assert!(!m.lints.iter().any(|d| d.kind == LintKind::DeadStore));
+    }
+
+    #[test]
+    fn json_has_stable_schema() {
+        let mut b = ProgramBuilder::new();
+        b.ldg(10, 1, 0);
+        b.stg(10, 1, 32);
+        b.exit();
+        let p = b.build();
+        let m = analyze_memory(
+            &p,
+            &[1],
+            &contracts1(),
+            &RangeAssumptions::default(),
+            &ScheduleHints::default(),
+            &cfg(),
+        );
+        let j = m.to_json();
+        for key in [
+            "\"exact\"",
+            "\"transactions_per_warp\"",
+            "\"bytes_loaded_per_warp\"",
+            "\"bytes_stored_per_warp\"",
+            "\"int_ops_per_warp\"",
+            "\"arithmetic_intensity\"",
+            "\"accesses\"",
+            "\"pattern\"",
+            "\"lints\"",
+        ] {
+            assert!(j.contains(key), "missing {key} in {j}");
+        }
+    }
+}

@@ -22,7 +22,15 @@
 //!   Montgomery output bounds for the field kernels;
 //! - [`chainproof`] — exact symbolic chain certificates (sparse
 //!   polynomials over bounded symbols) that discharge the `< 2p`
-//!   obligations the interval domain provably cannot close.
+//!   obligations the interval domain provably cannot close;
+//! - [`addr`] — affine abstract domain over lane ids (`base + k·lane + c`)
+//!   with declared address contracts, exact per-warp 32B-sector counts,
+//!   and a decidable alias oracle for provably-affine accesses;
+//! - [`memory`] — static coalescing classification, per-warp
+//!   transaction/byte prediction matching the simulator's sector rule,
+//!   LSU wavefront timings for [`schedule::predict_schedule_mem`], static
+//!   arithmetic intensity for the roofline, and the memory lint suite
+//!   (uncoalesced / redundant-load / dead-store / alias-unprovable).
 //!
 //! # Examples
 //!
@@ -46,23 +54,31 @@
 //! assert!(a.metrics.max_live_regs >= 1);
 //! ```
 
+pub mod addr;
 pub mod cfg;
 pub mod chainproof;
 pub mod dataflow;
 pub mod lints;
+pub mod memory;
 pub mod metrics;
 pub mod ranges;
 pub mod schedule;
 
+pub use addr::{
+    affine_sectors, analyze_addresses, AccessPattern, AddrAnalysis, AddrContract, AffineVal,
+    MemContracts,
+};
 pub use cfg::{BasicBlock, Cfg};
 pub use dataflow::{Liveness, ReachingDefs, Resource, ResourceMap};
 pub use lints::{lint, lint_structural, Diagnostic, LintKind};
+pub use memory::{analyze_memory, AccessReport, MemoryAnalysis};
 pub use metrics::StaticMetrics;
 pub use ranges::{
     analyze_ranges, Interval, RangeAnalysis, RangeAssumptions, StoreBound, ValueBound,
 };
 pub use schedule::{
-    predict_schedule, BlockSchedule, BranchHint, ScheduleError, ScheduleHints, SchedulePrediction,
+    predict_schedule, predict_schedule_mem, BlockSchedule, BranchHint, MemTimings, ScheduleError,
+    ScheduleHints, SchedulePrediction,
 };
 
 use crate::isa::Program;

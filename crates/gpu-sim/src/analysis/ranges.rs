@@ -206,6 +206,10 @@ pub struct RangeAnalysis {
     pub diagnostics: Vec<Diagnostic>,
     /// Descriptions of the [`ValueBound`] obligations that were discharged.
     pub proved: Vec<String>,
+    /// Interval of the *address register* at every reachable `LDG`/`STG`,
+    /// in program order as `(pc, interval)` — the fallback bound the memory
+    /// analyzer uses when an access is not provably affine.
+    pub access_addrs: Vec<(usize, Interval)>,
 }
 
 impl RangeAnalysis {
@@ -551,6 +555,7 @@ pub fn analyze_ranges_with_cfg(
         store_bounds: Vec::new(),
         diagnostics: Vec::new(),
         proved: Vec::new(),
+        access_addrs: Vec::new(),
     };
     if program.is_empty() || cfg.blocks.is_empty() {
         for ob in obligations {
@@ -620,6 +625,9 @@ pub fn analyze_ranges_with_cfg(
                 false
             });
             let inst = program.fetch(pc);
+            if let Instr::Ldg { addr, .. } | Instr::Stg { addr, .. } = inst {
+                result.access_addrs.push((pc, st.regs[addr as usize]));
+            }
             if let Instr::Stg { src, addr, offset } = inst {
                 result.store_bounds.push(StoreBound {
                     pc,

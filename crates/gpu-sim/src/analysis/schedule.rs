@@ -76,6 +76,40 @@ impl ScheduleHints {
     }
 }
 
+/// Per-pc LSU wavefront counts for `LDG`/`STG` instructions, produced by
+/// the memory analyzer ([`crate::analysis::memory`]) and consumed by the
+/// schedule predictor so Long-Scoreboard stalls scale with serialized
+/// sector transactions instead of one flat latency.
+///
+/// Unlisted pcs default to one wavefront — the fully coalesced (or
+/// broadcast) case, which is also what an access with no contract
+/// information optimistically costs.
+#[derive(Debug, Clone, Default)]
+pub struct MemTimings {
+    wavefronts: Vec<(usize, u64)>,
+}
+
+impl MemTimings {
+    /// An empty table: every access costs one wavefront.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records the wavefront count of the access at `pc` (last write wins).
+    pub fn set(&mut self, pc: usize, wavefronts: u64) {
+        self.wavefronts.push((pc, wavefronts.max(1)));
+    }
+
+    /// Wavefronts of the access at `pc` (default 1).
+    pub fn get(&self, pc: usize) -> u64 {
+        self.wavefronts
+            .iter()
+            .rev()
+            .find(|(p, _)| *p == pc)
+            .map_or(1, |(_, w)| *w)
+    }
+}
+
 /// Why a static schedule could not be constructed.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum ScheduleError {
@@ -226,7 +260,7 @@ impl SchedulePrediction {
 
 /// Default cap on static trace length (instructions), far above any
 /// generated kernel but low enough to catch runaway constant-folded loops.
-const TRACE_LIMIT: usize = 1 << 23;
+pub(crate) const TRACE_LIMIT: usize = 1 << 23;
 
 /// Predicts the schedule of `program` on `warps` identical resident warps
 /// of an SMSP described by `config`, without running the simulator.
@@ -240,12 +274,29 @@ pub fn predict_schedule(
     warps: u32,
     hints: &ScheduleHints,
 ) -> Result<SchedulePrediction, ScheduleError> {
+    predict_schedule_mem(program, config, warps, hints, &MemTimings::default())
+}
+
+/// [`predict_schedule`] with per-access LSU wavefront counts from the
+/// memory analyzer: `LDG`/`STG` port occupancy and the `LDG` latency tail
+/// scale with each access's serialized sector transactions, exactly
+/// mirroring the simulator's coalescing-aware timing. With an empty
+/// [`MemTimings`] every access costs one wavefront (the coalesced case),
+/// which is what [`predict_schedule`] assumes.
+pub fn predict_schedule_mem(
+    program: &Program,
+    config: &SmspConfig,
+    warps: u32,
+    hints: &ScheduleHints,
+    mem: &MemTimings,
+) -> Result<SchedulePrediction, ScheduleError> {
     if program.is_empty() {
         return Err(ScheduleError::EmptyProgram);
     }
     let warps = warps.max(1);
     let trace = build_trace(program, hints, TRACE_LIMIT)?;
-    let (cycles, stalls, no_eligible) = scoreboard_walk(program, &trace, config, warps as usize);
+    let (cycles, stalls, no_eligible) =
+        scoreboard_walk(program, &trace, config, warps as usize, mem);
     let map = ResourceMap::of(program);
     let critical_path = critical_path_cycles(program, &trace, config, &map);
 
@@ -254,13 +305,14 @@ pub fn predict_schedule(
         .iter()
         .filter(|&&pc| program.fetch(pc).uses_int32_pipe())
         .count() as u64;
-    let mem_instrs = trace
+    let mem_port_cycles: u64 = trace
         .iter()
         .filter(|&&pc| matches!(program.fetch(pc), Instr::Ldg { .. } | Instr::Stg { .. }))
-        .count() as u64;
+        .map(|&pc| mem.get(pc))
+        .sum();
     let total_cycles = cycles.max(1) as f64;
     let graph = Cfg::build(program);
-    let blocks = block_schedules(program, &graph, config, &map);
+    let blocks = block_schedules(program, &graph, config, &map, mem);
 
     Ok(SchedulePrediction {
         cycles,
@@ -272,7 +324,7 @@ pub fn predict_schedule(
         critical_path,
         ilp_headroom: critical_path as f64 / trace.len().max(1) as f64 / int32_interval as f64,
         int32_utilization: (int32_instrs * int32_interval * u64::from(warps)) as f64 / total_cycles,
-        mem_utilization: (mem_instrs * int32_interval * u64::from(warps)) as f64 / total_cycles,
+        mem_utilization: (mem_port_cycles * u64::from(warps)) as f64 / total_cycles,
         blocks,
     })
 }
@@ -307,7 +359,7 @@ impl ConstState {
 
 /// Walks `program` from the entry, folding warp-uniform constants to
 /// resolve branch outcomes, and returns the issued-pc trace.
-fn build_trace(
+pub(crate) fn build_trace(
     program: &Program,
     hints: &ScheduleHints,
     limit: usize,
@@ -534,7 +586,13 @@ fn dep_ready(w: &WarpTiming, inst: &Instr) -> (u64, bool) {
 
 /// Writes the issued instruction's result latencies into the scoreboard —
 /// mirrors the latency updates of `machine::execute`.
-fn apply_latencies(w: &mut WarpTiming, inst: &Instr, cycle: u64, cfg: &SmspConfig) {
+fn apply_latencies(
+    w: &mut WarpTiming,
+    inst: &Instr,
+    cycle: u64,
+    cfg: &SmspConfig,
+    mem_serial: u64,
+) {
     match *inst {
         Instr::Imad { dst, set_cc, .. } => {
             w.reg_ready[dst as usize] = cycle + cfg.imad_latency;
@@ -561,7 +619,7 @@ fn apply_latencies(w: &mut WarpTiming, inst: &Instr, cycle: u64, cfg: &SmspConfi
             w.pred_ready[pred as usize] = cycle + cfg.alu_latency;
         }
         Instr::Ldg { dst, .. } => {
-            w.reg_ready[dst as usize] = cycle + cfg.mem_latency;
+            w.reg_ready[dst as usize] = cycle + cfg.mem_latency + mem_serial;
             w.reg_mem[dst as usize] = true;
         }
         Instr::Stg { .. } | Instr::Bra { .. } | Instr::Exit => {}
@@ -575,6 +633,7 @@ fn scoreboard_walk(
     trace: &[usize],
     cfg: &SmspConfig,
     warps: usize,
+    mem: &MemTimings,
 ) -> (u64, StallBreakdown, u64) {
     let num_regs = cfg
         .num_regs
@@ -663,13 +722,17 @@ fn scoreboard_walk(
         if let Some(i) = pick {
             last_issued = i;
             let w = &mut state[i];
-            let inst = program.fetch(trace[w.pos]);
+            let pc = trace[w.pos];
+            let inst = program.fetch(pc);
+            let mut mem_serial = 0u64;
             if inst.uses_int32_pipe() {
                 int32_free_at = cycle + int32_interval;
             } else if matches!(inst, Instr::Ldg { .. } | Instr::Stg { .. }) {
-                mem_free_at = cycle + int32_interval;
+                let wavefronts = mem.get(pc);
+                mem_free_at = cycle + wavefronts;
+                mem_serial = wavefronts - 1;
             }
-            apply_latencies(w, &inst, cycle, cfg);
+            apply_latencies(w, &inst, cycle, cfg, mem_serial);
             w.pos += 1;
             if w.pos == trace.len() {
                 w.done = true;
@@ -745,6 +808,7 @@ fn block_schedules(
     graph: &Cfg,
     cfg: &SmspConfig,
     map: &ResourceMap,
+    mem: &MemTimings,
 ) -> Vec<BlockSchedule> {
     graph
         .blocks
@@ -753,7 +817,7 @@ fn block_schedules(
         .filter(|(b, _)| graph.reachable[*b])
         .map(|(b, blk)| {
             let range: Vec<usize> = (blk.start..blk.end).collect();
-            let (issue_cycles, stalls, _) = scoreboard_walk(program, &range, cfg, 1);
+            let (issue_cycles, stalls, _) = scoreboard_walk(program, &range, cfg, 1, mem);
             BlockSchedule {
                 block: b,
                 start: blk.start,

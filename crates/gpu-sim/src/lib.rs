@@ -53,5 +53,5 @@ pub mod transfer;
 pub use device::{catalog, Architecture, DeviceSpec};
 pub use machine::{Machine, SimResult, SmspConfig, StallBreakdown, WarpInit};
 pub use occupancy::{occupancy, LaunchConfig, Occupancy};
-pub use roofline::{Roofline, RooflinePoint};
+pub use roofline::{Bound, Roofline, RooflinePoint};
 pub use transfer::{combine, transfer_seconds, PhaseTime, TransferMode};

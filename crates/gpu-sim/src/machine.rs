@@ -33,6 +33,10 @@ pub struct SmspConfig {
     /// Result latency of `LDG` (L1-hit-ish default; the FF microbenchmarks
     /// "limit expensive memory accesses", §IV-B).
     pub mem_latency: u64,
+    /// 32-byte sectors the LSU datapath moves per cycle (128 B on every
+    /// generation studied); a warp access occupies the LSU for
+    /// `ceil(sectors / lsu_sectors_per_cycle)` wavefront cycles.
+    pub lsu_sectors_per_cycle: u32,
     /// Architectural registers per thread.
     pub num_regs: usize,
     /// Safety limit on simulated cycles.
@@ -47,10 +51,40 @@ impl Default for SmspConfig {
             imad_latency: 4,
             alu_latency: 2,
             mem_latency: 30,
+            lsu_sectors_per_cycle: 4,
             num_regs: 256,
             max_cycles: 200_000_000,
         }
     }
+}
+
+/// Words (32-bit) per 32-byte DRAM/L2 sector.
+pub const SECTOR_WORDS: u64 = 8;
+/// Bytes per sector — the granularity Nsight's transaction counters use.
+pub const SECTOR_BYTES: u64 = 32;
+
+/// Number of distinct 32-byte sectors touched by a set of word addresses
+/// (one warp access). This is the warp's sector-transaction count.
+pub fn sectors_touched(addrs: impl IntoIterator<Item = u64>) -> u32 {
+    let mut sectors: Vec<u64> = addrs.into_iter().map(|a| a / SECTOR_WORDS).collect();
+    sectors.sort_unstable();
+    sectors.dedup();
+    sectors.len() as u32
+}
+
+/// LSU wavefronts (serialized datapath cycles) needed to move `sectors`
+/// 32-byte sectors through a `lsu_sectors_per_cycle`-wide datapath.
+pub fn wavefronts_for(sectors: u32, lsu_sectors_per_cycle: u32) -> u64 {
+    u64::from(sectors.div_ceil(lsu_sectors_per_cycle.max(1)).max(1))
+}
+
+/// Upper bound on the sectors one warp access can touch when each lane's
+/// address is only known to lie in `[lo, hi]` (word addresses): the number
+/// of sectors the interval spans, capped at one sector per lane. The
+/// static analyzer's interval-domain fallback.
+pub fn sectors_touched_bound(lo: u64, hi: u64, warp_size: u32) -> u32 {
+    let span = (hi / SECTOR_WORDS).saturating_sub(lo / SECTOR_WORDS) + 1;
+    span.min(u64::from(warp_size)) as u32
 }
 
 impl From<&DeviceSpec> for SmspConfig {
@@ -117,6 +151,18 @@ pub struct SimResult {
     pub bytes_loaded: u64,
     /// Bytes written to global memory.
     pub bytes_stored: u64,
+    /// Warp-level 32-byte sector transactions (loads + stores) — the
+    /// Nsight-style traffic counter the coalescing model produces.
+    pub mem_transactions: u64,
+    /// Sector transactions from `LDG` alone.
+    pub load_transactions: u64,
+    /// Sector transactions from `STG` alone.
+    pub store_transactions: u64,
+    /// DRAM-level bytes read (`load_transactions × 32`): requested bytes
+    /// rounded up to whole sectors.
+    pub dram_bytes_loaded: u64,
+    /// DRAM-level bytes written (`store_transactions × 32`).
+    pub dram_bytes_stored: u64,
     /// Thread-level integer operations (IMAD weighted 2, others 1) — the
     /// roofline numerator (§IV-C1).
     pub int_ops: u64,
@@ -180,10 +226,17 @@ impl SimResult {
             .map_or("NONE", |(m, _)| m)
     }
 
-    /// Arithmetic intensity in INTOP/byte (roofline x-axis). Returns
-    /// `f64::INFINITY` for register-resident kernels with no traffic.
+    /// Total DRAM-level bytes moved (sector-granular, both directions).
+    pub fn dram_bytes(&self) -> u64 {
+        self.dram_bytes_loaded + self.dram_bytes_stored
+    }
+
+    /// Arithmetic intensity in INTOP/byte (roofline x-axis), against the
+    /// sector-granular DRAM traffic the memory system actually moves.
+    /// Returns `f64::INFINITY` for register-resident kernels with no
+    /// traffic.
     pub fn arithmetic_intensity(&self) -> f64 {
-        let bytes = self.bytes_loaded + self.bytes_stored;
+        let bytes = self.dram_bytes();
         if bytes == 0 {
             return f64::INFINITY;
         }
@@ -297,6 +350,11 @@ impl Machine {
             dynamic_mix: Vec::new(),
             bytes_loaded: 0,
             bytes_stored: 0,
+            mem_transactions: 0,
+            load_transactions: 0,
+            store_transactions: 0,
+            dram_bytes_loaded: 0,
+            dram_bytes_stored: 0,
             int_ops: 0,
             no_eligible_cycles: 0,
         };
@@ -396,6 +454,7 @@ impl Machine {
                 result.instructions += 1;
 
                 // Structural occupancy.
+                let mut mem_serial = 0u64;
                 if inst.uses_int32_pipe() {
                     int32_free_at = cycle + int32_interval;
                     let weight = if matches!(inst, Instr::Imad { .. }) {
@@ -404,11 +463,41 @@ impl Machine {
                         1
                     };
                     result.int_ops += weight * active_count;
-                } else if matches!(inst, Instr::Ldg { .. } | Instr::Stg { .. }) {
-                    mem_free_at = cycle + int32_interval;
+                } else if let Instr::Ldg { addr, offset, .. } | Instr::Stg { addr, offset, .. } =
+                    inst
+                {
+                    // Warp-level coalescing: the access costs one LSU
+                    // wavefront per `lsu_sectors_per_cycle` distinct 32-byte
+                    // sectors it touches; a fully coalesced warp access
+                    // occupies the port for a single cycle, so memory
+                    // throughput scales with warps in flight.
+                    let sectors = sectors_touched(
+                        (0..cfg.warp_size as usize)
+                            .filter(|t| w.active >> t & 1 == 1)
+                            .map(|t| u64::from(w.regs[addr as usize][t]) + u64::from(offset)),
+                    );
+                    let wavefronts = wavefronts_for(sectors, cfg.lsu_sectors_per_cycle);
+                    mem_free_at = cycle + wavefronts;
+                    mem_serial = wavefronts - 1;
+                    result.mem_transactions += u64::from(sectors);
+                    if matches!(inst, Instr::Ldg { .. }) {
+                        result.load_transactions += u64::from(sectors);
+                        result.dram_bytes_loaded += u64::from(sectors) * SECTOR_BYTES;
+                    } else {
+                        result.store_transactions += u64::from(sectors);
+                        result.dram_bytes_stored += u64::from(sectors) * SECTOR_BYTES;
+                    }
                 }
 
-                execute(w, &inst, cycle, &cfg, &mut self.global_mem, &mut result);
+                execute(
+                    w,
+                    &inst,
+                    cycle,
+                    &cfg,
+                    mem_serial,
+                    &mut self.global_mem,
+                    &mut result,
+                );
             } else if statuses.iter().any(|s| s.is_some()) {
                 result.no_eligible_cycles += 1;
             }
@@ -496,6 +585,7 @@ fn execute(
     inst: &Instr,
     cycle: u64,
     cfg: &SmspConfig,
+    mem_serial: u64,
     mem: &mut [u32],
     result: &mut SimResult,
 ) {
@@ -668,7 +758,10 @@ fn execute(
                 w.regs[dst as usize][t] = mem[idx];
             }
             result.bytes_loaded += 4 * lanes.len() as u64;
-            w.reg_ready[dst as usize] = cycle + cfg.mem_latency;
+            // The last sector wavefront returns `mem_serial` cycles after
+            // the first — Long-Scoreboard latency grows with serialized
+            // transactions.
+            w.reg_ready[dst as usize] = cycle + cfg.mem_latency + mem_serial;
             w.reg_mem_pending[dst as usize] = true;
             w.pc += 1;
         }
@@ -750,8 +843,100 @@ mod tests {
         }
         assert_eq!(res.bytes_loaded, 128);
         assert_eq!(res.bytes_stored, 128);
+        // Coalesced: 32 consecutive words = 4 sectors per access.
+        assert_eq!(res.load_transactions, 4);
+        assert_eq!(res.store_transactions, 4);
+        assert_eq!(res.mem_transactions, 8);
+        assert_eq!(res.dram_bytes_loaded, 128);
+        assert_eq!(res.dram_bytes_stored, 128);
         // The dependent IADD3 waits out the memory latency -> Other stalls.
         assert!(res.stalls.other > 0);
+    }
+
+    #[test]
+    fn sector_counting_matches_access_shape() {
+        // Broadcast (every lane the same address) = 1 sector; coalesced
+        // tid-addressing = 4 sectors; stride-8 words = one sector per lane.
+        let mut b = ProgramBuilder::new();
+        b.ldg(1, 0, 0);
+        b.exit();
+        let p = b.build();
+        type AddrShape = (fn(usize) -> u32, u64);
+        let shapes: [AddrShape; 3] = [(|_| 0, 1), (|t| t as u32, 4), (|t| 8 * t as u32, 32)];
+        for (addr_of, sectors) in shapes {
+            let mut init = WarpInit::default();
+            let mut addrs = [0u32; 32];
+            for (t, a) in addrs.iter_mut().enumerate() {
+                *a = addr_of(t);
+            }
+            init.per_thread(0, addrs);
+            let mut m = Machine::new(SmspConfig::default(), 256);
+            let res = m.run(&p, &[init]);
+            assert_eq!(res.mem_transactions, sectors);
+            assert_eq!(res.dram_bytes_loaded, sectors * 32);
+        }
+    }
+
+    #[test]
+    fn multi_warp_memory_throughput_is_not_halved() {
+        // Regression for the old flat `mem_free_at = cycle + 2` port model:
+        // a fully coalesced access must occupy the LSU for one cycle, so N
+        // warps of back-to-back independent loads issue at ~1 load/cycle.
+        let mut b = ProgramBuilder::new();
+        for k in 0..16u16 {
+            b.ldg(1 + k, 0, 0);
+        }
+        b.exit();
+        let p = b.build();
+        let mut tids = [0u32; 32];
+        for (t, v) in tids.iter_mut().enumerate() {
+            *v = t as u32;
+        }
+        let warp = || {
+            let mut init = WarpInit::default();
+            init.per_thread(0, tids);
+            init
+        };
+        let inits: Vec<WarpInit> = (0..8).map(|_| warp()).collect();
+        let mut m = Machine::new(SmspConfig::default(), 32);
+        let res = m.run(&p, &inits);
+        // 8 warps x 16 coalesced loads = 128 port cycles; the old model
+        // charged 2 cycles per access (>= 256 cycles end to end).
+        assert_eq!(res.mem_transactions, 8 * 16 * 4);
+        assert!(res.cycles >= 128, "port-limited: {}", res.cycles);
+        assert!(
+            res.cycles < 200,
+            "halved-throughput port model: {}",
+            res.cycles
+        );
+    }
+
+    #[test]
+    fn scattered_access_serializes_and_extends_latency() {
+        // A stride-8 (one sector per lane) load costs 8 wavefronts on the
+        // port and its consumer waits the serialization tail on top of the
+        // base latency.
+        let run = |stride: u32| {
+            let mut b = ProgramBuilder::new();
+            b.ldg(1, 0, 0);
+            b.iadd3(2, r(1), imm(1), imm(0), false, false);
+            b.stg(2, 0, 0);
+            b.exit();
+            let p = b.build();
+            let mut init = WarpInit::default();
+            let mut addrs = [0u32; 32];
+            for (t, a) in addrs.iter_mut().enumerate() {
+                *a = stride * t as u32;
+            }
+            init.per_thread(0, addrs);
+            let mut m = Machine::new(SmspConfig::default(), 256);
+            m.run(&p, &[init])
+        };
+        let coalesced = run(1);
+        let scattered = run(8);
+        // 8 wavefronts vs 1: the consumer sees 7 extra latency cycles.
+        assert_eq!(scattered.cycles, coalesced.cycles + 7);
+        assert!(scattered.stalls.other > coalesced.stalls.other);
     }
 
     #[test]

@@ -9,6 +9,25 @@
 use crate::device::DeviceSpec;
 use crate::machine::SimResult;
 
+/// Which ceiling limits a kernel at its arithmetic intensity.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Bound {
+    /// Left of the knee: the DRAM bandwidth roof is the binding ceiling.
+    Memory,
+    /// At or right of the knee: the INT32 compute ceiling binds.
+    Compute,
+}
+
+impl Bound {
+    /// Report label.
+    pub fn label(&self) -> &'static str {
+        match self {
+            Bound::Memory => "memory-bound",
+            Bound::Compute => "compute-bound",
+        }
+    }
+}
+
 /// One point plotted inside the roofline envelope.
 #[derive(Debug, Clone, PartialEq)]
 pub struct RooflinePoint {
@@ -56,6 +75,17 @@ impl Roofline {
         self.peak_gintops / self.dram_gbs
     }
 
+    /// Classifies an arithmetic intensity: which ceiling binds there. Used
+    /// identically by measured ([`Roofline::place`]) and static
+    /// ([`Roofline::place_static`]) points.
+    pub fn bound(&self, ai: f64) -> Bound {
+        if ai < self.knee() {
+            Bound::Memory
+        } else {
+            Bound::Compute
+        }
+    }
+
     /// Positions a simulated kernel in the envelope. The simulation covers
     /// one SMSP; performance scales by the device's SMSP count, as per-SM
     /// behaviour is constant (§IV-D).
@@ -64,6 +94,28 @@ impl Roofline {
         let smsps = f64::from(device.sm_count * device.smsp_per_sm);
         let gintops = sim.int_ops as f64 * smsps / seconds / 1e9;
         let ai = sim.arithmetic_intensity();
+        RooflinePoint {
+            label: label.to_owned(),
+            arithmetic_intensity: ai,
+            gintops,
+            compute_fraction: gintops / self.peak_gintops,
+        }
+    }
+
+    /// Positions a kernel from *static* analysis alone: predicted issue
+    /// cycles (one warp-set on one SMSP), static INT32 ops per warp ×
+    /// resident warps, and static arithmetic intensity — no execution.
+    pub fn place_static(
+        &self,
+        device: &DeviceSpec,
+        label: &str,
+        predicted_cycles: u64,
+        int_ops: u64,
+        ai: f64,
+    ) -> RooflinePoint {
+        let seconds = predicted_cycles as f64 / (device.clock_ghz * 1e9);
+        let smsps = f64::from(device.sm_count * device.smsp_per_sm);
+        let gintops = int_ops as f64 * smsps / seconds / 1e9;
         RooflinePoint {
             label: label.to_owned(),
             arithmetic_intensity: ai,
@@ -87,6 +139,14 @@ mod tests {
         let knee = r.knee();
         assert!(r.attainable(knee * 0.5) < r.peak_gintops);
         assert_eq!(r.attainable(knee * 10.0), r.peak_gintops);
+    }
+
+    #[test]
+    fn bound_flips_at_the_knee() {
+        let r = Roofline::of(&a40());
+        let knee = r.knee();
+        assert_eq!(r.bound(knee * 0.5), Bound::Memory);
+        assert_eq!(r.bound(knee * 2.0), Bound::Compute);
     }
 
     #[test]

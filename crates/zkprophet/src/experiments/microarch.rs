@@ -41,17 +41,12 @@ pub fn render_fig9(roof: &Roofline, points: &[RooflinePoint]) -> String {
         &["Op", "AI (intop/B)", "GINTOP/s", "% of peak", "bound"],
     );
     for p in points {
-        let bound = if p.arithmetic_intensity < roof.knee() {
-            "memory"
-        } else {
-            "compute"
-        };
         t.row(vec![
             p.label.clone(),
             f(p.arithmetic_intensity),
             f(p.gintops),
             f(100.0 * p.compute_fraction),
-            bound.into(),
+            roof.bound(p.arithmetic_intensity).label().into(),
         ]);
     }
     t.row(vec![

@@ -53,6 +53,12 @@ pub fn full_report(device: &DeviceSpec) -> String {
         &generations,
     ));
     out += "\n";
+    out += &static_analysis::render_memory_report(&static_analysis::memory_report());
+    out += "\n";
+    out += &static_analysis::render_static_roofline_report(
+        &static_analysis::static_roofline_report(&gpu_sim::device::catalog()),
+    );
+    out += "\n";
     out += &static_analysis::render_range_proof_report(&static_analysis::range_proof_report());
     out += "\n";
     out += &scaling::render_fig11(&scaling::fig11());

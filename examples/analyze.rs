@@ -1,9 +1,9 @@
 //! `analyze` — machine-readable static analysis of the kernel zoo.
 //!
 //! Runs every analyzer pass (metrics, lints, scoreboard schedule
-//! prediction, value-range proofs) over the generated kernels without
-//! ever invoking the simulator, and emits one JSON array on stdout —
-//! the shape a CI gate or dashboard would ingest.
+//! prediction, memory-access analysis, value-range proofs) over the
+//! generated kernels without ever invoking the simulator, and emits one
+//! JSON array on stdout — the shape a CI gate or dashboard would ingest.
 //!
 //! Usage: `analyze [device] [kernel-substring]`
 //!
@@ -94,10 +94,25 @@ fn main() {
             .iter()
             .map(|d| json_str(&d.to_string()))
             .collect();
-        let schedule =
-            analysis::predict_schedule(&entry.program, &config, warps, &entry.facts.hints)
-                .map(|p| p.to_json())
-                .unwrap_or_else(|e| format!("{{\"error\":{}}}", json_str(&e.to_string())));
+        let memory = analysis::analyze_memory(
+            &entry.program,
+            &entry.inputs,
+            &entry.facts.contracts,
+            &entry.facts.assumptions,
+            &entry.facts.hints,
+            &config,
+        );
+        // Memory-aware prediction: strided (AoS) kernels issue multiple
+        // LSU wavefronts per access, which the schedule must charge.
+        let schedule = analysis::predict_schedule_mem(
+            &entry.program,
+            &config,
+            warps,
+            &entry.facts.hints,
+            &memory.mem_timings(),
+        )
+        .map(|p| p.to_json())
+        .unwrap_or_else(|e| format!("{{\"error\":{}}}", json_str(&e.to_string())));
         let ranges = analysis::analyze_ranges(
             &entry.program,
             &entry.facts.assumptions,
@@ -105,7 +120,7 @@ fn main() {
         );
         objects.push(format!(
             "{{\"kernel\":{},\"field\":{},\"device\":{},\"warps\":{},\
-             \"metrics\":{},\"lints\":[{}],\"schedule\":{},\"ranges\":{}}}",
+             \"metrics\":{},\"lints\":[{}],\"schedule\":{},\"memory\":{},\"ranges\":{}}}",
             json_str(&entry.name),
             json_str(entry.field),
             json_str(device.name),
@@ -113,6 +128,7 @@ fn main() {
             metrics.to_json(),
             lints.join(","),
             schedule,
+            memory.to_json(),
             ranges.to_json()
         ));
     }
