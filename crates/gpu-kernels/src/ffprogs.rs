@@ -470,19 +470,18 @@ fn emit_cios(b: &mut ProgramBuilder, field: &Field32, b_base: u16) {
     }
     for i in 0..n {
         let a_i = r(regs::A0 + i);
-        // In the final row the t[n]/t[n+1] overflow words are never read
-        // again (spare-bit moduli keep the result in n limbs), so their
-        // bookkeeping is skipped — it would be pure dead writes.
-        let last = i == n - 1;
+        // Every row emits the same t[n]/t[n+1] overflow-word schema, final
+        // row included. In the final row those words are never read again
+        // (spare-bit moduli keep the result in n limbs), but proving that
+        // — and removing the bookkeeping with an equivalence certificate —
+        // is the optimizer's job (`analysis::opt`), not the generator's.
         // Low-product pass: t[j] += lo(a_i·b_j), chained carries.
         b.imad(t, a_i, r(b_base), r(t), false, true, false);
         for j in 1..n {
             b.imad(t + j, a_i, r(b_base + j), r(t + j), false, true, true);
         }
         b.iadd3(t_n, r(t_n), imm(0), imm(0), true, true);
-        if !last {
-            b.iadd3(t_n1, r(t_n1), imm(0), imm(0), false, true);
-        }
+        b.iadd3(t_n1, r(t_n1), imm(0), imm(0), false, true);
         // High-product pass: t[j+1] += hi(a_i·b_j).
         b.imad(t + 1, a_i, r(b_base), r(t + 1), true, true, false);
         for j in 1..n {
@@ -496,9 +495,7 @@ fn emit_cios(b: &mut ProgramBuilder, field: &Field32, b_base: u16) {
                 true,
             );
         }
-        if !last {
-            b.iadd3(t_n1, r(t_n1), imm(0), imm(0), false, true);
-        }
+        b.iadd3(t_n1, r(t_n1), imm(0), imm(0), false, true);
 
         // Montgomery reduction row: m = t[0]·inv32 mod 2^32.
         b.imad(regs::M, r(t), imm(field.inv32), imm(0), false, false, false);
@@ -524,14 +521,9 @@ fn emit_cios(b: &mut ProgramBuilder, field: &Field32, b_base: u16) {
             );
         }
         b.iadd3(t_n - 1, r(t_n), imm(0), imm(0), true, true);
-        if !last {
-            b.iadd3(t_n, r(t_n1), imm(0), imm(0), false, true);
-            // Re-zero t[n+1] for the next row — unless the next row is the
-            // last, which never accumulates into it.
-            if i + 2 < n {
-                b.mov(t_n1, imm(0));
-            }
-        }
+        b.iadd3(t_n, r(t_n1), imm(0), imm(0), false, true);
+        // Re-zero t[n+1] for the next row.
+        b.mov(t_n1, imm(0));
         // High pass of m·p (indices already shifted down).
         b.imad(
             t,
@@ -553,9 +545,7 @@ fn emit_cios(b: &mut ProgramBuilder, field: &Field32, b_base: u16) {
                 true,
             );
         }
-        if !last {
-            b.iadd3(t_n, r(t_n), imm(0), imm(0), false, true);
-        }
+        b.iadd3(t_n, r(t_n), imm(0), imm(0), false, true);
     }
 }
 

@@ -12,6 +12,7 @@ pub mod ffprogs;
 pub mod field32;
 pub mod libraries;
 pub mod microbench;
+pub mod optimized;
 
 pub use ffprogs::{ff_program, FfOp};
 pub use field32::{join_limbs, split_limbs, Field32};
@@ -19,4 +20,5 @@ pub use libraries::{
     cpu_msm_seconds, cpu_ntt_seconds, kernel_costs, msm_estimate, ntt_estimate, KernelCosts,
     LibraryId, PhaseEstimate,
 };
-pub use microbench::{bench_ff_op, run_ff_op, FfInputs, FfOpReport};
+pub use microbench::{bench_ff_op, run_ff_op, run_ff_program, FfInputs, FfOpReport};
+pub use optimized::{optimize_kernel, optimized_zoo, OptimizedKernel, OPT_WARPS};

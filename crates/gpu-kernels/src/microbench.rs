@@ -88,6 +88,29 @@ pub fn run_ff_op(
     warps: usize,
     iters: u32,
 ) -> FfOpReport {
+    let program = ff_program(field, op, iters);
+    run_ff_program(&program, field, op, config, inputs, warps, iters)
+}
+
+/// [`run_ff_op`] for an explicit program — the same launch harness
+/// (warp-interleaved operand layout, per-warp pointer registers) applied
+/// to any program with the `ff_program` ABI. This is how optimized
+/// variants of a kernel are simulated against the original: same inputs,
+/// same machine, different instruction stream.
+///
+/// # Panics
+///
+/// Panics if `inputs` does not provide `warps × 32` operand pairs.
+#[allow(clippy::too_many_arguments)]
+pub fn run_ff_program(
+    program: &gpu_sim::isa::Program,
+    field: &Field32,
+    op: FfOp,
+    config: &SmspConfig,
+    inputs: &FfInputs,
+    warps: usize,
+    iters: u32,
+) -> FfOpReport {
     let n = field.num_limbs();
     let threads = warps * 32;
     assert_eq!(inputs.a.len(), threads, "need one `a` per thread");
@@ -107,7 +130,6 @@ pub fn run_ff_op(
         }
     }
 
-    let program = ff_program(field, op, iters);
     let warp_inits: Vec<WarpInit> = (0..warps)
         .map(|w| {
             let mut init = WarpInit::default();
@@ -127,7 +149,7 @@ pub fn run_ff_op(
         })
         .collect();
 
-    let sim = machine.run(&program, &warp_inits);
+    let sim = machine.run(program, &warp_inits);
     let outputs = (0..threads)
         .map(|t| {
             (0..n)

@@ -1,13 +1,17 @@
 //! Static-analysis gate: every kernel the generators emit — all five
 //! `FfOp`s over all four fields, plus both curve kernels — must pass the
-//! `gpu_sim::analysis` lint suite with zero diagnostics, and deliberately
-//! broken programs must be rejected with diagnostics naming the pc and
-//! register. This is the micro-ISA's substitute for a compiler front end.
+//! `gpu_sim::analysis` lint suite with zero error-severity diagnostics,
+//! and deliberately broken programs must be rejected with diagnostics
+//! naming the pc and register. This is the micro-ISA's substitute for a
+//! compiler front end. Dead-write *warnings* are tolerated on the raw FF
+//! generator output: the CIOS emitter ships the uniform overflow-word
+//! schema and `analysis::opt` removes it with an equivalence certificate
+//! (the optimizer gate asserts the optimized kernels are warning-free).
 
 use gpu_kernels::curveprogs::{butterfly_program, xyzz_madd_program};
 use gpu_kernels::ffprogs::{ff_program, ff_program_inputs, FfOp};
 use gpu_kernels::field32::Field32;
-use gpu_sim::analysis::{self, LintKind};
+use gpu_sim::analysis::{self, LintKind, Severity};
 use gpu_sim::isa::{CmpOp, ProgramBuilder, Src};
 use zkp_ff::{Fq377Config, Fq381Config, Fr377Config, Fr381Config};
 
@@ -27,9 +31,25 @@ fn every_ff_program_is_lint_clean() {
             for iters in [1u32, 4] {
                 let p = ff_program(&f, op, iters);
                 let diags = analysis::lint(&p, &ff_program_inputs(op));
+                let errors: Vec<_> = diags
+                    .iter()
+                    .filter(|d| d.severity() == Severity::Error)
+                    .collect();
                 assert!(
-                    diags.is_empty(),
+                    errors.is_empty(),
                     "{name}/{op:?} iters={iters}:\n{}",
+                    errors
+                        .iter()
+                        .map(|d| d.to_string())
+                        .collect::<Vec<_>>()
+                        .join("\n")
+                );
+                // The only tolerated warning is the dead overflow-word
+                // bookkeeping the uniform CIOS schema emits — which the
+                // verified optimizer removes (see tests/optimizer_gate.rs).
+                assert!(
+                    diags.iter().all(|d| d.kind == LintKind::DeadWrite),
+                    "{name}/{op:?} iters={iters}: unexpected warning:\n{}",
                     diags
                         .iter()
                         .map(|d| d.to_string())
@@ -158,4 +178,42 @@ fn ff_mul_static_mix_regression() {
             "{name}: IMAD share {share:.3} outside the paper ballpark"
         );
     }
+}
+
+#[test]
+fn lint_strict_surfaces_memory_lints_with_severity() {
+    // The XYZZ kernel's AoS layout is deliberately strided (the paper's
+    // scattered MSM bucket case): the default suite stays quiet about it,
+    // the opt-in strict suite reports every access as an uncoalesced
+    // warning, and no error-severity diagnostic appears either way.
+    use gpu_kernels::curveprogs::xyzz_madd_program_analyzed;
+    use gpu_sim::machine::SmspConfig;
+
+    let f = Field32::of::<Fq381Config, 6>();
+    let (p, layout, facts) = xyzz_madd_program_analyzed(&f);
+    let inputs = layout.entry_regs();
+
+    let base = analysis::lint(&p, &inputs);
+    assert!(
+        base.iter().all(|d| d.kind != LintKind::UncoalescedAccess),
+        "memory lints must be opt-in"
+    );
+
+    let strict = analysis::lint_strict(
+        &p,
+        &inputs,
+        &facts.contracts,
+        &facts.assumptions,
+        &facts.hints,
+        &SmspConfig::default(),
+    );
+    assert!(
+        strict.iter().any(|d| d.kind == LintKind::UncoalescedAccess),
+        "strided AoS accesses must be reported by the strict suite"
+    );
+    assert!(strict.iter().all(|d| d.severity() == Severity::Warning));
+    // Strict is a superset of the default suite, still sorted by pc.
+    assert!(strict.len() > base.len());
+    assert!(strict.windows(2).all(|w| w[0].pc <= w[1].pc));
+    assert!(base.iter().all(|d| strict.contains(d)));
 }

@@ -13,7 +13,7 @@ use crate::isa::{Instr, Pred, Program, Reg, Src};
 
 /// A dataflow resource: a 32-bit register, a predicate register, or the
 /// carry flag.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub enum Resource {
     /// A 32-bit register.
     Reg(Reg),

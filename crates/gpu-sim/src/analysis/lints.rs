@@ -6,9 +6,38 @@
 //! wrong limb somewhere deep in a functional test. Each diagnostic names the
 //! offending pc and resource so the generator bug is one grep away.
 
+use crate::analysis::addr::MemContracts;
 use crate::analysis::cfg::Cfg;
 use crate::analysis::dataflow::{instr_defs, instr_uses, Liveness, ReachingDefs, Resource};
+use crate::analysis::memory::analyze_memory;
+use crate::analysis::ranges::RangeAssumptions;
+use crate::analysis::schedule::ScheduleHints;
 use crate::isa::{Instr, Program, Reg};
+use crate::machine::SmspConfig;
+
+/// How actionable a [`Diagnostic`] is.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Severity {
+    /// Performance or provability finding: the program is correct but
+    /// wastes work (dead results, redundant or uncoalesced traffic), or
+    /// an analysis could not finish a proof. Generators may ship these —
+    /// the verified optimizer (`analysis::opt`) removes the dead-work
+    /// class with an equivalence certificate.
+    Warning,
+    /// Correctness finding: some execution can read garbage, trap in the
+    /// simulator, or run off the end of the program. Never acceptable in
+    /// a shipped kernel.
+    Error,
+}
+
+impl core::fmt::Display for Severity {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        f.write_str(match self {
+            Severity::Warning => "warning",
+            Severity::Error => "error",
+        })
+    }
+}
 
 /// The category of a [`Diagnostic`].
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -59,6 +88,31 @@ pub enum LintKind {
     AliasUnprovable,
 }
 
+impl LintKind {
+    /// The severity class of this lint: executions that can go wrong are
+    /// [`Severity::Error`]; wasted-but-correct work and undischarged
+    /// proofs are [`Severity::Warning`].
+    pub fn severity(self) -> Severity {
+        match self {
+            LintKind::UninitRegRead
+            | LintKind::UninitPredRead
+            | LintKind::DanglingCarry
+            | LintKind::BranchOutOfRange
+            | LintKind::MissingExit
+            | LintKind::PossibleOverflow => Severity::Error,
+            LintKind::DeadWrite
+            | LintKind::Unreachable
+            | LintKind::DeadLoad
+            | LintKind::NeverTakenBranch
+            | LintKind::RangeUnprovable
+            | LintKind::UncoalescedAccess
+            | LintKind::RedundantLoad
+            | LintKind::DeadStore
+            | LintKind::AliasUnprovable => Severity::Warning,
+        }
+    }
+}
+
 impl core::fmt::Display for LintKind {
     fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
         let s = match self {
@@ -93,6 +147,25 @@ pub struct Diagnostic {
     pub message: String,
 }
 
+impl Diagnostic {
+    /// Builds a diagnostic anchored at `pc`. Every analysis that reports
+    /// through the lint vocabulary ([`lint`], the memory analysis, the
+    /// range analysis) constructs its findings here, so the rendered
+    /// `pc N: kind: detail` shape stays identical across them.
+    pub fn new(kind: LintKind, pc: usize, message: impl Into<String>) -> Self {
+        Diagnostic {
+            kind,
+            pc,
+            message: message.into(),
+        }
+    }
+
+    /// The severity class of the finding (see [`LintKind::severity`]).
+    pub fn severity(&self) -> Severity {
+        self.kind.severity()
+    }
+}
+
 impl core::fmt::Display for Diagnostic {
     fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
         write!(f, "pc {}: {}: {}", self.pc, self.kind, self.message)
@@ -111,17 +184,39 @@ pub fn lint(program: &Program, inputs: &[Reg]) -> Vec<Diagnostic> {
 pub fn lint_with_cfg(program: &Program, cfg: &Cfg, inputs: &[Reg]) -> Vec<Diagnostic> {
     let mut diags = lint_structural_with_cfg(program, cfg);
     if program.is_empty() {
-        diags.push(Diagnostic {
-            kind: LintKind::MissingExit,
-            pc: 0,
-            message: "empty program has no EXIT".to_string(),
-        });
+        diags.push(Diagnostic::new(
+            LintKind::MissingExit,
+            0,
+            "empty program has no EXIT",
+        ));
         return diags;
     }
     unreachable_code(cfg, &mut diags);
     uninit_reads(program, cfg, inputs, &mut diags);
     dead_writes(program, cfg, &mut diags);
     never_taken_branches(program, cfg, &mut diags);
+    diags.sort_by_key(|d| d.pc);
+    diags
+}
+
+/// The opt-in strict suite: everything [`lint`] reports *plus* the memory
+/// lints (uncoalesced access, redundant load, dead store, undecidable
+/// alias), which otherwise surface only through
+/// [`analyze_memory`]'s report.
+/// The memory lints need the kernel's pointer contracts and range
+/// assumptions to resolve addresses, which is why they are not part of
+/// the default suite. Returned diagnostics are sorted by pc; filter with
+/// [`Diagnostic::severity`] to gate on errors only.
+pub fn lint_strict(
+    program: &Program,
+    inputs: &[Reg],
+    contracts: &MemContracts,
+    assumptions: &RangeAssumptions,
+    hints: &ScheduleHints,
+    config: &SmspConfig,
+) -> Vec<Diagnostic> {
+    let mut diags = lint(program, inputs);
+    diags.extend(analyze_memory(program, inputs, contracts, assumptions, hints, config).lints);
     diags.sort_by_key(|d| d.pc);
     diags
 }
@@ -142,21 +237,21 @@ fn lint_structural_with_cfg(program: &Program, cfg: &Cfg) -> Vec<Diagnostic> {
     for pc in 0..len {
         if let Instr::Bra { target, .. } = program.fetch(pc) {
             if target >= len {
-                diags.push(Diagnostic {
-                    kind: LintKind::BranchOutOfRange,
+                diags.push(Diagnostic::new(
+                    LintKind::BranchOutOfRange,
                     pc,
-                    message: format!("branch target {target} past end of program (len {len})"),
-                });
+                    format!("branch target {target} past end of program (len {len})"),
+                ));
             }
         }
     }
     for (b, blk) in cfg.blocks.iter().enumerate() {
         if cfg.reachable[b] && blk.falls_off_end {
-            diags.push(Diagnostic {
-                kind: LintKind::MissingExit,
-                pc: blk.terminator_pc(),
-                message: "control can run past the last instruction without EXIT".to_string(),
-            });
+            diags.push(Diagnostic::new(
+                LintKind::MissingExit,
+                blk.terminator_pc(),
+                "control can run past the last instruction without EXIT",
+            ));
         }
     }
     diags
@@ -165,14 +260,14 @@ fn lint_structural_with_cfg(program: &Program, cfg: &Cfg) -> Vec<Diagnostic> {
 fn unreachable_code(cfg: &Cfg, diags: &mut Vec<Diagnostic>) {
     for (b, blk) in cfg.blocks.iter().enumerate() {
         if !cfg.reachable[b] {
-            diags.push(Diagnostic {
-                kind: LintKind::Unreachable,
-                pc: blk.start,
-                message: format!(
+            diags.push(Diagnostic::new(
+                LintKind::Unreachable,
+                blk.start,
+                format!(
                     "instructions {}..{} are unreachable from the entry",
                     blk.start, blk.end
                 ),
-            });
+            ));
         }
     }
 }
@@ -195,23 +290,23 @@ fn uninit_reads(program: &Program, cfg: &Cfg, inputs: &[Reg], diags: &mut Vec<Di
                 match r {
                     Resource::Reg(x) => {
                         if !inputs.contains(&x) {
-                            diags.push(Diagnostic {
-                                kind: LintKind::UninitRegRead,
+                            diags.push(Diagnostic::new(
+                                LintKind::UninitRegRead,
                                 pc,
-                                message: format!("r{x} may be read before any write"),
-                            });
+                                format!("r{x} may be read before any write"),
+                            ));
                         }
                     }
-                    Resource::Pred(p) => diags.push(Diagnostic {
-                        kind: LintKind::UninitPredRead,
+                    Resource::Pred(p) => diags.push(Diagnostic::new(
+                        LintKind::UninitPredRead,
                         pc,
-                        message: format!("p{p} may be read before any SETP"),
-                    }),
-                    Resource::Carry => diags.push(Diagnostic {
-                        kind: LintKind::DanglingCarry,
+                        format!("p{p} may be read before any SETP"),
+                    )),
+                    Resource::Carry => diags.push(Diagnostic::new(
+                        LintKind::DanglingCarry,
                         pc,
-                        message: "use_cc with no reaching set_cc".to_string(),
-                    }),
+                        "use_cc with no reaching set_cc",
+                    )),
                 }
             });
             instr_defs(&inst, |r| reach.remove(rd.entry_def(r)));
@@ -249,25 +344,25 @@ fn dead_writes(program: &Program, cfg: &Cfg, diags: &mut Vec<Diagnostic>) {
                 if defines_any && !any_live {
                     let mut dsts = Vec::new();
                     instr_defs(&inst, |r| dsts.push(r.to_string()));
-                    found.push(Diagnostic {
-                        kind: LintKind::DeadWrite,
+                    found.push(Diagnostic::new(
+                        LintKind::DeadWrite,
                         pc,
-                        message: format!(
+                        format!(
                             "{} writes {} but no path reads any result",
                             inst.mnemonic(),
                             dsts.join(", ")
                         ),
-                    });
+                    ));
                 }
             } else if let Instr::Ldg { dst, .. } = inst {
                 // Loads touch memory, so they are never DeadWrite; a loaded
                 // value nobody reads is still wasted traffic.
                 if !out.contains(live.map.index(Resource::Reg(dst))) {
-                    found.push(Diagnostic {
-                        kind: LintKind::DeadLoad,
+                    found.push(Diagnostic::new(
+                        LintKind::DeadLoad,
                         pc,
-                        message: format!("LDG loads into r{dst} but no path reads it"),
-                    });
+                        format!("LDG loads into r{dst} but no path reads it"),
+                    ));
                 }
             }
             instr_defs(&inst, |r| out.remove(live.map.index(r)));
@@ -308,13 +403,11 @@ fn never_taken_branches(program: &Program, cfg: &Cfg, diags: &mut Vec<Diagnostic
                 } => {
                     if let Some(v) = known[p as usize] {
                         if v != pol {
-                            diags.push(Diagnostic {
-                                kind: LintKind::NeverTakenBranch,
+                            diags.push(Diagnostic::new(
+                                LintKind::NeverTakenBranch,
                                 pc,
-                                message: format!(
-                                    "branch guarded by p{p}={pol} but p{p} is always {v}"
-                                ),
-                            });
+                                format!("branch guarded by p{p}={pol} but p{p} is always {v}"),
+                            ));
                         }
                     }
                 }

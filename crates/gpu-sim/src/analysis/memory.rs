@@ -110,11 +110,7 @@ impl MemoryAnalysis {
     ///
     /// [`predict_schedule_mem`]: crate::analysis::schedule::predict_schedule_mem
     pub fn mem_timings(&self) -> MemTimings {
-        let mut mem = MemTimings::new();
-        for a in &self.accesses {
-            mem.set(a.pc, a.wavefronts);
-        }
-        mem
+        self.accesses.iter().map(|a| (a.pc, a.wavefronts)).collect()
     }
 
     /// Renders the analysis as a JSON object (schema-stable: the CI smoke
@@ -306,11 +302,7 @@ fn uncoalesced_lints(accesses: &[AccessReport], lints: &mut Vec<Diagnostic>) {
                 a.sectors_bound
             ),
         };
-        lints.push(Diagnostic {
-            kind: LintKind::UncoalescedAccess,
-            pc: a.pc,
-            message,
-        });
+        lints.push(Diagnostic::new(LintKind::UncoalescedAccess, a.pc, message));
     }
 }
 
@@ -353,13 +345,12 @@ fn redundant_loads(
                 if let Some(l) = loc_at(pc) {
                     if avail.contains(&l) {
                         if let Some(lints) = report {
-                            lints.push(Diagnostic {
-                                kind: LintKind::RedundantLoad,
+                            lints.push(Diagnostic::new(
+                                LintKind::RedundantLoad,
                                 pc,
-                                message: "loads a location already loaded on every path \
-                                          with no intervening may-alias store"
-                                    .to_string(),
-                            });
+                                "loads a location already loaded on every path \
+                                          with no intervening may-alias store",
+                            ));
                         }
                     } else {
                         avail.push(l);
@@ -371,15 +362,15 @@ fn redundant_loads(
                 None => {
                     if !avail.is_empty() {
                         if let Some(lints) = report {
-                            lints.push(Diagnostic {
-                                kind: LintKind::AliasUnprovable,
+                            lints.push(Diagnostic::new(
+                                LintKind::AliasUnprovable,
                                 pc,
-                                message: format!(
+                                format!(
                                     "store address is not provably affine: may alias {} \
                                      earlier load(s), blocking redundancy proofs",
                                     avail.len()
                                 ),
-                            });
+                            ));
                         }
                     }
                     avail.clear();
@@ -458,13 +449,12 @@ fn dead_stores(
                 if let Some(s) = loc_at(pc) {
                     if over.contains(&s) {
                         if let Some(lints) = report {
-                            lints.push(Diagnostic {
-                                kind: LintKind::DeadStore,
+                            lints.push(Diagnostic::new(
+                                LintKind::DeadStore,
                                 pc,
-                                message: "stored value is overwritten on every path before \
-                                          any may-alias load or EXIT observes it"
-                                    .to_string(),
-                            });
+                                "stored value is overwritten on every path before \
+                                          any may-alias load or EXIT observes it",
+                            ));
                         }
                     } else {
                         over.push(s);

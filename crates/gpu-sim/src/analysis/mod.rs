@@ -30,7 +30,12 @@
 //!   transaction/byte prediction matching the simulator's sector rule,
 //!   LSU wavefront timings for [`schedule::predict_schedule_mem`], static
 //!   arithmetic intensity for the roofline, and the memory lint suite
-//!   (uncoalesced / redundant-load / dead-store / alias-unprovable).
+//!   (uncoalesced / redundant-load / dead-store / alias-unprovable);
+//! - [`opt`] — the verified kernel optimizer: constant propagation,
+//!   redundant-load/dead-store/dead-code elimination, list scheduling
+//!   against the scoreboard cost model, and register reallocation, with
+//!   every run re-proven equivalent to the input by a translation
+//!   validator that emits a machine-checked [`opt::Certificate`].
 //!
 //! # Examples
 //!
@@ -61,6 +66,7 @@ pub mod dataflow;
 pub mod lints;
 pub mod memory;
 pub mod metrics;
+pub mod opt;
 pub mod ranges;
 pub mod schedule;
 
@@ -70,9 +76,13 @@ pub use addr::{
 };
 pub use cfg::{BasicBlock, Cfg};
 pub use dataflow::{Liveness, ReachingDefs, Resource, ResourceMap};
-pub use lints::{lint, lint_structural, Diagnostic, LintKind};
+pub use lints::{lint, lint_strict, lint_structural, Diagnostic, LintKind, Severity};
 pub use memory::{analyze_memory, AccessReport, MemoryAnalysis};
 pub use metrics::StaticMetrics;
+pub use opt::{
+    optimize, optimize_with_config, validate, Certificate, OptError, OptOptions, OptPasses,
+    OptReport, Optimized, RegMap, ValidateError,
+};
 pub use ranges::{
     analyze_ranges, Interval, RangeAnalysis, RangeAssumptions, StoreBound, ValueBound,
 };

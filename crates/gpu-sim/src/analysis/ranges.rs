@@ -559,11 +559,11 @@ pub fn analyze_ranges_with_cfg(
     };
     if program.is_empty() || cfg.blocks.is_empty() {
         for ob in obligations {
-            result.diagnostics.push(Diagnostic {
-                kind: LintKind::RangeUnprovable,
-                pc: ob.pc,
-                message: format!("{}: program is empty", ob.what),
-            });
+            result.diagnostics.push(Diagnostic::new(
+                LintKind::RangeUnprovable,
+                ob.pc,
+                format!("{}: program is empty", ob.what),
+            ));
         }
         return result;
     }
@@ -638,22 +638,20 @@ pub fn analyze_ranges_with_cfg(
                 });
             }
             if let Effect::Overflow { hi } = transfer(&mut st, &inst, assumptions) {
-                result.diagnostics.push(Diagnostic {
-                    kind: LintKind::PossibleOverflow,
+                result.diagnostics.push(Diagnostic::new(
+                    LintKind::PossibleOverflow,
                     pc,
-                    message: format!(
-                        "IADD3.CC sum can carry out up to {hi} (machine supports 1 bit)"
-                    ),
-                });
+                    format!("IADD3.CC sum can carry out up to {hi} (machine supports 1 bit)"),
+                ));
             }
         }
     }
     for ob in pending {
-        result.diagnostics.push(Diagnostic {
-            kind: LintKind::RangeUnprovable,
-            pc: ob.pc,
-            message: format!("{}: pc {} is unreachable", ob.what, ob.pc),
-        });
+        result.diagnostics.push(Diagnostic::new(
+            LintKind::RangeUnprovable,
+            ob.pc,
+            format!("{}: pc {} is unreachable", ob.what, ob.pc),
+        ));
     }
     result.diagnostics.sort_by_key(|d| d.pc);
     result
@@ -716,11 +714,11 @@ fn check_obligation(
         ob,
     ) {
         Ok(_) => result.proved.push(ob.what.clone()),
-        Err(chain_fail) => result.diagnostics.push(Diagnostic {
-            kind: LintKind::RangeUnprovable,
-            pc: ob.pc,
-            message: format!("{}: {lex_fail}; chain certificate: {chain_fail}", ob.what),
-        }),
+        Err(chain_fail) => result.diagnostics.push(Diagnostic::new(
+            LintKind::RangeUnprovable,
+            ob.pc,
+            format!("{}: {lex_fail}; chain certificate: {chain_fail}", ob.what),
+        )),
     }
 }
 

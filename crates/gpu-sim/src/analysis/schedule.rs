@@ -74,6 +74,23 @@ impl ScheduleHints {
             .find(|(p, _)| *p == pc)
             .map_or(BranchHint::NotTaken, |(_, h)| *h)
     }
+
+    /// Iterates the recorded `(pc, hint)` pairs in insertion order
+    /// (duplicated pcs retain last-write-wins semantics through
+    /// [`ScheduleHints::get`]).
+    pub fn iter(&self) -> impl Iterator<Item = (usize, BranchHint)> + '_ {
+        self.hints.iter().copied()
+    }
+}
+
+impl FromIterator<(usize, BranchHint)> for ScheduleHints {
+    /// Collects `(pc, hint)` pairs; later pairs for the same pc win, like
+    /// repeated [`ScheduleHints::set`] calls.
+    fn from_iter<I: IntoIterator<Item = (usize, BranchHint)>>(iter: I) -> Self {
+        Self {
+            hints: iter.into_iter().collect(),
+        }
+    }
 }
 
 /// Per-pc LSU wavefront counts for `LDG`/`STG` instructions, produced by
@@ -107,6 +124,22 @@ impl MemTimings {
             .rev()
             .find(|(p, _)| *p == pc)
             .map_or(1, |(_, w)| *w)
+    }
+
+    /// Iterates the recorded `(pc, wavefronts)` pairs in insertion order.
+    pub fn iter(&self) -> impl Iterator<Item = (usize, u64)> + '_ {
+        self.wavefronts.iter().copied()
+    }
+}
+
+impl FromIterator<(usize, u64)> for MemTimings {
+    /// Collects `(pc, wavefronts)` pairs; counts are clamped to at least
+    /// one wavefront, and later pairs for the same pc win, like repeated
+    /// [`MemTimings::set`] calls.
+    fn from_iter<I: IntoIterator<Item = (usize, u64)>>(iter: I) -> Self {
+        Self {
+            wavefronts: iter.into_iter().map(|(pc, w)| (pc, w.max(1))).collect(),
+        }
     }
 }
 
@@ -628,7 +661,7 @@ fn apply_latencies(
 
 /// Replays `trace` on `warps` identical warps through the SMSP scoreboard.
 /// Returns `(cycles, stalls, no_eligible_cycles)`.
-fn scoreboard_walk(
+pub(crate) fn scoreboard_walk(
     program: &Program,
     trace: &[usize],
     cfg: &SmspConfig,
@@ -745,7 +778,7 @@ fn scoreboard_walk(
     (cycle, stalls, no_eligible)
 }
 
-fn max_reg_referenced(program: &Program) -> Option<u16> {
+pub(crate) fn max_reg_referenced(program: &Program) -> Option<u16> {
     let mut max = None;
     for pc in 0..program.len() {
         let inst = program.fetch(pc);
@@ -766,7 +799,7 @@ fn max_reg_referenced(program: &Program) -> Option<u16> {
 
 /// Result latency an instruction imposes on its dependents; instructions
 /// with no register/flag result still occupy their one issue slot.
-fn result_latency(inst: &Instr, cfg: &SmspConfig) -> u64 {
+pub(crate) fn result_latency(inst: &Instr, cfg: &SmspConfig) -> u64 {
     match inst {
         Instr::Imad { .. } => cfg.imad_latency,
         Instr::Iadd3 { .. }
@@ -782,7 +815,7 @@ fn result_latency(inst: &Instr, cfg: &SmspConfig) -> u64 {
 
 /// Latency-weighted longest path through the dependence DAG of `trace`:
 /// `finish(i) = max(finish(writer of each resource i reads)) + latency(i)`.
-fn critical_path_cycles(
+pub(crate) fn critical_path_cycles(
     program: &Program,
     trace: &[usize],
     cfg: &SmspConfig,
@@ -803,7 +836,7 @@ fn critical_path_cycles(
 
 /// Single-warp schedules of every reachable basic block, each from a clean
 /// scoreboard (the straight-line issue cost of the block in isolation).
-fn block_schedules(
+pub(crate) fn block_schedules(
     program: &Program,
     graph: &Cfg,
     cfg: &SmspConfig,

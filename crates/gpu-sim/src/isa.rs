@@ -225,6 +225,15 @@ pub struct Program {
 }
 
 impl Program {
+    /// Wraps an already-built instruction sequence — the optimizer's (and
+    /// the validator negative suite's) way back into [`Program`] after
+    /// transforming the instruction list of an existing (already
+    /// label-resolved) program. Branch targets must be in range; callers
+    /// are expected to re-lint the result.
+    pub fn from_instrs(instrs: Vec<Instr>) -> Program {
+        Program { instrs }
+    }
+
     /// The instruction at `pc`.
     pub fn fetch(&self, pc: usize) -> Instr {
         self.instrs[pc]

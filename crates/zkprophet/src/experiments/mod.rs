@@ -61,6 +61,9 @@ pub fn full_report(device: &DeviceSpec) -> String {
     out += "\n";
     out += &static_analysis::render_range_proof_report(&static_analysis::range_proof_report());
     out += "\n";
+    out +=
+        &static_analysis::render_optimizer_report(&static_analysis::optimizer_report(&generations));
+    out += "\n";
     out += &scaling::render_fig11(&scaling::fig11());
     out += "\n";
     out += &scaling::render_fig12(&scaling::fig12());

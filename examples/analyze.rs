@@ -6,71 +6,22 @@
 //! JSON array on stdout — the shape a CI gate or dashboard would ingest.
 //!
 //! Usage: `analyze [device] [kernel-substring]`
+//!    or: `analyze [device] optimize [kernel-substring]`
 //!
-//! The optional second argument filters kernels by case-insensitive
-//! substring (e.g. `analyze a100 mul`).
+//! The `optimize` mode runs the verified optimizer
+//! ([`gpu_sim::analysis::optimize`]) over the zoo instead and emits one
+//! JSON object per kernel: the before/after [`OptReport`] (instruction
+//! counts, per-pass rewrite counts, predicted schedules) and the
+//! translation-validation certificate summary. The optional trailing
+//! argument filters kernels by case-insensitive substring in either
+//! mode (e.g. `analyze a100 mul`).
+//!
+//! [`OptReport`]: gpu_sim::analysis::OptReport
 
-use gpu_kernels::curveprogs::{
-    butterfly_program_analyzed, mul_contract_program, xyzz_madd_program_analyzed,
-};
-use gpu_kernels::ffprogs::{ff_program_analyzed, ff_program_inputs, KernelFacts};
-use gpu_kernels::{FfOp, Field32};
+use gpu_kernels::optimized::{optimize_kernel, zoo_entries, OPT_WARPS};
 use gpu_sim::analysis::{self, StaticMetrics};
-use gpu_sim::isa::{Program, Reg};
 use gpu_sim::machine::SmspConfig;
 use zkp_examples::device_from_args;
-use zkp_ff::{Fq381Config, Fr381Config};
-
-struct Entry {
-    name: String,
-    field: &'static str,
-    program: Program,
-    inputs: Vec<Reg>,
-    facts: KernelFacts,
-}
-
-fn kernel_zoo() -> Vec<Entry> {
-    let fq = Field32::of::<Fq381Config, 6>();
-    let fr = Field32::of::<Fr381Config, 4>();
-    let mut zoo: Vec<Entry> = FfOp::all()
-        .into_iter()
-        .map(|op| {
-            let (program, facts) = ff_program_analyzed(&fq, op, 1);
-            Entry {
-                name: op.name().to_owned(),
-                field: fq.name,
-                program,
-                inputs: ff_program_inputs(op),
-                facts,
-            }
-        })
-        .collect();
-    let (program, layout, facts) = xyzz_madd_program_analyzed(&fq);
-    zoo.push(Entry {
-        name: "XYZZ madd".to_owned(),
-        field: fq.name,
-        program,
-        inputs: layout.entry_regs(),
-        facts,
-    });
-    let (program, layout, facts) = butterfly_program_analyzed(&fr);
-    zoo.push(Entry {
-        name: "NTT butterfly".to_owned(),
-        field: fr.name,
-        program,
-        inputs: layout.entry_regs(),
-        facts,
-    });
-    let (program, layout, facts) = mul_contract_program(&fr);
-    zoo.push(Entry {
-        name: "curve FF_mul".to_owned(),
-        field: fr.name,
-        program,
-        inputs: layout.entry_regs(),
-        facts,
-    });
-    zoo
-}
 
 fn json_str(s: &str) -> String {
     format!("\"{}\"", s.replace('\\', "\\\\").replace('"', "\\\""))
@@ -78,51 +29,74 @@ fn json_str(s: &str) -> String {
 
 fn main() {
     let device = device_from_args();
-    let filter = std::env::args().nth(2).map(|s| s.to_lowercase());
+    let mut rest: Vec<String> = std::env::args().skip(2).collect();
+    let optimize_mode = rest.first().is_some_and(|a| a == "optimize");
+    if optimize_mode {
+        rest.remove(0);
+    }
+    let filter = rest.first().map(|s| s.to_lowercase());
     let config = SmspConfig::from(&device);
-    let warps = 2; // §IV-B: two resident warps per SMSP.
+    let warps = OPT_WARPS; // §IV-B: two resident warps per SMSP.
 
     let mut objects = Vec::new();
-    for entry in kernel_zoo() {
+    for (name, field, program, inputs, facts) in zoo_entries() {
         if let Some(fr) = &filter {
-            if !entry.name.to_lowercase().contains(fr.as_str()) {
+            if !name.to_lowercase().contains(fr.as_str()) {
                 continue;
             }
         }
-        let metrics = StaticMetrics::compute(&entry.program);
-        let lints: Vec<String> = analysis::lint(&entry.program, &entry.inputs)
+        if optimize_mode {
+            let object = match optimize_kernel(&name, field, program, inputs, facts, &config) {
+                Ok(k) => format!(
+                    "{{\"kernel\":{},\"field\":{},\"device\":{},\
+                     \"report\":{},\"certificate\":{}}}",
+                    json_str(&name),
+                    json_str(field),
+                    json_str(device.name),
+                    k.optimized.report.to_json(),
+                    k.optimized.certificate.to_json()
+                ),
+                Err(e) => format!(
+                    "{{\"kernel\":{},\"field\":{},\"device\":{},\"error\":{}}}",
+                    json_str(&name),
+                    json_str(field),
+                    json_str(device.name),
+                    json_str(&e.to_string())
+                ),
+            };
+            objects.push(object);
+            continue;
+        }
+        let metrics = StaticMetrics::compute(&program);
+        let lints: Vec<String> = analysis::lint(&program, &inputs)
             .iter()
             .map(|d| json_str(&d.to_string()))
             .collect();
         let memory = analysis::analyze_memory(
-            &entry.program,
-            &entry.inputs,
-            &entry.facts.contracts,
-            &entry.facts.assumptions,
-            &entry.facts.hints,
+            &program,
+            &inputs,
+            &facts.contracts,
+            &facts.assumptions,
+            &facts.hints,
             &config,
         );
         // Memory-aware prediction: strided (AoS) kernels issue multiple
         // LSU wavefronts per access, which the schedule must charge.
         let schedule = analysis::predict_schedule_mem(
-            &entry.program,
+            &program,
             &config,
             warps,
-            &entry.facts.hints,
+            &facts.hints,
             &memory.mem_timings(),
         )
         .map(|p| p.to_json())
         .unwrap_or_else(|e| format!("{{\"error\":{}}}", json_str(&e.to_string())));
-        let ranges = analysis::analyze_ranges(
-            &entry.program,
-            &entry.facts.assumptions,
-            &entry.facts.obligations,
-        );
+        let ranges = analysis::analyze_ranges(&program, &facts.assumptions, &facts.obligations);
         objects.push(format!(
             "{{\"kernel\":{},\"field\":{},\"device\":{},\"warps\":{},\
              \"metrics\":{},\"lints\":[{}],\"schedule\":{},\"memory\":{},\"ranges\":{}}}",
-            json_str(&entry.name),
-            json_str(entry.field),
+            json_str(&name),
+            json_str(field),
             json_str(device.name),
             warps,
             metrics.to_json(),
