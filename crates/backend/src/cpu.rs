@@ -1,9 +1,11 @@
 //! The reference CPU backend: real `zkp-msm`/`zkp-ntt` kernels on a
 //! `zkp-runtime` pool, bit-identical to the pre-backend prover.
 
-use crate::{witness_maps, ExecBackend, G1Msm};
+use crate::{witness_maps, witness_maps_into, ExecBackend, G1Msm};
 use zkp_curves::{Affine, Bls12Config, G1Curve, G2Curve, Jacobian};
-use zkp_msm::{msm_parallel_with_config, MsmConfig, MsmPlan};
+use zkp_msm::{
+    msm_parallel_with_config, msm_parallel_with_config_in, MsmConfig, MsmPlan, MsmScratch,
+};
 use zkp_ntt::{distribute_powers_parallel, ntt_parallel_on, TwiddleTable};
 use zkp_r1cs::ConstraintSystem;
 use zkp_runtime::ThreadPool;
@@ -24,7 +26,7 @@ pub struct CpuBackend<'p> {
 /// XYZZ buckets. `ZKP_MSM_GLV=0` disables the endomorphism split (the
 /// knob the CI smoke uses to A/B the two paths — proofs must match
 /// byte for byte either way).
-fn default_msm_config() -> MsmConfig {
+pub fn default_msm_config() -> MsmConfig {
     let mut cfg = MsmConfig::glv_style();
     if std::env::var("ZKP_MSM_GLV").is_ok_and(|v| v == "0") {
         cfg.endomorphism = false;
@@ -80,12 +82,31 @@ impl<C: Bls12Config> ExecBackend<C> for CpuBackend<'_> {
         plan.execute(scalars, self.pool).point
     }
 
+    fn msm_g1_planned_in(
+        &self,
+        _which: G1Msm,
+        plan: &MsmPlan<G1Curve<C>>,
+        scalars: &[C::Fr],
+        scratch: &mut MsmScratch<G1Curve<C>>,
+    ) -> Jacobian<G1Curve<C>> {
+        plan.execute_in(scalars, self.pool, scratch).point
+    }
+
     fn msm_algorithm(&self) -> String {
         self.msm_cfg.describe()
     }
 
     fn msm_g2(&self, bases: &[Affine<G2Curve<C>>], scalars: &[C::Fr]) -> Jacobian<G2Curve<C>> {
         msm_parallel_with_config(bases, scalars, &self.msm_cfg, self.pool).point
+    }
+
+    fn msm_g2_in(
+        &self,
+        bases: &[Affine<G2Curve<C>>],
+        scalars: &[C::Fr],
+        scratch: &mut MsmScratch<G2Curve<C>>,
+    ) -> Jacobian<G2Curve<C>> {
+        msm_parallel_with_config_in(bases, scalars, &self.msm_cfg, self.pool, scratch).point
     }
 
     fn ntt_forward(&self, table: &TwiddleTable<C::Fr>, values: &mut [C::Fr]) {
@@ -112,5 +133,16 @@ impl<C: Bls12Config> ExecBackend<C> for CpuBackend<'_> {
         domain_size: u64,
     ) -> crate::WitnessMaps<C::Fr> {
         witness_maps(cs, domain_size)
+    }
+
+    fn witness_eval_into(
+        &self,
+        cs: &ConstraintSystem<C::Fr>,
+        domain_size: u64,
+        a: &mut Vec<C::Fr>,
+        b: &mut Vec<C::Fr>,
+        c: &mut Vec<C::Fr>,
+    ) {
+        witness_maps_into(cs, domain_size, a, b, c);
     }
 }

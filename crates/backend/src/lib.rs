@@ -31,7 +31,7 @@ pub mod tracing;
 use gpu_sim::DeviceSpec;
 use zkp_curves::{Affine, Bls12Config, G1Curve, G2Curve, Jacobian};
 use zkp_ff::{Field, PrimeField};
-use zkp_msm::MsmPlan;
+use zkp_msm::{MsmPlan, MsmScratch};
 use zkp_ntt::{Domain, TwiddleTable};
 use zkp_r1cs::ConstraintSystem;
 use zkp_runtime::ThreadPool;
@@ -81,6 +81,21 @@ pub trait ExecBackend<C: Bls12Config>: Sync {
         self.msm_g1(which, plan.bases(), scalars)
     }
 
+    /// [`msm_g1_planned`](Self::msm_g1_planned) with caller-owned scratch
+    /// memory — the session hot path. The default ignores the scratch;
+    /// backends running the real planned kernel thread it through so a
+    /// warmed workspace makes the MSM allocation-free.
+    fn msm_g1_planned_in(
+        &self,
+        which: G1Msm,
+        plan: &MsmPlan<G1Curve<C>>,
+        scalars: &[C::Fr],
+        scratch: &mut MsmScratch<G1Curve<C>>,
+    ) -> Jacobian<G1Curve<C>> {
+        let _ = scratch;
+        self.msm_g1_planned(which, plan, scalars)
+    }
+
     /// Human-readable tag of the G1 MSM algorithm this backend runs
     /// (e.g. `"glv+signed+xyzz"`), for traces and benchmark metadata.
     fn msm_algorithm(&self) -> String {
@@ -89,6 +104,18 @@ pub trait ExecBackend<C: Bls12Config>: Sync {
 
     /// The G2 MSM (the one the paper notes runs on the CPU, §II-A).
     fn msm_g2(&self, bases: &[Affine<G2Curve<C>>], scalars: &[C::Fr]) -> Jacobian<G2Curve<C>>;
+
+    /// [`msm_g2`](Self::msm_g2) with caller-owned scratch memory. The
+    /// default ignores the scratch.
+    fn msm_g2_in(
+        &self,
+        bases: &[Affine<G2Curve<C>>],
+        scalars: &[C::Fr],
+        scratch: &mut MsmScratch<G2Curve<C>>,
+    ) -> Jacobian<G2Curve<C>> {
+        let _ = scratch;
+        self.msm_g2(bases, scalars)
+    }
 
     /// Forward NTT over the table's domain.
     fn ntt_forward(&self, table: &TwiddleTable<C::Fr>, values: &mut [C::Fr]);
@@ -103,6 +130,24 @@ pub trait ExecBackend<C: Bls12Config>: Sync {
 
     /// Evaluates the QAP witness maps over the (padded) domain.
     fn witness_eval(&self, cs: &ConstraintSystem<C::Fr>, domain_size: u64) -> WitnessMaps<C::Fr>;
+
+    /// [`witness_eval`](Self::witness_eval) into caller-owned buffers
+    /// (cleared and refilled; capacity reused). The default moves the
+    /// allocating result; backends on the session hot path override it to
+    /// fill in place.
+    fn witness_eval_into(
+        &self,
+        cs: &ConstraintSystem<C::Fr>,
+        domain_size: u64,
+        a: &mut Vec<C::Fr>,
+        b: &mut Vec<C::Fr>,
+        c: &mut Vec<C::Fr>,
+    ) {
+        let (wa, wb, wc) = self.witness_eval(cs, domain_size);
+        *a = wa;
+        *b = wb;
+        *c = wc;
+    }
 
     /// Drains and returns the trace recorded since the last call. Backends
     /// that do not record return an empty trace.
@@ -135,11 +180,28 @@ impl<C: Bls12Config, B: ExecBackend<C> + ?Sized> ExecBackend<C> for &B {
     ) -> Jacobian<G1Curve<C>> {
         (**self).msm_g1_planned(which, plan, scalars)
     }
+    fn msm_g1_planned_in(
+        &self,
+        which: G1Msm,
+        plan: &MsmPlan<G1Curve<C>>,
+        scalars: &[C::Fr],
+        scratch: &mut MsmScratch<G1Curve<C>>,
+    ) -> Jacobian<G1Curve<C>> {
+        (**self).msm_g1_planned_in(which, plan, scalars, scratch)
+    }
     fn msm_algorithm(&self) -> String {
         (**self).msm_algorithm()
     }
     fn msm_g2(&self, bases: &[Affine<G2Curve<C>>], scalars: &[C::Fr]) -> Jacobian<G2Curve<C>> {
         (**self).msm_g2(bases, scalars)
+    }
+    fn msm_g2_in(
+        &self,
+        bases: &[Affine<G2Curve<C>>],
+        scalars: &[C::Fr],
+        scratch: &mut MsmScratch<G2Curve<C>>,
+    ) -> Jacobian<G2Curve<C>> {
+        (**self).msm_g2_in(bases, scalars, scratch)
     }
     fn ntt_forward(&self, table: &TwiddleTable<C::Fr>, values: &mut [C::Fr]) {
         (**self).ntt_forward(table, values)
@@ -152,6 +214,16 @@ impl<C: Bls12Config, B: ExecBackend<C> + ?Sized> ExecBackend<C> for &B {
     }
     fn witness_eval(&self, cs: &ConstraintSystem<C::Fr>, domain_size: u64) -> WitnessMaps<C::Fr> {
         (**self).witness_eval(cs, domain_size)
+    }
+    fn witness_eval_into(
+        &self,
+        cs: &ConstraintSystem<C::Fr>,
+        domain_size: u64,
+        a: &mut Vec<C::Fr>,
+        b: &mut Vec<C::Fr>,
+        c: &mut Vec<C::Fr>,
+    ) {
+        (**self).witness_eval_into(cs, domain_size, a, b, c)
     }
     fn take_trace(&self) -> ExecTrace {
         (**self).take_trace()
@@ -189,6 +261,40 @@ pub fn witness_maps<F: PrimeField>(cs: &ConstraintSystem<F>, domain_size: u64) -
     (a, b, c)
 }
 
+/// [`witness_maps`] into caller-owned buffers: clears and refills `a`,
+/// `b`, `c` (reusing their capacity), producing the same values. This is
+/// the allocation-free form the session hot path uses.
+///
+/// # Panics
+///
+/// Panics if `domain_size` cannot hold the constraint and consistency rows.
+pub fn witness_maps_into<F: PrimeField>(
+    cs: &ConstraintSystem<F>,
+    domain_size: u64,
+    a: &mut Vec<F>,
+    b: &mut Vec<F>,
+    c: &mut Vec<F>,
+) {
+    let n = domain_size as usize;
+    assert!(
+        n > cs.num_constraints() + cs.num_public(),
+        "domain too small for the constraint system"
+    );
+    for v in [&mut *a, &mut *b, &mut *c] {
+        v.clear();
+        v.resize(n, F::zero());
+    }
+    for (row, constraint) in cs.constraints.iter().enumerate() {
+        a[row] = constraint.a.evaluate(&cs.assignment);
+        b[row] = constraint.b.evaluate(&cs.assignment);
+        c[row] = constraint.c.evaluate(&cs.assignment);
+    }
+    a[cs.num_constraints()] = F::one();
+    for (j, x) in cs.assignment.public.iter().enumerate() {
+        a[cs.num_constraints() + 1 + j] = *x;
+    }
+}
+
 /// The 7-transform quotient pipeline `h = (a·b − c)/Z`, with every
 /// transform and coset scaling issued through `backend`. The structure —
 /// three concurrent INTT→coset→NTT chains, the element-wise quotient, one
@@ -208,25 +314,62 @@ pub fn quotient_pipeline<C: Bls12Config, B: ExecBackend<C> + ?Sized>(
     c_evals: &[C::Fr],
     backend: &B,
 ) -> (Vec<C::Fr>, u32) {
+    let mut a = a_evals.to_vec();
+    let mut b = b_evals.to_vec();
+    let mut c = c_evals.to_vec();
+    let transforms = quotient_pipeline_in(domain, table, &mut a, &mut b, &mut c, backend);
+    (a, transforms)
+}
+
+/// [`quotient_pipeline`] fully in place: consumes the evaluation vectors
+/// and leaves the coefficients of `h` in `a` (`b`, `c` clobbered as
+/// scratch), allocating nothing. This is the workspace-borrowing form the
+/// prover session issues.
+///
+/// Returns the number of NTT-shaped transforms performed (7).
+///
+/// # Panics
+///
+/// Panics if the evaluation slices or the table disagree with the domain.
+pub fn quotient_pipeline_in<C: Bls12Config, B: ExecBackend<C> + ?Sized>(
+    domain: &Domain<C::Fr>,
+    table: &TwiddleTable<C::Fr>,
+    a: &mut [C::Fr],
+    b: &mut [C::Fr],
+    c: &mut [C::Fr],
+    backend: &B,
+) -> u32 {
     let n = domain.size() as usize;
     assert!(
-        a_evals.len() == n && b_evals.len() == n && c_evals.len() == n,
+        a.len() == n && b.len() == n && c.len() == n,
         "evaluation vectors must match the domain size"
     );
     let pool = backend.pool();
     let n_inv = domain.size_inv();
     // (1–3) INTT + (4–6) coset NTT per input vector; the three chains are
     // independent and run concurrently on the backend's pool.
-    let intt_then_coset = |evals: &[C::Fr]| {
-        let mut v = evals.to_vec();
-        backend.ntt_inverse(table, &mut v);
-        backend.coset_mul(&mut v, domain.coset_gen(), n_inv);
-        backend.ntt_forward(table, &mut v);
-        v
+    let intt_then_coset = |v: &mut [C::Fr]| {
+        backend.ntt_inverse(table, v);
+        backend.coset_mul(v, domain.coset_gen(), n_inv);
+        backend.ntt_forward(table, v);
     };
-    let (mut a, (b, c)) = pool.join(
-        || intt_then_coset(a_evals),
-        || pool.join(|| intt_then_coset(b_evals), || intt_then_coset(c_evals)),
+    let (a, (b, c)) = pool.join(
+        || {
+            intt_then_coset(&mut *a);
+            a
+        },
+        || {
+            pool.join(
+                || {
+                    intt_then_coset(&mut *b);
+                    &*b
+                },
+                || {
+                    intt_then_coset(&mut *c);
+                    &*c
+                },
+            )
+        },
     );
     // Element-wise (a·b - c) / Z — Z is the constant gⁿ - 1 on the coset.
     // This stays on the pool: it is part of the serial-residual phase, not
@@ -235,15 +378,15 @@ pub fn quotient_pipeline<C: Bls12Config, B: ExecBackend<C> + ?Sized>(
         .vanishing_on_coset()
         .inverse()
         .expect("coset avoids the domain");
-    pool.for_each_chunk_mut(&mut a, 4096, |_, offset, chunk| {
+    pool.for_each_chunk_mut(a, 4096, |_, offset, chunk| {
         for (j, x) in chunk.iter_mut().enumerate() {
             *x = (*x * b[offset + j] - c[offset + j]) * z_inv;
         }
     });
     // (7) coset INTT: back to coefficients of h.
-    backend.ntt_inverse(table, &mut a);
-    backend.coset_mul(&mut a, domain.coset_gen_inv(), n_inv);
-    (a, 7)
+    backend.ntt_inverse(table, a);
+    backend.coset_mul(a, domain.coset_gen_inv(), n_inv);
+    7
 }
 
 /// Parses a library name as the paper spells it (`"sppark"`, `"ymc"`, …).

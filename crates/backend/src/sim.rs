@@ -258,6 +258,18 @@ impl<C: Bls12Config> ExecBackend<C> for SimGpuBackend<'_> {
         })
     }
 
+    fn msm_g1_planned_in(
+        &self,
+        which: G1Msm,
+        plan: &zkp_msm::MsmPlan<G1Curve<C>>,
+        scalars: &[C::Fr],
+        scratch: &mut zkp_msm::MsmScratch<G1Curve<C>>,
+    ) -> Jacobian<G1Curve<C>> {
+        self.run(OpKind::MsmG1(which), scalars.len() as u64, || {
+            self.cpu.msm_g1_planned_in(which, plan, scalars, scratch)
+        })
+    }
+
     fn msm_algorithm(&self) -> String {
         format!("model:{}", self.msm_lib.name())
     }
@@ -265,6 +277,17 @@ impl<C: Bls12Config> ExecBackend<C> for SimGpuBackend<'_> {
     fn msm_g2(&self, bases: &[Affine<G2Curve<C>>], scalars: &[C::Fr]) -> Jacobian<G2Curve<C>> {
         self.run(OpKind::MsmG2, scalars.len() as u64, || {
             self.cpu.msm_g2(bases, scalars)
+        })
+    }
+
+    fn msm_g2_in(
+        &self,
+        bases: &[Affine<G2Curve<C>>],
+        scalars: &[C::Fr],
+        scratch: &mut zkp_msm::MsmScratch<G2Curve<C>>,
+    ) -> Jacobian<G2Curve<C>> {
+        self.run(OpKind::MsmG2, scalars.len() as u64, || {
+            self.cpu.msm_g2_in(bases, scalars, scratch)
         })
     }
 
@@ -293,6 +316,19 @@ impl<C: Bls12Config> ExecBackend<C> for SimGpuBackend<'_> {
     ) -> crate::WitnessMaps<C::Fr> {
         self.run(OpKind::WitnessEval, domain_size, || {
             ExecBackend::<C>::witness_eval(&self.cpu, cs, domain_size)
+        })
+    }
+
+    fn witness_eval_into(
+        &self,
+        cs: &ConstraintSystem<C::Fr>,
+        domain_size: u64,
+        a: &mut Vec<C::Fr>,
+        b: &mut Vec<C::Fr>,
+        c: &mut Vec<C::Fr>,
+    ) {
+        self.run(OpKind::WitnessEval, domain_size, || {
+            ExecBackend::<C>::witness_eval_into(&self.cpu, cs, domain_size, a, b, c)
         })
     }
 

@@ -85,6 +85,19 @@ impl<C: Bls12Config, B: ExecBackend<C>> ExecBackend<C> for TracingBackend<B> {
         })
     }
 
+    fn msm_g1_planned_in(
+        &self,
+        which: G1Msm,
+        plan: &zkp_msm::MsmPlan<G1Curve<C>>,
+        scalars: &[C::Fr],
+        scratch: &mut zkp_msm::MsmScratch<G1Curve<C>>,
+    ) -> Jacobian<G1Curve<C>> {
+        let algo = Some(plan.algorithm());
+        self.record(OpKind::MsmG1(which), scalars.len() as u64, algo, || {
+            self.inner.msm_g1_planned_in(which, plan, scalars, scratch)
+        })
+    }
+
     fn msm_algorithm(&self) -> String {
         ExecBackend::<C>::msm_algorithm(&self.inner)
     }
@@ -92,6 +105,17 @@ impl<C: Bls12Config, B: ExecBackend<C>> ExecBackend<C> for TracingBackend<B> {
     fn msm_g2(&self, bases: &[Affine<G2Curve<C>>], scalars: &[C::Fr]) -> Jacobian<G2Curve<C>> {
         self.record(OpKind::MsmG2, scalars.len() as u64, None, || {
             self.inner.msm_g2(bases, scalars)
+        })
+    }
+
+    fn msm_g2_in(
+        &self,
+        bases: &[Affine<G2Curve<C>>],
+        scalars: &[C::Fr],
+        scratch: &mut zkp_msm::MsmScratch<G2Curve<C>>,
+    ) -> Jacobian<G2Curve<C>> {
+        self.record(OpKind::MsmG2, scalars.len() as u64, None, || {
+            self.inner.msm_g2_in(bases, scalars, scratch)
         })
     }
 
@@ -120,6 +144,19 @@ impl<C: Bls12Config, B: ExecBackend<C>> ExecBackend<C> for TracingBackend<B> {
     ) -> crate::WitnessMaps<C::Fr> {
         self.record(OpKind::WitnessEval, domain_size, None, || {
             self.inner.witness_eval(cs, domain_size)
+        })
+    }
+
+    fn witness_eval_into(
+        &self,
+        cs: &ConstraintSystem<C::Fr>,
+        domain_size: u64,
+        a: &mut Vec<C::Fr>,
+        b: &mut Vec<C::Fr>,
+        c: &mut Vec<C::Fr>,
+    ) {
+        self.record(OpKind::WitnessEval, domain_size, None, || {
+            self.inner.witness_eval_into(cs, domain_size, a, b, c)
         })
     }
 

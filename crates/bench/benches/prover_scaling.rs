@@ -16,7 +16,7 @@ use zkp_backend::{CpuBackend, ExecBackend, ExecTrace, TracingBackend};
 use zkp_bench::random_pairs;
 use zkp_curves::bls12_381::{Bls12381, G1};
 use zkp_ff::{Field, Fr381};
-use zkp_groth16::{prove_traced, setup};
+use zkp_groth16::{prove_traced, setup, ProofService, ProverSession};
 use zkp_msm::{msm_parallel_with_config, MsmConfig};
 use zkp_ntt::{ntt_parallel_on, Domain, TwiddleTable};
 use zkp_r1cs::circuits::mimc;
@@ -172,6 +172,76 @@ fn main() {
             backend: trace.backend.clone(),
             algorithm: algorithm.clone(),
             breakdown: Some(trace),
+        });
+    }
+
+    // --- Session cold/warm -------------------------------------------------
+    // The reusable-session prover: the cold round sizes the workspace, the
+    // warm rounds reuse it without touching the heap. The cold/warm split
+    // is the amortization the session layer buys per proof.
+    let session = ProverSession::new(pk);
+    let session_algo = session.plan().algorithm();
+    println!("prove (session) mimc ({constraints} constraints)");
+    for &t in &counts {
+        let pool = ThreadPool::with_threads(t);
+        let cpu = CpuBackend::on(&pool);
+        let mut s = session.fork();
+        let mut prove_rng = StdRng::seed_from_u64(44);
+        let t0 = Instant::now();
+        let (proof, _) = s.prove_in_on(&cs, &mut prove_rng, &cpu);
+        let cold = t0.elapsed().as_secs_f64();
+        std::hint::black_box(proof);
+        let warm = time_best(reps, || {
+            let mut prove_rng = StdRng::seed_from_u64(44);
+            let (proof, _) = s.prove_in_on(&cs, &mut prove_rng, &cpu);
+            std::hint::black_box(proof);
+        });
+        println!("  threads={t:<3} cold {cold:.4}s, warm {warm:.4}s");
+        for (bench, seconds) in [("prove_session_cold", cold), ("prove_session_warm", warm)] {
+            rows.push(Row {
+                bench,
+                size: constraints,
+                threads: t,
+                seconds,
+                backend: "cpu".into(),
+                algorithm: session_algo.clone(),
+                breakdown: None,
+            });
+        }
+    }
+
+    // --- Service throughput ------------------------------------------------
+    // Proofs/second through the multi-proof scheduler: forked sessions on
+    // worker threads over the shared global pool. `seconds` is seconds per
+    // completed proof (1/throughput) so speedup_vs_1 reads as the
+    // concurrency gain.
+    let jobs: u64 = if quick { 6 } else { 16 };
+    println!("service throughput ({constraints} constraints, {jobs} jobs/point)");
+    for &w in &counts {
+        let service = ProofService::start(&session, w, jobs as usize);
+        let tickets: Vec<_> = (0..jobs)
+            .map(|i| {
+                service
+                    .submit(mimc(Fr381::from_u64(7 + i), mimc_rounds), 100 + i)
+                    .expect("queue sized for the batch")
+            })
+            .collect();
+        for ticket in tickets {
+            ticket.wait().expect("service job completes");
+        }
+        let stats = service.shutdown();
+        println!(
+            "  workers={w:<3} {:.2} proofs/s (p50 {:.4}s, p95 {:.4}s)",
+            stats.proofs_per_sec, stats.latency_p50_s, stats.latency_p95_s
+        );
+        rows.push(Row {
+            bench: "service",
+            size: constraints,
+            threads: w,
+            seconds: 1.0 / stats.proofs_per_sec,
+            backend: "cpu".into(),
+            algorithm: session_algo.clone(),
+            breakdown: None,
         });
     }
 

@@ -58,7 +58,15 @@ impl<Cu: SwCurve> GlvParams<Cu> {
     /// signed subscalars (exact Babai rounding via the precomputed
     /// Barrett reciprocal; see [`zkp_ff::glv`]).
     pub fn decompose(&self, k: &Cu::Scalar) -> (GlvScalar, GlvScalar) {
-        self.precomp.decompose(&k.to_uint())
+        // Stack buffer on the per-scalar hot path; the Barrett reciprocal
+        // only handles ≤4-limb scalar fields anyway.
+        if Cu::Scalar::NUM_LIMBS <= 4 {
+            let mut limbs = [0u64; 4];
+            k.write_uint(&mut limbs);
+            self.precomp.decompose(&limbs[..Cu::Scalar::NUM_LIMBS])
+        } else {
+            self.precomp.decompose(&k.to_uint())
+        }
     }
 }
 

@@ -188,7 +188,7 @@ impl<Cu: SwCurve> Affine<Cu> {
 
     /// Scalar multiplication (double-and-add over the canonical scalar).
     pub fn mul_scalar(&self, k: &Cu::Scalar) -> Jacobian<Cu> {
-        Jacobian::from(*self).mul_limbs(&k.to_uint())
+        Jacobian::from(*self).mul_scalar(k)
     }
 }
 
@@ -362,7 +362,15 @@ impl<Cu: SwCurve> Jacobian<Cu> {
 
     /// Scalar multiplication by a scalar-field element.
     pub fn mul_scalar(&self, k: &Cu::Scalar) -> Self {
-        self.mul_limbs(&k.to_uint())
+        // Trailing zero limbs are harmless to `mul_limbs` (it skips
+        // leading zeros), so a fixed stack buffer avoids the allocation.
+        if Cu::Scalar::NUM_LIMBS <= 8 {
+            let mut limbs = [0u64; 8];
+            k.write_uint(&mut limbs);
+            self.mul_limbs(&limbs)
+        } else {
+            self.mul_limbs(&k.to_uint())
+        }
     }
 }
 

@@ -277,6 +277,12 @@ impl<C: FpConfig<N>, const N: usize> PrimeField for Fp<C, N> {
         self.to_canonical().limbs().to_vec()
     }
 
+    fn write_uint(&self, out: &mut [u64]) {
+        assert!(out.len() >= N, "write_uint: output too short");
+        out[..N].copy_from_slice(self.to_canonical().limbs());
+        out[N..].fill(0);
+    }
+
     fn from_le_limbs(limbs: &[u64]) -> Option<Self> {
         if limbs.len() > N {
             return None;

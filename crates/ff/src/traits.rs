@@ -104,6 +104,19 @@ pub trait PrimeField: Field + Ord {
     /// The canonical (non-Montgomery) integer representative in `[0, p)`.
     fn to_uint(&self) -> Vec<u64>;
 
+    /// Writes the canonical representative into `out` (little-endian limbs,
+    /// zero-padded) without allocating. `out` must hold at least
+    /// [`Self::NUM_LIMBS`] limbs; extra limbs are zeroed.
+    ///
+    /// The default delegates to [`Self::to_uint`]; implementations on the
+    /// hot path should override it to stay allocation-free.
+    fn write_uint(&self, out: &mut [u64]) {
+        let limbs = self.to_uint();
+        assert!(out.len() >= limbs.len(), "write_uint: output too short");
+        out[..limbs.len()].copy_from_slice(&limbs);
+        out[limbs.len()..].fill(0);
+    }
+
     /// Builds an element from a canonical little-endian limb value.
     ///
     /// Returns `None` if the value is not reduced (`>= p`).

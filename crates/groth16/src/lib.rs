@@ -27,6 +27,9 @@ mod batch;
 mod protocol;
 mod qap;
 mod serialize;
+mod service;
+mod session;
+mod workspace;
 
 pub use batch::verify_batch;
 pub use protocol::{
@@ -35,3 +38,6 @@ pub use protocol::{
 };
 pub use qap::Qap;
 pub use serialize::PROOF_BYTES;
+pub use service::{CompletedProof, JobError, ProofService, ProofTicket, ServiceStats, SubmitError};
+pub use session::ProverSession;
+pub use workspace::ProverWorkspace;

@@ -1,0 +1,293 @@
+//! A multi-proof serving layer on top of [`ProverSession`].
+//!
+//! The service owns a bounded job queue (admission control: full queue →
+//! immediate rejection, not unbounded buffering) and a set of worker
+//! threads, each holding a [`fork`](ProverSession::fork) of one session —
+//! the proving key, MSM plans, and twiddles are shared, only the scratch
+//! workspace is per-worker. Every worker proves on the *same* underlying
+//! thread pool, so the MSM and NTT stages of concurrent proofs interleave
+//! over the shared workers instead of oversubscribing the machine — the
+//! stage-pipelined schedule that turns per-proof latency into throughput.
+//!
+//! Jobs carry an explicit RNG seed, which makes service output
+//! *reproducible*: a job proved through the service is byte-identical to
+//! the same `(circuit, seed)` proved sequentially.
+
+use crate::protocol::{Proof, ProverStats};
+use crate::session::ProverSession;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{mpsc, Arc, Mutex};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+use zkp_curves::Bls12Config;
+use zkp_r1cs::ConstraintSystem;
+use zkp_runtime::service::{percentile, JobQueue};
+
+pub use zkp_runtime::service::SubmitError;
+
+/// A successfully served proof, with its queue/prove timings.
+#[derive(Debug)]
+pub struct CompletedProof<C: Bls12Config> {
+    /// The service-assigned job id (submission order).
+    pub id: u64,
+    /// The proof.
+    pub proof: Proof<C>,
+    /// The prover's work counters.
+    pub stats: ProverStats,
+    /// Time the job sat in the queue before a worker picked it up.
+    pub queue_wait: Duration,
+    /// Time the worker spent proving.
+    pub prove_time: Duration,
+}
+
+impl<C: Bls12Config> CompletedProof<C> {
+    /// End-to-end latency: queue wait plus prove time.
+    pub fn latency(&self) -> Duration {
+        self.queue_wait + self.prove_time
+    }
+}
+
+/// Why a submitted job did not produce a proof.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum JobError {
+    /// The job's deadline had already passed when a worker dequeued it;
+    /// the proof was never started (deadline-drop at dequeue).
+    DeadlineExpired {
+        /// How long the job had waited when it was dropped.
+        waited: Duration,
+    },
+    /// The service shut down before the job completed.
+    ServiceStopped,
+}
+
+/// A handle to one submitted job; redeem it with [`ProofTicket::wait`].
+pub struct ProofTicket<C: Bls12Config> {
+    id: u64,
+    rx: mpsc::Receiver<Result<CompletedProof<C>, JobError>>,
+}
+
+impl<C: Bls12Config> ProofTicket<C> {
+    /// The service-assigned job id.
+    pub fn id(&self) -> u64 {
+        self.id
+    }
+
+    /// Blocks until the job completes, expires, or the service stops.
+    pub fn wait(self) -> Result<CompletedProof<C>, JobError> {
+        self.rx.recv().unwrap_or(Err(JobError::ServiceStopped))
+    }
+}
+
+struct QueuedJob<C: Bls12Config> {
+    id: u64,
+    cs: ConstraintSystem<C::Fr>,
+    seed: u64,
+    deadline: Option<Duration>,
+    submitted: Instant,
+    reply: mpsc::Sender<Result<CompletedProof<C>, JobError>>,
+}
+
+#[derive(Default)]
+struct StatsInner {
+    /// End-to-end latency (queue + prove) per completed job, seconds.
+    latencies: Vec<f64>,
+    /// Queue wait per completed job, seconds.
+    waits: Vec<f64>,
+    expired: u64,
+}
+
+/// Aggregate serving statistics, reported by [`ProofService::shutdown`].
+#[derive(Debug, Clone, Copy, Default)]
+pub struct ServiceStats {
+    /// Jobs proved to completion.
+    pub completed: u64,
+    /// Jobs dropped at dequeue because their deadline had passed.
+    pub expired: u64,
+    /// Jobs rejected at submission (queue full or closed).
+    pub rejected: u64,
+    /// Median end-to-end latency in seconds (queue wait + prove).
+    pub latency_p50_s: f64,
+    /// 95th-percentile end-to-end latency in seconds.
+    pub latency_p95_s: f64,
+    /// Worst-case end-to-end latency in seconds.
+    pub latency_max_s: f64,
+    /// Median queue wait in seconds.
+    pub queue_wait_p50_s: f64,
+    /// Wall-clock life of the service in seconds.
+    pub elapsed_s: f64,
+    /// Completed proofs per wall-clock second.
+    pub proofs_per_sec: f64,
+}
+
+/// A running proof service: bounded queue, per-worker forked sessions.
+///
+/// Dropping the service without calling [`shutdown`](Self::shutdown)
+/// closes the queue and joins the workers (pending jobs still drain).
+pub struct ProofService<C: Bls12Config> {
+    queue: Arc<JobQueue<QueuedJob<C>>>,
+    workers: Vec<JoinHandle<()>>,
+    stats: Arc<Mutex<StatsInner>>,
+    rejected: AtomicU64,
+    next_id: AtomicU64,
+    started: Instant,
+}
+
+impl<C: Bls12Config> ProofService<C> {
+    /// Starts `workers` proving threads over forks of `session`, with a
+    /// queue admitting at most `capacity` pending jobs.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `workers` or `capacity` is zero.
+    pub fn start(session: &ProverSession<C>, workers: usize, capacity: usize) -> Self {
+        assert!(workers > 0, "service needs at least one worker");
+        let queue = Arc::new(JobQueue::new(capacity));
+        let stats = Arc::new(Mutex::new(StatsInner::default()));
+        let handles = (0..workers)
+            .map(|i| {
+                let mut session = session.fork();
+                let queue = Arc::clone(&queue);
+                let stats = Arc::clone(&stats);
+                std::thread::Builder::new()
+                    .name(format!("zkp-prover-{i}"))
+                    .spawn(move || worker_loop(&mut session, &queue, &stats))
+                    .expect("spawn proof worker")
+            })
+            .collect();
+        Self {
+            queue,
+            workers: handles,
+            stats,
+            rejected: AtomicU64::new(0),
+            next_id: AtomicU64::new(0),
+            started: Instant::now(),
+        }
+    }
+
+    /// Submits a proof job. The `seed` determines the blinding factors:
+    /// the served proof is byte-identical to `prove` with
+    /// `StdRng::seed_from_u64(seed)`.
+    ///
+    /// # Errors
+    ///
+    /// [`SubmitError::QueueFull`] when the queue is at capacity (the job
+    /// is *not* enqueued — shed load or retry), [`SubmitError::Closed`]
+    /// after shutdown began.
+    pub fn submit(
+        &self,
+        cs: ConstraintSystem<C::Fr>,
+        seed: u64,
+    ) -> Result<ProofTicket<C>, SubmitError> {
+        self.submit_with_deadline(cs, seed, None)
+    }
+
+    /// [`submit`](Self::submit) with a relative deadline: if the job is
+    /// still queued when the deadline elapses, the worker drops it at
+    /// dequeue and the ticket resolves to [`JobError::DeadlineExpired`].
+    ///
+    /// # Errors
+    ///
+    /// Same admission errors as [`submit`](Self::submit).
+    pub fn submit_with_deadline(
+        &self,
+        cs: ConstraintSystem<C::Fr>,
+        seed: u64,
+        deadline: Option<Duration>,
+    ) -> Result<ProofTicket<C>, SubmitError> {
+        let id = self.next_id.fetch_add(1, Ordering::Relaxed);
+        let (tx, rx) = mpsc::channel();
+        let job = QueuedJob {
+            id,
+            cs,
+            seed,
+            deadline,
+            submitted: Instant::now(),
+            reply: tx,
+        };
+        match self.queue.try_push(job) {
+            Ok(()) => Ok(ProofTicket { id, rx }),
+            Err(e) => {
+                self.rejected.fetch_add(1, Ordering::Relaxed);
+                Err(e)
+            }
+        }
+    }
+
+    /// Jobs currently waiting in the queue.
+    pub fn queue_depth(&self) -> usize {
+        self.queue.len()
+    }
+
+    /// Stops admitting jobs, drains the backlog, joins the workers, and
+    /// returns the aggregate statistics.
+    pub fn shutdown(mut self) -> ServiceStats {
+        self.queue.close();
+        for h in self.workers.drain(..) {
+            let _ = h.join();
+        }
+        let elapsed = self.started.elapsed().as_secs_f64();
+        let inner = self.stats.lock().expect("stats poisoned");
+        let mut latencies = inner.latencies.clone();
+        latencies.sort_by(|a, b| a.partial_cmp(b).expect("finite latencies"));
+        let mut waits = inner.waits.clone();
+        waits.sort_by(|a, b| a.partial_cmp(b).expect("finite waits"));
+        let completed = latencies.len() as u64;
+        ServiceStats {
+            completed,
+            expired: inner.expired,
+            rejected: self.rejected.load(Ordering::Relaxed),
+            latency_p50_s: percentile(&latencies, 50.0).unwrap_or(0.0),
+            latency_p95_s: percentile(&latencies, 95.0).unwrap_or(0.0),
+            latency_max_s: latencies.last().copied().unwrap_or(0.0),
+            queue_wait_p50_s: percentile(&waits, 50.0).unwrap_or(0.0),
+            elapsed_s: elapsed,
+            proofs_per_sec: if elapsed > 0.0 {
+                completed as f64 / elapsed
+            } else {
+                0.0
+            },
+        }
+    }
+}
+
+impl<C: Bls12Config> Drop for ProofService<C> {
+    fn drop(&mut self) {
+        self.queue.close();
+        for h in self.workers.drain(..) {
+            let _ = h.join();
+        }
+    }
+}
+
+fn worker_loop<C: Bls12Config>(
+    session: &mut ProverSession<C>,
+    queue: &JobQueue<QueuedJob<C>>,
+    stats: &Mutex<StatsInner>,
+) {
+    while let Some(job) = queue.pop() {
+        let waited = job.submitted.elapsed();
+        if job.deadline.is_some_and(|d| waited > d) {
+            stats.lock().expect("stats poisoned").expired += 1;
+            let _ = job.reply.send(Err(JobError::DeadlineExpired { waited }));
+            continue;
+        }
+        let t0 = Instant::now();
+        let mut rng = StdRng::seed_from_u64(job.seed);
+        let (proof, pstats) = session.prove_in(&job.cs, &mut rng);
+        let prove_time = t0.elapsed();
+        {
+            let mut inner = stats.lock().expect("stats poisoned");
+            inner.latencies.push((waited + prove_time).as_secs_f64());
+            inner.waits.push(waited.as_secs_f64());
+        }
+        let _ = job.reply.send(Ok(CompletedProof {
+            id: job.id,
+            proof,
+            stats: pstats,
+            queue_wait: waited,
+            prove_time,
+        }));
+    }
+}

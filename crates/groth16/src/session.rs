@@ -1,0 +1,266 @@
+//! Proving sessions: key, plan, and workspace bundled for repeated proofs.
+//!
+//! A [`ProverSession`] owns everything whose lifetime exceeds one proof —
+//! the proving key, the per-key [`ProverPlan`] MSM precompute, the NTT
+//! domain and twiddle table — plus a private [`ProverWorkspace`] of
+//! scratch buffers. [`ProverSession::prove_in`] runs the exact operation
+//! sequence of [`prove_with_plan`](crate::prove_with_plan) but borrows
+//! every buffer from the workspace: after the first (cold) proof sizes
+//! the buffers, steady-state proofs perform no heap allocation on the
+//! hot path and the proof bytes stay identical to the one-shot provers.
+
+use crate::protocol::{Proof, ProverPlan, ProverStats, ProvingKey, VerifyingKey};
+use crate::workspace::ProverWorkspace;
+use rand::Rng;
+use std::sync::Arc;
+use zkp_backend::{quotient_pipeline_in, CpuBackend, ExecBackend, G1Msm};
+use zkp_curves::{Bls12Config, Jacobian};
+use zkp_ff::Field;
+use zkp_ntt::{Domain, TwiddleTable};
+
+/// The proof-lifetime-exceeding state a session shares with its forks:
+/// proving key, MSM plans, NTT domain and twiddles. Immutable after
+/// construction, so service workers share one copy behind an [`Arc`].
+pub(crate) struct SessionShared<C: Bls12Config> {
+    pub(crate) pk: ProvingKey<C>,
+    pub(crate) plan: ProverPlan<C>,
+    pub(crate) domain: Domain<C::Fr>,
+    pub(crate) table: TwiddleTable<C::Fr>,
+}
+
+/// A reusable proving session for one proving key.
+///
+/// Construction pays every per-key cost once — the GLV point expansion
+/// and window precompute of the four G1 [`MsmPlan`](zkp_msm::MsmPlan)s,
+/// the twiddle table — and the embedded [`ProverWorkspace`] amortizes the
+/// per-proof buffers. Sessions are `Send`; to prove concurrently, create
+/// one per worker with [`ProverSession::fork`] (the shared key and plans
+/// are reference-counted, only the scratch is duplicated).
+pub struct ProverSession<C: Bls12Config> {
+    shared: Arc<SessionShared<C>>,
+    ws: ProverWorkspace<C>,
+}
+
+impl<C: Bls12Config> ProverSession<C> {
+    /// Builds a session, consuming the proving key. Plans are built with
+    /// the default (fastest) MSM configuration on the global pool.
+    pub fn new(pk: ProvingKey<C>) -> Self {
+        Self::with_config(pk, &zkp_msm::MsmConfig::glv_style())
+    }
+
+    /// [`new`](Self::new) with an explicit MSM configuration for the
+    /// per-key plans (e.g. [`zkp_backend::cpu::default_msm_config`] to
+    /// honor the `ZKP_MSM_GLV` opt-out the CI A/B smoke toggles).
+    pub fn with_config(pk: ProvingKey<C>, config: &zkp_msm::MsmConfig) -> Self {
+        let plan = ProverPlan::build_with(&pk, config, None, zkp_runtime::global());
+        // setup() emits one h-query base per domain element except the
+        // last, so the key pins the domain size.
+        let domain = Domain::new((pk.h_query.len() + 1) as u64)
+            .expect("proving key domain within the field two-adicity");
+        let table = TwiddleTable::new(&domain);
+        Self {
+            shared: Arc::new(SessionShared {
+                pk,
+                plan,
+                domain,
+                table,
+            }),
+            ws: ProverWorkspace::new(),
+        }
+    }
+
+    /// A new session sharing this one's key, plans, and twiddles, with a
+    /// fresh (empty) workspace. This is how a [`ProofService`]
+    /// (crate::ProofService) worker gets its own scratch without
+    /// duplicating the per-key precompute.
+    pub fn fork(&self) -> Self {
+        Self {
+            shared: Arc::clone(&self.shared),
+            ws: ProverWorkspace::new(),
+        }
+    }
+
+    /// The proving key.
+    pub fn pk(&self) -> &ProvingKey<C> {
+        &self.shared.pk
+    }
+
+    /// The verification key.
+    pub fn vk(&self) -> &VerifyingKey<C> {
+        &self.shared.pk.vk
+    }
+
+    /// The cached per-key MSM plans.
+    pub fn plan(&self) -> &ProverPlan<C> {
+        &self.shared.plan
+    }
+
+    /// The NTT domain size every proof in this session runs over.
+    pub fn domain_size(&self) -> u64 {
+        self.shared.domain.size()
+    }
+
+    /// Bytes currently held by the workspace's field-element buffers.
+    pub fn workspace_bytes(&self) -> usize {
+        self.ws.held_bytes()
+    }
+
+    /// Proves on the global pool's CPU backend, reusing the workspace.
+    /// Steady-state calls (same circuit shape as the previous call)
+    /// perform no heap allocation on the hot path.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the system's shape disagrees with the proving key or the
+    /// assignment does not satisfy the constraints (debug builds).
+    pub fn prove_in<R: Rng + ?Sized>(
+        &mut self,
+        cs: &zkp_r1cs::ConstraintSystem<C::Fr>,
+        rng: &mut R,
+    ) -> (Proof<C>, ProverStats) {
+        self.prove_in_on(cs, rng, &CpuBackend::global())
+    }
+
+    /// [`prove_in`](Self::prove_in) through an explicit execution
+    /// backend. Proof bytes are identical to
+    /// [`prove_with_plan`](crate::prove_with_plan) for the same `rng`
+    /// stream, at any thread count, under any correct backend.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the system's shape disagrees with the proving key or the
+    /// assignment does not satisfy the constraints (debug builds).
+    pub fn prove_in_on<R: Rng + ?Sized, B: ExecBackend<C> + ?Sized>(
+        &mut self,
+        cs: &zkp_r1cs::ConstraintSystem<C::Fr>,
+        rng: &mut R,
+        backend: &B,
+    ) -> (Proof<C>, ProverStats) {
+        let shared = &*self.shared;
+        let pk = &shared.pk;
+        let plan = &shared.plan;
+        debug_assert!(cs.is_satisfied(), "witness does not satisfy the circuit");
+        assert_eq!(
+            cs.num_variables(),
+            pk.a_query.len(),
+            "constraint system shape does not match the proving key"
+        );
+        let num_rows = cs.num_constraints() + cs.num_public() + 1;
+        assert_eq!(
+            num_rows.next_power_of_two() as u64,
+            shared.domain.size(),
+            "constraint system domain does not match the session's key"
+        );
+
+        // Flat z = (1, public…, private…), refilled in place.
+        let ws = &mut self.ws;
+        ws.z.clear();
+        ws.z.push(C::Fr::one());
+        ws.z.extend_from_slice(&cs.assignment.public);
+        ws.z.extend_from_slice(&cs.assignment.private);
+
+        // Blinding factors come out of the RNG before any parallel work
+        // so the transcript does not depend on scheduling.
+        let r = C::Fr::random(rng);
+        let s = C::Fr::random(rng);
+
+        backend.witness_eval_into(
+            cs,
+            shared.domain.size(),
+            &mut ws.a_evals,
+            &mut ws.b_evals,
+            &mut ws.c_evals,
+        );
+        let pool = backend.pool();
+
+        let ProverWorkspace {
+            z,
+            a_evals,
+            b_evals,
+            c_evals,
+            g1,
+            g2,
+        } = ws;
+        let z: &[C::Fr] = z;
+        let priv_z = &z[1 + cs.num_public()..];
+        assert_eq!(priv_z.len(), pk.l_query.len(), "plan/witness mismatch: L");
+        let [sa, sb1, sl, sh] = g1;
+
+        // Same task graph as `prove_impl`, with every heavy op routed
+        // through the scratch-borrowing `_in` entry points.
+        let ((h_acc, ntt_count, h_len), (a_msm, (b1_msm, (b2_msm, l_acc)))) = pool.join(
+            || {
+                let ntt_count = quotient_pipeline_in(
+                    &shared.domain,
+                    &shared.table,
+                    a_evals,
+                    b_evals,
+                    c_evals,
+                    backend,
+                );
+                // h's coefficients are left in `a_evals` by the pipeline.
+                let h_len = pk.h_query.len().min(a_evals.len());
+                let h_acc = backend.msm_g1_planned_in(G1Msm::H, &plan.h, &a_evals[..h_len], sh);
+                (h_acc, ntt_count, h_len)
+            },
+            || {
+                pool.join(
+                    || backend.msm_g1_planned_in(G1Msm::A, &plan.a, z, sa),
+                    || {
+                        pool.join(
+                            || backend.msm_g1_planned_in(G1Msm::B1, &plan.b1, z, sb1),
+                            || {
+                                pool.join(
+                                    || backend.msm_g2_in(&pk.b_g2_query, z, g2),
+                                    || backend.msm_g1_planned_in(G1Msm::L, &plan.l, priv_z, sl),
+                                )
+                            },
+                        )
+                    },
+                )
+            },
+        );
+
+        // A = α + Σ zᵢ·uᵢ(τ) + r·δ
+        let a_acc = a_msm
+            .add_affine(&pk.alpha_g1)
+            .add(&Jacobian::from(pk.delta_g1).mul_scalar(&r));
+
+        // B = β + Σ zᵢ·vᵢ(τ) + s·δ  (G2, with a G1 twin for C)
+        let b_g2_acc = b2_msm
+            .add_affine(&pk.beta_g2)
+            .add(&Jacobian::from(pk.delta_g2).mul_scalar(&s));
+        let b_g1_acc = b1_msm
+            .add_affine(&pk.beta_g1)
+            .add(&Jacobian::from(pk.delta_g1).mul_scalar(&s));
+
+        // C = Σ_priv zᵢ·lᵢ + Σ hᵢ·(τⁱZ(τ)/δ) + s·A + r·B₁ - r·s·δ
+        let rs = r * s;
+        let c_acc = l_acc
+            .add(&h_acc)
+            .add(&a_acc.mul_scalar(&s))
+            .add(&b_g1_acc.mul_scalar(&r))
+            .add(&Jacobian::from(pk.delta_g1).mul_scalar(&(-rs)));
+
+        // Individual affine conversions: exact field inversion gives the
+        // same canonical coordinates as the one-shot prover's batched
+        // normalization, without its temporary vector.
+        let proof = Proof {
+            a: a_acc.to_affine(),
+            b: b_g2_acc.to_affine(),
+            c: c_acc.to_affine(),
+        };
+        let stats = ProverStats {
+            g1_msm_sizes: [
+                z.len() as u64,
+                z.len() as u64,
+                priv_z.len() as u64,
+                h_len as u64,
+            ],
+            g2_msm_size: z.len() as u64,
+            ntt_count,
+            domain_size: shared.domain.size(),
+        };
+        (proof, stats)
+    }
+}

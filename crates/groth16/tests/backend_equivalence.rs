@@ -11,8 +11,8 @@ use zkp_backend::{CpuBackend, ExecBackend, LibraryId, OpKind, SimGpuBackend, Tra
 use zkp_curves::bls12_381::Bls12381;
 use zkp_ff::{Field, Fr381};
 use zkp_groth16::{
-    prove_traced, prove_with_backend, prove_with_plan, setup, verify, ProverPlan, ProverStats,
-    ProvingKey,
+    prove_traced, prove_with_backend, prove_with_plan, setup, verify, ProverPlan, ProverSession,
+    ProverStats, ProvingKey,
 };
 use zkp_msm::MsmConfig;
 use zkp_r1cs::circuits::mimc;
@@ -124,6 +124,52 @@ fn glv_and_planned_provers_reproduce_the_digest_at_every_thread_count() {
         );
         assert_eq!(s_planned, s_plain);
     }
+}
+
+#[test]
+fn session_prover_reproduces_the_digest_cold_and_warm() {
+    // The workspace-borrowing session path must keep producing the
+    // committed pre-refactor bytes — cold (first call sizes the
+    // buffers), warm (buffers reused), at every thread count, and under
+    // the tracing decorator.
+    let (cs, pk) = fixture();
+    let reference = reference_proof_hex();
+    let mut session = ProverSession::new(pk);
+    assert_eq!(session.domain_size(), 128);
+    for threads in [1usize, 2, 8] {
+        let pool = ThreadPool::with_threads(threads);
+        let cpu = CpuBackend::on(&pool);
+        for round in 0..2 {
+            let mut rng = StdRng::seed_from_u64(9);
+            let (proof, stats) = session.prove_in_on(&cs, &mut rng, &cpu);
+            assert_eq!(
+                digest_hex(&proof.to_bytes()),
+                reference,
+                "session diverged at {threads} threads, round {round}"
+            );
+            assert_eq!(
+                stats,
+                ProverStats {
+                    g1_msm_sizes: [66, 66, 64, 127],
+                    g2_msm_size: 66,
+                    ntt_count: 7,
+                    domain_size: 128,
+                }
+            );
+        }
+    }
+    // A fork shares the key and plans but proves independently.
+    let mut fork = session.fork();
+    let mut rng = StdRng::seed_from_u64(9);
+    let (proof, _) = fork.prove_in(&cs, &mut rng);
+    assert_eq!(digest_hex(&proof.to_bytes()), reference);
+    // Traced session runs record the planned stage graph.
+    let traced = TracingBackend::new(CpuBackend::global());
+    let mut rng = StdRng::seed_from_u64(9);
+    let (proof, _) = session.prove_in_on(&cs, &mut rng, &traced);
+    assert_eq!(digest_hex(&proof.to_bytes()), reference);
+    let trace = ExecBackend::<Bls12381>::take_trace(&traced);
+    assert_eq!(trace.records.len(), 1 + 7 + 4 + 4 + 1);
 }
 
 #[test]

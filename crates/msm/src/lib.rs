@@ -45,8 +45,8 @@ pub use batch_affine::{msm_batch_affine, BatchAffineOutput, BatchAffineStats};
 pub use config::{BucketRepr, MsmConfig};
 pub use fixed_base::FixedBase;
 pub use pippenger::{
-    default_window_bits, msm, msm_parallel, msm_parallel_with_config, msm_serial, msm_with_config,
-    num_windows, MsmOutput, MsmStats,
+    default_window_bits, msm, msm_parallel, msm_parallel_with_config, msm_parallel_with_config_in,
+    msm_serial, msm_with_config, num_windows, MsmOutput, MsmScratch, MsmStats,
 };
 pub use plan::MsmPlan;
 pub use precompute::{precompute_cost, PrecomputeCost, PrecomputedPoints};

@@ -94,46 +94,45 @@ pub fn default_window_bits(n: usize) -> u32 {
 
 /// Generic bucket accumulator abstracting the point representation
 /// (Jacobian vs XYZZ — the choice `sppark` made for its speedups, §IV-A).
+///
+/// Implemented directly on the point types so the reusable bucket arenas
+/// in [`MsmScratch`] are plain `Vec<Jacobian>` / `Vec<Xyzz>`. Method
+/// names avoid the inherent `add`/`add_affine` so call sites stay
+/// unambiguous.
 trait Accumulator<Cu: SwCurve>: Clone + Send + Sync {
-    fn identity() -> Self;
-    fn add_affine(&mut self, p: &Affine<Cu>);
-    fn add_acc(&mut self, other: &Self);
+    fn acc_identity() -> Self;
+    fn acc_affine(&mut self, p: &Affine<Cu>);
+    fn acc_merge(&mut self, other: &Self);
     fn into_jacobian(self) -> Jacobian<Cu>;
 }
 
-#[derive(Clone)]
-struct JacAcc<Cu: SwCurve>(Jacobian<Cu>);
-
-impl<Cu: SwCurve> Accumulator<Cu> for JacAcc<Cu> {
-    fn identity() -> Self {
-        Self(Jacobian::identity())
+impl<Cu: SwCurve> Accumulator<Cu> for Jacobian<Cu> {
+    fn acc_identity() -> Self {
+        Jacobian::identity()
     }
-    fn add_affine(&mut self, p: &Affine<Cu>) {
-        self.0 = self.0.add_affine(p);
+    fn acc_affine(&mut self, p: &Affine<Cu>) {
+        *self = self.add_affine(p);
     }
-    fn add_acc(&mut self, other: &Self) {
-        self.0 = self.0.add(&other.0);
+    fn acc_merge(&mut self, other: &Self) {
+        *self = self.add(other);
     }
     fn into_jacobian(self) -> Jacobian<Cu> {
-        self.0
+        self
     }
 }
 
-#[derive(Clone)]
-struct XyzzAcc<Cu: SwCurve>(Xyzz<Cu>);
-
-impl<Cu: SwCurve> Accumulator<Cu> for XyzzAcc<Cu> {
-    fn identity() -> Self {
-        Self(Xyzz::identity())
+impl<Cu: SwCurve> Accumulator<Cu> for Xyzz<Cu> {
+    fn acc_identity() -> Self {
+        Xyzz::identity()
     }
-    fn add_affine(&mut self, p: &Affine<Cu>) {
-        self.0 = self.0.add_affine(p);
+    fn acc_affine(&mut self, p: &Affine<Cu>) {
+        *self = self.add_affine(p);
     }
-    fn add_acc(&mut self, other: &Self) {
-        self.0 = self.0.add(&other.0);
+    fn acc_merge(&mut self, other: &Self) {
+        *self = self.add(other);
     }
     fn into_jacobian(self) -> Jacobian<Cu> {
-        self.0.to_jacobian()
+        self.to_jacobian()
     }
 }
 
@@ -185,23 +184,36 @@ pub(crate) fn decompose_row_limbs(
     }
 }
 
-/// Decomposes one scalar into its row of the signed-digit matrix.
+/// Scalar limbs copied to the stack on the per-row hot path; every
+/// supported scalar field fits (BLS12 Fr has 4 limbs).
+pub(crate) const SCALAR_LIMBS_STACK: usize = 8;
+
+/// Decomposes one scalar into its row of the signed-digit matrix without
+/// heap-allocating the canonical limbs.
 fn decompose_row<F: PrimeField>(scalar: &F, window_bits: u32, signed: bool, row: &mut [i32]) {
-    decompose_row_limbs(&scalar.to_uint(), window_bits, signed, false, row);
+    if F::NUM_LIMBS <= SCALAR_LIMBS_STACK {
+        let mut limbs = [0u64; SCALAR_LIMBS_STACK];
+        scalar.write_uint(&mut limbs);
+        decompose_row_limbs(&limbs[..F::NUM_LIMBS], window_bits, signed, false, row);
+    } else {
+        decompose_row_limbs(&scalar.to_uint(), window_bits, signed, false, row);
+    }
 }
 
 /// Fills the flat `n × w` signed-digit matrix (scalar-major rows) in
-/// parallel and returns it with the number of non-zero digits.
-fn decompose_matrix<F: PrimeField>(
+/// parallel, reusing `digits`' capacity.
+pub(crate) fn decompose_matrix_into<F: PrimeField>(
     pool: &ThreadPool,
     scalars: &[F],
     window_bits: u32,
     num_windows: u32,
     signed: bool,
-) -> Vec<i32> {
+    digits: &mut Vec<i32>,
+) {
     let n = scalars.len();
     let w = num_windows as usize;
-    let mut digits = vec![0i32; n * w];
+    digits.clear();
+    digits.resize(n * w, 0);
     let base = MatPtr(digits.as_mut_ptr());
     pool.parallel_for(n, usize::MAX, 128, |_, range| {
         // SAFETY: row ranges are contiguous, in bounds, and pairwise
@@ -212,34 +224,35 @@ fn decompose_matrix<F: PrimeField>(
             decompose_row(&scalars[i], window_bits, signed, row);
         }
     });
-    digits
 }
 
-pub(crate) struct MatPtr(pub(crate) *mut i32);
+/// A raw element pointer handed to pool tasks writing disjoint cells of a
+/// caller-owned buffer.
+pub(crate) struct MatPtr<T = i32>(pub(crate) *mut T);
 
-impl MatPtr {
+impl<T> MatPtr<T> {
     /// Pointer to element `i`. A method keeps closure capture on the whole
     /// `MatPtr` (which is `Sync`) rather than the bare field.
     ///
     /// # Safety
     ///
     /// `i` must be in bounds of the underlying allocation.
-    pub(crate) unsafe fn at(&self, i: usize) -> *mut i32 {
+    pub(crate) unsafe fn at(&self, i: usize) -> *mut T {
         unsafe { self.0.add(i) }
     }
 }
 
-impl Clone for MatPtr {
+impl<T> Clone for MatPtr<T> {
     fn clone(&self) -> Self {
         *self
     }
 }
-impl Copy for MatPtr {}
+impl<T> Copy for MatPtr<T> {}
 
-// SAFETY: only used to hand disjoint, in-bounds row ranges to pool tasks
-// while the owning frame keeps the matrix alive.
-unsafe impl Send for MatPtr {}
-unsafe impl Sync for MatPtr {}
+// SAFETY: only used to hand disjoint, in-bounds cell ranges to pool tasks
+// while the owning frame keeps the buffer alive.
+unsafe impl<T: Send> Send for MatPtr<T> {}
+unsafe impl<T: Send> Sync for MatPtr<T> {}
 
 /// How many windows a scalar field needs at a given window size.
 ///
@@ -271,6 +284,92 @@ fn chunk_grid(n: usize, buckets_per_window: u64) -> usize {
 }
 
 // ---------------------------------------------------------------------------
+// Reusable scratch state
+// ---------------------------------------------------------------------------
+
+/// Retained per-task state of batch-affine bucket accumulation; cleared
+/// (capacity kept) at the start of every run.
+pub(crate) struct AffineChunkScratch<Cu: SwCurve> {
+    buckets: Vec<Option<Affine<Cu>>>,
+    busy: Vec<bool>,
+    jobs: Vec<(usize, Affine<Cu>)>,
+    round: Vec<(usize, Affine<Cu>)>,
+    deferred: Vec<(usize, Affine<Cu>)>,
+    denoms: Vec<Cu::Base>,
+}
+
+impl<Cu: SwCurve> Default for AffineChunkScratch<Cu> {
+    fn default() -> Self {
+        Self {
+            buckets: Vec::new(),
+            busy: Vec::new(),
+            jobs: Vec::new(),
+            round: Vec::new(),
+            deferred: Vec::new(),
+            denoms: Vec::new(),
+        }
+    }
+}
+
+/// Bucket-engine arenas: one flat task-major bucket arena per point
+/// representation (block `t` holds the `buckets_per_window` buckets of
+/// task `t = win·chunks + chunk`, so one window's chunk partials are
+/// contiguous), per-task counters, and the per-window sums.
+pub(crate) struct EngineScratch<Cu: SwCurve> {
+    jac: Vec<Jacobian<Cu>>,
+    xyzz: Vec<Xyzz<Cu>>,
+    affine: Vec<AffineChunkScratch<Cu>>,
+    /// Per task: (non-zero digits consumed, batched inversions).
+    counts: Vec<(u64, u64)>,
+    window_sums: Vec<Jacobian<Cu>>,
+}
+
+impl<Cu: SwCurve> Default for EngineScratch<Cu> {
+    fn default() -> Self {
+        Self {
+            jac: Vec::new(),
+            xyzz: Vec::new(),
+            affine: Vec::new(),
+            counts: Vec::new(),
+            window_sums: Vec::new(),
+        }
+    }
+}
+
+/// Reusable scratch memory for one MSM call site.
+///
+/// Every transient buffer an MSM needs — digit matrix, GLV subscalars,
+/// the expanded `[P…, φ(P)…]` point set, bucket arenas, per-round
+/// batch-affine state — lives here and is reused run to run, so a warmed
+/// scratch makes [`msm_parallel_with_config_in`] / [`MsmPlan::execute_in`]
+/// allocation-free in steady state. Buffers only ever grow; results are
+/// bit-identical to the scratch-free entry points.
+pub struct MsmScratch<Cu: SwCurve> {
+    pub(crate) engine: EngineScratch<Cu>,
+    pub(crate) digits: Vec<i32>,
+    pub(crate) subs: Vec<(GlvScalar, GlvScalar)>,
+    pub(crate) expanded: Vec<Affine<Cu>>,
+}
+
+impl<Cu: SwCurve> MsmScratch<Cu> {
+    /// An empty scratch; buffers are sized lazily on first use.
+    pub fn new() -> Self {
+        Self {
+            engine: EngineScratch::default(),
+            digits: Vec::new(),
+            subs: Vec::new(),
+            expanded: Vec::new(),
+        }
+    }
+}
+
+impl<Cu: SwCurve> Default for MsmScratch<Cu> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+// ---------------------------------------------------------------------------
 // The shared bucket engine
 // ---------------------------------------------------------------------------
 
@@ -290,29 +389,45 @@ pub(crate) struct EngineInput<'a, Cu: SwCurve> {
     pub buckets_per_window: u64,
 }
 
-/// Dispatches the engine over the configured bucket representation.
-pub(crate) fn run_bucket_engine<Cu: SwCurve>(
+/// Dispatches the engine over the configured bucket representation,
+/// reusing `scratch`'s arenas.
+pub(crate) fn run_bucket_engine_in<Cu: SwCurve>(
     repr: BucketRepr,
     inp: EngineInput<'_, Cu>,
     pool: &ThreadPool,
+    scratch: &mut EngineScratch<Cu>,
 ) -> MsmOutput<Cu> {
+    let EngineScratch {
+        jac,
+        xyzz,
+        affine,
+        counts,
+        window_sums,
+    } = scratch;
     match repr {
-        BucketRepr::Jacobian => bucket_engine::<Cu, JacAcc<Cu>>(inp, false, pool),
-        BucketRepr::Xyzz => bucket_engine::<Cu, XyzzAcc<Cu>>(inp, false, pool),
+        BucketRepr::Jacobian => {
+            bucket_engine_in::<Cu, Jacobian<Cu>>(inp, false, pool, jac, affine, counts, window_sums)
+        }
+        BucketRepr::Xyzz => {
+            bucket_engine_in::<Cu, Xyzz<Cu>>(inp, false, pool, xyzz, affine, counts, window_sums)
+        }
         // Batch-affine accumulation; merged partials and the reduction tail
         // still run in XYZZ (the affine trick only pays in accumulation).
-        BucketRepr::BatchAffine => bucket_engine::<Cu, XyzzAcc<Cu>>(inp, true, pool),
+        BucketRepr::BatchAffine => {
+            bucket_engine_in::<Cu, Xyzz<Cu>>(inp, true, pool, xyzz, affine, counts, window_sums)
+        }
     }
 }
 
 /// Batch-affine bucket accumulation for one (window, chunk) task —
 /// §IV-D1b inside the parallel engine. Affine buckets, per-round batched
 /// slope inversions (serial [`batch_inverse`]: we are already inside a
-/// pool task), collisions deferred to the next round.
+/// pool task), collisions deferred to the next round. All per-round state
+/// lives in the task's retained [`AffineChunkScratch`].
 ///
-/// Returns the affine buckets, the non-zero digit count, and the number of
-/// batched inversions performed.
-#[allow(clippy::type_complexity)]
+/// Leaves the affine buckets in `sc.buckets` and returns the non-zero
+/// digit count and the number of batched inversions performed.
+#[allow(clippy::too_many_arguments)]
 fn accumulate_affine_chunk<Cu: SwCurve>(
     points: &[Affine<Cu>],
     digits: &[i32],
@@ -321,10 +436,14 @@ fn accumulate_affine_chunk<Cu: SwCurve>(
     lo: usize,
     hi: usize,
     buckets_per_window: usize,
-) -> (Vec<Option<Affine<Cu>>>, u64, u64) {
-    let mut buckets: Vec<Option<Affine<Cu>>> = vec![None; buckets_per_window];
+    sc: &mut AffineChunkScratch<Cu>,
+) -> (u64, u64) {
+    sc.buckets.clear();
+    sc.buckets.resize(buckets_per_window, None);
+    sc.busy.clear();
+    sc.busy.resize(buckets_per_window, false);
+    sc.jobs.clear();
     let mut nonzero = 0u64;
-    let mut jobs: Vec<(usize, Affine<Cu>)> = Vec::new();
     for i in lo..hi {
         let d = digits[i * w + win];
         if d == 0 {
@@ -333,55 +452,53 @@ fn accumulate_affine_chunk<Cu: SwCurve>(
         nonzero += 1;
         let p = if d > 0 { points[i] } else { points[i].neg() };
         if !p.is_identity() {
-            jobs.push((d.unsigned_abs() as usize - 1, p));
+            sc.jobs.push((d.unsigned_abs() as usize - 1, p));
         }
     }
 
     let mut inversions = 0u64;
-    let mut busy = vec![false; buckets_per_window];
-    while !jobs.is_empty() {
+    while !sc.jobs.is_empty() {
         // ≤ 1 update per bucket per round; the rest waits.
-        let mut round: Vec<(usize, Affine<Cu>)> = Vec::with_capacity(jobs.len());
-        let mut deferred: Vec<(usize, Affine<Cu>)> = Vec::new();
-        for job in jobs {
-            if busy[job.0] {
-                deferred.push(job);
+        sc.round.clear();
+        sc.deferred.clear();
+        for job in sc.jobs.drain(..) {
+            if sc.busy[job.0] {
+                sc.deferred.push(job);
             } else {
-                busy[job.0] = true;
-                round.push(job);
+                sc.busy[job.0] = true;
+                sc.round.push(job);
             }
         }
-        for job in &round {
-            busy[job.0] = false;
+        for job in &sc.round {
+            sc.busy[job.0] = false;
         }
 
         // Phase 1: slope denominators (x₂-x₁ for chords, 2y for tangents;
         // trivial cases batch-invert a harmless 1).
-        let mut denoms: Vec<Cu::Base> = round
-            .iter()
-            .map(|(b, p)| match &buckets[*b] {
+        sc.denoms.clear();
+        sc.denoms
+            .extend(sc.round.iter().map(|(b, p)| match &sc.buckets[*b] {
                 None => Cu::Base::one(),
                 Some(q) if q.x == p.x && q.y == p.y => p.y.double(),
                 Some(q) if q.x == p.x => Cu::Base::one(),
                 Some(q) => p.x - q.x,
-            })
-            .collect();
-        if !denoms.is_empty() {
-            batch_inverse(&mut denoms);
+            }));
+        if !sc.denoms.is_empty() {
+            batch_inverse(&mut sc.denoms);
             inversions += 1;
         }
 
         // Phase 2: apply the affine formulas with the shared inverses.
-        for ((b, p), dinv) in round.iter().zip(&denoms) {
-            match buckets[*b] {
-                None => buckets[*b] = Some(*p),
+        for ((b, p), dinv) in sc.round.iter().zip(&sc.denoms) {
+            match sc.buckets[*b] {
+                None => sc.buckets[*b] = Some(*p),
                 Some(q) if q.x == p.x && q.y == p.y => {
                     // Affine doubling: λ = 3x² / 2y.
                     let xx = q.x.square();
                     let lambda = (xx.double() + xx) * *dinv;
                     let x3 = lambda.square() - q.x.double();
                     let y3 = lambda * (q.x - x3) - q.y;
-                    buckets[*b] = Some(Affine {
+                    sc.buckets[*b] = Some(Affine {
                         x: x3,
                         y: y3,
                         infinity: false,
@@ -389,14 +506,14 @@ fn accumulate_affine_chunk<Cu: SwCurve>(
                 }
                 Some(q) if q.x == p.x => {
                     // P + (−P): the bucket empties.
-                    buckets[*b] = None;
+                    sc.buckets[*b] = None;
                 }
                 Some(q) => {
                     // Affine addition: λ = (y₂-y₁)/(x₂-x₁).
                     let lambda = (p.y - q.y) * *dinv;
                     let x3 = lambda.square() - q.x - p.x;
                     let y3 = lambda * (q.x - x3) - q.y;
-                    buckets[*b] = Some(Affine {
+                    sc.buckets[*b] = Some(Affine {
                         x: x3,
                         y: y3,
                         infinity: false,
@@ -404,15 +521,20 @@ fn accumulate_affine_chunk<Cu: SwCurve>(
                 }
             }
         }
-        jobs = deferred;
+        std::mem::swap(&mut sc.jobs, &mut sc.deferred);
     }
-    (buckets, nonzero, inversions)
+    (nonzero, inversions)
 }
 
-fn bucket_engine<Cu: SwCurve, Acc: Accumulator<Cu>>(
+#[allow(clippy::too_many_arguments)]
+fn bucket_engine_in<Cu: SwCurve, Acc: Accumulator<Cu>>(
     inp: EngineInput<'_, Cu>,
     batch_affine: bool,
     pool: &ThreadPool,
+    arena: &mut Vec<Acc>,
+    affine: &mut Vec<AffineChunkScratch<Cu>>,
+    counts: &mut Vec<(u64, u64)>,
+    window_sums: &mut Vec<Jacobian<Cu>>,
 ) -> MsmOutput<Cu> {
     let n = inp.points.len();
     let (s, w, buckets_per_window) = (inp.window_bits, inp.windows, inp.buckets_per_window);
@@ -424,82 +546,99 @@ fn bucket_engine<Cu: SwCurve, Acc: Accumulator<Cu>>(
         };
     }
 
-    // Bucket accumulation over the windows × chunks task grid. Each task
-    // returns its partial buckets, the non-zero digits it consumed (the
-    // canonical accumulation-PADD count, summed deterministically), and
-    // its batched-inversion count.
+    // Bucket accumulation over the windows × chunks task grid. Task
+    // `t = win·chunks + chunk` owns arena block `t` (its partial buckets,
+    // re-initialized then filled) and `counts[t]` (the non-zero digits it
+    // consumed — the canonical accumulation-PADD count — plus its
+    // batched-inversion count). Block layout keeps one window's chunk
+    // partials contiguous for the merge pass.
     let chunks = chunk_grid(n, buckets_per_window);
     let chunk_len = n.div_ceil(chunks);
     let wu = w as usize;
+    let bpw = buckets_per_window as usize;
+    let tasks = wu * chunks;
     let (points, digits) = (inp.points, inp.digits);
-    let partials: Vec<(Vec<Acc>, u64, u64)> = pool.map(wu * chunks, 1, |t| {
+
+    // Stale values from a previous run are fine: every task fully
+    // re-initializes its own block before accumulating into it.
+    arena.resize(tasks * bpw, Acc::acc_identity());
+    counts.clear();
+    counts.resize(tasks, (0, 0));
+    if batch_affine && affine.len() < tasks {
+        affine.resize_with(tasks, AffineChunkScratch::default);
+    }
+    let counts_ptr = MatPtr(counts.as_mut_ptr());
+    let affine_ptr = MatPtr(affine.as_mut_ptr());
+    pool.for_each_block_mut(arena, bpw, 1, |t, block| {
         let win = t / chunks;
         let lo = (t % chunks) * chunk_len;
         let hi = (lo + chunk_len).min(n);
-        if batch_affine {
-            let (affine, nonzero, inversions) = accumulate_affine_chunk(
-                points,
-                digits,
-                wu,
-                win,
-                lo,
-                hi,
-                buckets_per_window as usize,
-            );
-            let buckets = affine
-                .into_iter()
-                .map(|slot| {
-                    let mut acc = Acc::identity();
-                    if let Some(p) = slot {
-                        acc.add_affine(&p);
-                    }
-                    acc
-                })
-                .collect();
-            (buckets, nonzero, inversions)
+        let task_counts = if batch_affine {
+            // SAFETY: task `t` exclusively owns `affine[t]`; t < tasks.
+            let sc = unsafe { &mut *affine_ptr.at(t) };
+            let (nonzero, inversions) =
+                accumulate_affine_chunk(points, digits, wu, win, lo, hi, bpw, sc);
+            for (slot, bucket) in sc.buckets.iter().zip(block.iter_mut()) {
+                let mut acc = Acc::acc_identity();
+                if let Some(p) = slot {
+                    acc.acc_affine(p);
+                }
+                *bucket = acc;
+            }
+            (nonzero, inversions)
         } else {
-            let mut buckets = vec![Acc::identity(); buckets_per_window as usize];
+            for bucket in block.iter_mut() {
+                *bucket = Acc::acc_identity();
+            }
             let mut nonzero = 0u64;
             for i in lo..hi {
                 let d = digits[i * wu + win];
                 if d > 0 {
-                    buckets[d as usize - 1].add_affine(&points[i]);
+                    block[d as usize - 1].acc_affine(&points[i]);
                     nonzero += 1;
                 } else if d < 0 {
-                    buckets[(-d) as usize - 1].add_affine(&points[i].neg());
+                    block[(-d) as usize - 1].acc_affine(&points[i].neg());
                     nonzero += 1;
                 }
             }
-            (buckets, nonzero, 0)
-        }
+            (nonzero, 0)
+        };
+        // SAFETY: task `t` exclusively owns `counts[t]`; t < tasks.
+        unsafe { counts_ptr.at(t).write(task_counts) };
     });
-    let accumulation_padds = partials.iter().map(|(_, c, _)| c).sum();
-    let batch_inversions = partials.iter().map(|(_, _, b)| b).sum();
+    let accumulation_padds = counts.iter().map(|(c, _)| c).sum();
+    let batch_inversions = counts.iter().map(|(_, b)| b).sum();
 
-    // Per-window: merge chunk partials bucket-wise (in chunk order), then
-    // Sum-of-Sums Σ (i+1)·B_i via running suffix sums.
-    let window_sums: Vec<Jacobian<Cu>> = pool.map(wu, 1, |win| {
-        let parts = &partials[win * chunks..(win + 1) * chunks];
+    // Per-window: merge chunk partials bucket-wise (in chunk order, into
+    // the chunk-0 block), then Sum-of-Sums Σ (i+1)·B_i via running suffix
+    // sums. Same operation order as a fresh-buffer run, so the resulting
+    // point is bit-identical.
+    window_sums.clear();
+    window_sums.resize(wu, Jacobian::identity());
+    let sums_ptr = MatPtr(window_sums.as_mut_ptr());
+    pool.for_each_block_mut(arena, chunks * bpw, 1, |win, wblock| {
         let sum_of_sums = |buckets: &[Acc]| {
-            let mut running = Acc::identity();
-            let mut sum = Acc::identity();
+            let mut running = Acc::acc_identity();
+            let mut sum = Acc::acc_identity();
             for b in buckets.iter().rev() {
-                running.add_acc(b);
-                sum.add_acc(&running);
+                running.acc_merge(b);
+                sum.acc_merge(&running);
             }
             sum.into_jacobian()
         };
-        if chunks == 1 {
-            sum_of_sums(&parts[0].0)
+        let sum = if chunks == 1 {
+            sum_of_sums(wblock)
         } else {
-            let mut merged = parts[0].0.clone();
-            for (part, _, _) in &parts[1..] {
+            let (merged, rest) = wblock.split_at_mut(bpw);
+            for part in rest.chunks_exact(bpw) {
                 for (m, p) in merged.iter_mut().zip(part) {
-                    m.add_acc(p);
+                    m.acc_merge(p);
                 }
             }
-            sum_of_sums(&merged)
-        }
+            sum_of_sums(merged)
+        };
+        // SAFETY: window task `win` exclusively owns `window_sums[win]`.
+        unsafe { sums_ptr.at(win).write(sum) };
     });
 
     // Window reduction (serial; Fig. 4a bottom): Horner over 2^s.
@@ -528,24 +667,37 @@ fn bucket_engine<Cu: SwCurve, Acc: Accumulator<Cu>>(
 // GLV preparation helpers (shared with the precomputed-plan path)
 // ---------------------------------------------------------------------------
 
-/// Decomposes every scalar as `k = k1 + λ·k2` in parallel.
-pub(crate) fn glv_split<Cu: SwCurve>(
+/// Decomposes every scalar as `k = k1 + λ·k2` in parallel, reusing
+/// `subs`' capacity.
+pub(crate) fn glv_split_into<Cu: SwCurve>(
     scalars: &[Cu::Scalar],
     glv: &GlvParams<Cu>,
     pool: &ThreadPool,
-) -> Vec<(GlvScalar, GlvScalar)> {
-    const CHUNK: usize = 512;
+    subs: &mut Vec<(GlvScalar, GlvScalar)>,
+) {
     let n = scalars.len();
-    let tasks = n.div_ceil(CHUNK).max(1);
-    pool.map(tasks, 1, |t| {
-        scalars[t * CHUNK..((t + 1) * CHUNK).min(n)]
-            .iter()
-            .map(|k| glv.decompose(k))
-            .collect::<Vec<_>>()
-    })
-    .into_iter()
-    .flatten()
-    .collect()
+    subs.clear();
+    subs.resize(n, (GlvScalar::default(), GlvScalar::default()));
+    let base = MatPtr(subs.as_mut_ptr());
+    pool.parallel_for(n, usize::MAX, 512, |_, range| {
+        for i in range {
+            // SAFETY: chunks partition 0..n; each slot written once.
+            unsafe { base.at(i).write(glv.decompose(&scalars[i])) };
+        }
+    });
+}
+
+/// Doubles the point set via the endomorphism into `out`:
+/// `[P₀..Pₙ, φ(P₀)..φ(Pₙ)]`. One `FF_mul` per point.
+pub(crate) fn glv_expand_points_into<Cu: SwCurve>(
+    points: &[Affine<Cu>],
+    glv: &GlvParams<Cu>,
+    out: &mut Vec<Affine<Cu>>,
+) {
+    out.clear();
+    out.reserve(2 * points.len());
+    out.extend_from_slice(points);
+    out.extend(points.iter().map(|p| glv.endomorphism(p)));
 }
 
 /// Doubles the point set via the endomorphism: `[P₀..Pₙ, φ(P₀)..φ(Pₙ)]`.
@@ -554,25 +706,26 @@ pub(crate) fn glv_expand_points<Cu: SwCurve>(
     points: &[Affine<Cu>],
     glv: &GlvParams<Cu>,
 ) -> Vec<Affine<Cu>> {
-    let mut expanded = Vec::with_capacity(2 * points.len());
-    expanded.extend_from_slice(points);
-    expanded.extend(points.iter().map(|p| glv.endomorphism(p)));
+    let mut expanded = Vec::new();
+    glv_expand_points_into(points, glv, &mut expanded);
     expanded
 }
 
 /// Fills the flat `2n × w` digit matrix for decomposed subscalars: row `i`
 /// holds `k1` of scalar `i` (paired with `Pᵢ`), row `n + i` holds `k2`
 /// (paired with `φ(Pᵢ)`). Negative subscalars negate their whole row.
-pub(crate) fn glv_digit_matrix(
+pub(crate) fn glv_digit_matrix_into(
     subs: &[(GlvScalar, GlvScalar)],
     window_bits: u32,
     num_windows: u32,
     signed: bool,
     pool: &ThreadPool,
-) -> Vec<i32> {
+    digits: &mut Vec<i32>,
+) {
     let n = subs.len();
     let w = num_windows as usize;
-    let mut digits = vec![0i32; 2 * n * w];
+    digits.clear();
+    digits.resize(2 * n * w, 0);
     let base = MatPtr(digits.as_mut_ptr());
     pool.parallel_for(2 * n, usize::MAX, 128, |_, range| {
         // SAFETY: row ranges are contiguous, in bounds, and pairwise
@@ -584,7 +737,6 @@ pub(crate) fn glv_digit_matrix(
             decompose_row_limbs(&sub.limbs(), window_bits, signed, sub.neg, row);
         }
     });
-    digits
 }
 
 /// Number of windows a GLV subscalar needs: its magnitude is bounded by
@@ -594,12 +746,13 @@ pub(crate) fn glv_num_windows(sub_bits: u32, window_bits: u32, signed: bool) -> 
 }
 
 /// The GLV-decomposed Pippenger path: `2n` points, half the windows.
-fn msm_glv<Cu: SwCurve>(
+fn msm_glv_in<Cu: SwCurve>(
     points: &[Affine<Cu>],
     scalars: &[Cu::Scalar],
     glv: &GlvParams<Cu>,
     config: &MsmConfig,
     pool: &ThreadPool,
+    scratch: &mut MsmScratch<Cu>,
 ) -> MsmOutput<Cu> {
     let n = points.len();
     if n == 0 {
@@ -612,19 +765,27 @@ fn msm_glv<Cu: SwCurve>(
         .window_bits
         .unwrap_or_else(|| default_window_bits(2 * n));
     let w = glv_num_windows(glv.sub_bits, s, config.signed_digits);
-    let subs = glv_split(scalars, glv, pool);
-    let expanded = glv_expand_points(points, glv);
-    let digits = glv_digit_matrix(&subs, s, w, config.signed_digits, pool);
-    let mut out = run_bucket_engine(
+    glv_split_into(scalars, glv, pool, &mut scratch.subs);
+    glv_expand_points_into(points, glv, &mut scratch.expanded);
+    glv_digit_matrix_into(
+        &scratch.subs,
+        s,
+        w,
+        config.signed_digits,
+        pool,
+        &mut scratch.digits,
+    );
+    let mut out = run_bucket_engine_in(
         config.bucket_repr,
         EngineInput {
-            points: &expanded,
-            digits: &digits,
+            points: &scratch.expanded,
+            digits: &scratch.digits,
             window_bits: s,
             windows: w,
             buckets_per_window: buckets_for(s, config.signed_digits),
         },
         pool,
+        &mut scratch.engine,
     );
     out.stats.glv_decompositions = n as u64;
     out.stats.endomorphism_muls = n as u64;
@@ -662,6 +823,24 @@ pub fn msm_parallel_with_config<Cu: SwCurve>(
     config: &MsmConfig,
     pool: &ThreadPool,
 ) -> MsmOutput<Cu> {
+    msm_parallel_with_config_in(points, scalars, config, pool, &mut MsmScratch::new())
+}
+
+/// [`msm_parallel_with_config`] with caller-owned scratch memory.
+///
+/// A warmed `scratch` (one prior run of the same shape) makes the call
+/// allocation-free; the result is bit-identical to the scratch-free path.
+///
+/// # Panics
+///
+/// Panics if `points` and `scalars` differ in length.
+pub fn msm_parallel_with_config_in<Cu: SwCurve>(
+    points: &[Affine<Cu>],
+    scalars: &[Cu::Scalar],
+    config: &MsmConfig,
+    pool: &ThreadPool,
+    scratch: &mut MsmScratch<Cu>,
+) -> MsmOutput<Cu> {
     assert_eq!(
         points.len(),
         scalars.len(),
@@ -669,7 +848,7 @@ pub fn msm_parallel_with_config<Cu: SwCurve>(
     );
     if config.endomorphism {
         if let Some(glv) = Cu::glv() {
-            return msm_glv(points, scalars, glv, config, pool);
+            return msm_glv_in(points, scalars, glv, config, pool, scratch);
         }
     }
     let n = points.len();
@@ -681,17 +860,25 @@ pub fn msm_parallel_with_config<Cu: SwCurve>(
     }
     let s = config.window_bits.unwrap_or_else(|| default_window_bits(n));
     let w = num_windows::<Cu::Scalar>(s, config.signed_digits);
-    let digits = decompose_matrix(pool, scalars, s, w, config.signed_digits);
-    run_bucket_engine(
+    decompose_matrix_into(
+        pool,
+        scalars,
+        s,
+        w,
+        config.signed_digits,
+        &mut scratch.digits,
+    );
+    run_bucket_engine_in(
         config.bucket_repr,
         EngineInput {
             points,
-            digits: &digits,
+            digits: &scratch.digits,
             window_bits: s,
             windows: w,
             buckets_per_window: buckets_for(s, config.signed_digits),
         },
         pool,
+        &mut scratch.engine,
     )
 }
 

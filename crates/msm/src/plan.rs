@@ -20,7 +20,8 @@
 use crate::config::{BucketRepr, MsmConfig};
 use crate::pippenger::{
     buckets_for, decompose_row_limbs, default_window_bits, glv_expand_points, glv_num_windows,
-    glv_split, num_windows, run_bucket_engine, EngineInput, MatPtr, MsmOutput,
+    glv_split_into, num_windows, run_bucket_engine_in, EngineInput, MatPtr, MsmOutput, MsmScratch,
+    SCALAR_LIMBS_STACK,
 };
 use zkp_curves::{batch_to_affine, Affine, Jacobian, SwCurve};
 use zkp_ff::PrimeField;
@@ -186,6 +187,24 @@ impl<Cu: SwCurve> MsmPlan<Cu> {
     ///
     /// Panics if `scalars.len()` differs from the plan's base point count.
     pub fn execute(&self, scalars: &[Cu::Scalar], pool: &ThreadPool) -> MsmOutput<Cu> {
+        self.execute_in(scalars, pool, &mut MsmScratch::new())
+    }
+
+    /// [`MsmPlan::execute`] with caller-owned scratch memory. A warmed
+    /// `scratch` (one prior run of the same shape) makes the call
+    /// allocation-free; the result is bit-identical to [`execute`].
+    ///
+    /// [`execute`]: MsmPlan::execute
+    ///
+    /// # Panics
+    ///
+    /// Panics if `scalars.len()` differs from the plan's base point count.
+    pub fn execute_in(
+        &self,
+        scalars: &[Cu::Scalar],
+        pool: &ThreadPool,
+        scratch: &mut MsmScratch<Cu>,
+    ) -> MsmOutput<Cu> {
         assert_eq!(scalars.len(), self.n, "scalar count must match the plan");
         if self.n == 0 {
             return MsmOutput {
@@ -201,13 +220,22 @@ impl<Cu: SwCurve> MsmPlan<Cu> {
         // Each base row is recoded over its FULL w windows first — the
         // signed-digit carry crosses copy boundaries — then digit `q`
         // scatters to copy `q / W`, column `q % W`.
-        let subs = if self.glv {
-            glv_split(scalars, Cu::glv().expect("glv plan on glv curve"), pool)
+        if self.glv {
+            glv_split_into(
+                scalars,
+                Cu::glv().expect("glv plan on glv curve"),
+                pool,
+                &mut scratch.subs,
+            );
         } else {
-            Vec::new()
-        };
-        let mut digits = vec![0i32; self.expanded.len() * wu];
-        let base = MatPtr(digits.as_mut_ptr());
+            scratch.subs.clear();
+        }
+        let subs = &scratch.subs;
+        // The scatter only writes non-zero digits, so the matrix must be
+        // re-zeroed (unlike the dense row-major decompositions).
+        scratch.digits.clear();
+        scratch.digits.resize(self.expanded.len() * wu, 0);
+        let base = MatPtr(scratch.digits.as_mut_ptr());
         let scatter = |row_idx: usize, full_row: &[i32]| {
             for (q, &d) in full_row.iter().enumerate() {
                 if d != 0 {
@@ -219,8 +247,21 @@ impl<Cu: SwCurve> MsmPlan<Cu> {
                 }
             }
         };
+        // A full (pre-scatter) digit row fits on the stack: even s = 3
+        // over a 256-bit scalar needs only 86 windows.
+        const FULL_ROW_STACK: usize = 128;
         pool.parallel_for(ppc, usize::MAX, 128, |_, range| {
-            let mut full_row = vec![0i32; big_w as usize];
+            let mut stack_row = [0i32; FULL_ROW_STACK];
+            let mut heap_row: Vec<i32> = if big_w as usize > FULL_ROW_STACK {
+                vec![0; big_w as usize]
+            } else {
+                Vec::new()
+            };
+            let full_row: &mut [i32] = if big_w as usize <= FULL_ROW_STACK {
+                &mut stack_row[..big_w as usize]
+            } else {
+                &mut heap_row
+            };
             for r in range {
                 full_row.fill(0);
                 if self.glv {
@@ -229,30 +270,38 @@ impl<Cu: SwCurve> MsmPlan<Cu> {
                     } else {
                         subs[r - self.n].1
                     };
-                    decompose_row_limbs(&sub.limbs(), s, self.signed, sub.neg, &mut full_row);
+                    decompose_row_limbs(&sub.limbs(), s, self.signed, sub.neg, full_row);
                 } else {
-                    decompose_row_limbs(
-                        &scalars[r].to_uint(),
-                        s,
-                        self.signed,
-                        false,
-                        &mut full_row,
-                    );
+                    let scalar = &scalars[r];
+                    if Cu::Scalar::NUM_LIMBS <= SCALAR_LIMBS_STACK {
+                        let mut limbs = [0u64; SCALAR_LIMBS_STACK];
+                        scalar.write_uint(&mut limbs);
+                        decompose_row_limbs(
+                            &limbs[..Cu::Scalar::NUM_LIMBS],
+                            s,
+                            self.signed,
+                            false,
+                            full_row,
+                        );
+                    } else {
+                        decompose_row_limbs(&scalar.to_uint(), s, self.signed, false, full_row);
+                    }
                 }
-                scatter(r, &full_row);
+                scatter(r, full_row);
             }
         });
 
-        let mut out = run_bucket_engine(
+        let mut out = run_bucket_engine_in(
             self.bucket_repr,
             EngineInput {
                 points: &self.expanded,
-                digits: &digits,
+                digits: &scratch.digits,
                 window_bits: s,
                 windows: w,
                 buckets_per_window: buckets_for(s, self.signed),
             },
             pool,
+            &mut scratch.engine,
         );
         if self.glv {
             out.stats.glv_decompositions = self.n as u64;

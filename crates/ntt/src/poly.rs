@@ -138,51 +138,88 @@ pub fn quotient_poly_on<F: PrimeField>(
     c_evals: &[F],
     pool: &ThreadPool,
 ) -> (Vec<F>, u32) {
+    let mut a = a_evals.to_vec();
+    let mut b = b_evals.to_vec();
+    let mut c = c_evals.to_vec();
+    let transforms = quotient_poly_in(domain, table, &mut a, &mut b, &mut c, pool);
+    (a, transforms)
+}
+
+/// [`quotient_poly_on`] fully in place: consumes the evaluation vectors
+/// and leaves the coefficients of `h` in `a` (with `b`, `c` clobbered as
+/// scratch), performing no allocation. This is the workspace-borrowing
+/// hot path of the prover session.
+///
+/// Returns the number of NTT-shaped transforms performed.
+///
+/// # Panics
+///
+/// Panics if the slices or the table differ in length from the domain size.
+pub fn quotient_poly_in<F: PrimeField>(
+    domain: &Domain<F>,
+    table: &TwiddleTable<F>,
+    a: &mut [F],
+    b: &mut [F],
+    c: &mut [F],
+    pool: &ThreadPool,
+) -> u32 {
     let n = domain.size() as usize;
     assert!(
-        a_evals.len() == n && b_evals.len() == n && c_evals.len() == n,
+        a.len() == n && b.len() == n && c.len() == n,
         "evaluation vectors must match the domain size"
     );
     let n_inv = domain.size_inv();
     // (1–3) INTT + (4–6) coset NTT per input vector. The three vectors are
     // independent, so their pipelines run concurrently; each transform
     // also fans out internally (the pool supports nesting).
-    let intt_then_coset = |evals: &[F]| {
-        let mut v = evals.to_vec();
-        ntt_parallel_on(&mut v, table, true, pool);
+    let intt_then_coset = |v: &mut [F]| {
+        ntt_parallel_on(v, table, true, pool);
         // Fold the INTT's n⁻¹ into the coset scaling: gᵢ·n⁻¹ per element.
-        distribute_powers_parallel(pool, &mut v, domain.coset_gen());
-        pool.for_each_chunk_mut(&mut v, 4096, |_, _, chunk| {
+        distribute_powers_parallel(pool, v, domain.coset_gen());
+        pool.for_each_chunk_mut(v, 4096, |_, _, chunk| {
             for x in chunk.iter_mut() {
                 *x *= n_inv;
             }
         });
-        ntt_parallel_on(&mut v, table, false, pool);
-        v
+        ntt_parallel_on(v, table, false, pool);
     };
-    let (mut a, (b, c)) = pool.join(
-        || intt_then_coset(a_evals),
-        || pool.join(|| intt_then_coset(b_evals), || intt_then_coset(c_evals)),
+    let (a, (b, c)) = pool.join(
+        || {
+            intt_then_coset(&mut *a);
+            a
+        },
+        || {
+            pool.join(
+                || {
+                    intt_then_coset(&mut *b);
+                    &*b
+                },
+                || {
+                    intt_then_coset(&mut *c);
+                    &*c
+                },
+            )
+        },
     );
     // Element-wise (a·b - c) / Z — Z is the constant gⁿ - 1 on the coset.
     let z_inv = domain
         .vanishing_on_coset()
         .inverse()
         .expect("coset avoids the domain");
-    pool.for_each_chunk_mut(&mut a, 4096, |_, offset, chunk| {
+    pool.for_each_chunk_mut(a, 4096, |_, offset, chunk| {
         for (j, x) in chunk.iter_mut().enumerate() {
             *x = (*x * b[offset + j] - c[offset + j]) * z_inv;
         }
     });
     // (7) coset INTT: back to coefficients of h.
-    ntt_parallel_on(&mut a, table, true, pool);
-    distribute_powers_parallel(pool, &mut a, domain.coset_gen_inv());
-    pool.for_each_chunk_mut(&mut a, 4096, |_, _, chunk| {
+    ntt_parallel_on(a, table, true, pool);
+    distribute_powers_parallel(pool, a, domain.coset_gen_inv());
+    pool.for_each_chunk_mut(a, 4096, |_, _, chunk| {
         for x in chunk.iter_mut() {
             *x *= n_inv;
         }
     });
-    (a, 7)
+    7
 }
 
 #[cfg(test)]

@@ -1,0 +1,74 @@
+//! A counting global allocator for allocation-budget tests.
+//!
+//! Install it in a test binary:
+//!
+//! ```ignore
+//! #[global_allocator]
+//! static ALLOC: zkp_runtime::CountingAlloc = zkp_runtime::CountingAlloc;
+//! ```
+//!
+//! Counters are **per thread** (const-initialized thread locals, so the
+//! counter itself never allocates): a single-threaded pool runs every
+//! prover task inline on the test thread, which is exactly the
+//! configuration the zero-allocation gate measures.
+
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::cell::Cell;
+
+thread_local! {
+    static ALLOCATIONS: Cell<u64> = const { Cell::new(0) };
+    static BYTES: Cell<u64> = const { Cell::new(0) };
+}
+
+/// Pass-through [`System`] allocator that counts this thread's heap
+/// allocations (`alloc` + `realloc` calls; frees are not counted).
+pub struct CountingAlloc;
+
+impl CountingAlloc {
+    /// Heap allocations performed by the current thread since the last
+    /// [`reset`](Self::reset).
+    pub fn allocations() -> u64 {
+        ALLOCATIONS.try_with(Cell::get).unwrap_or(0)
+    }
+
+    /// Bytes requested by those allocations.
+    pub fn bytes() -> u64 {
+        BYTES.try_with(Cell::get).unwrap_or(0)
+    }
+
+    /// Zeroes the current thread's counters.
+    pub fn reset() {
+        let _ = ALLOCATIONS.try_with(|c| c.set(0));
+        let _ = BYTES.try_with(|c| c.set(0));
+    }
+}
+
+fn count(size: u64) {
+    // `try_with` so allocations during thread teardown (after TLS
+    // destruction) don't panic; they simply go uncounted.
+    let _ = ALLOCATIONS.try_with(|c| c.set(c.get() + 1));
+    let _ = BYTES.try_with(|c| c.set(c.get() + size));
+}
+
+// SAFETY: pure pass-through to `System`; the layout contract is upheld
+// by forwarding every call unchanged.
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        count(layout.size() as u64);
+        System.alloc(layout)
+    }
+
+    unsafe fn alloc_zeroed(&self, layout: Layout) -> *mut u8 {
+        count(layout.size() as u64);
+        System.alloc_zeroed(layout)
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        count(new_size as u64);
+        System.realloc(ptr, layout, new_size)
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        System.dealloc(ptr, layout)
+    }
+}

@@ -38,6 +38,11 @@
 //! calling thread participates in its own batch, so progress never
 //! depends on another thread being free and nesting cannot deadlock.
 
+mod alloc_count;
+pub mod service;
+
+pub use alloc_count::CountingAlloc;
+
 use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::{Arc, Condvar, Mutex, OnceLock};

@@ -1,0 +1,200 @@
+//! Serving-layer primitives: a bounded MPMC job queue with admission
+//! control, plus small statistics helpers shared by the proof service.
+//!
+//! The queue is deliberately std-only (Mutex + Condvar) — `zkp-runtime`
+//! has zero dependencies and the service layer keeps it that way. It is
+//! the admission-control front door of `zkp_groth16::ProofService`:
+//! producers `try_push` (rejected immediately when the queue is full,
+//! so callers get backpressure instead of unbounded memory growth) and
+//! worker threads block on `pop` until a job or shutdown arrives.
+
+use std::collections::VecDeque;
+use std::sync::{Condvar, Mutex};
+
+/// Why a job submission was not admitted.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SubmitError {
+    /// The queue is at capacity; the caller should retry later or shed
+    /// load. Nothing was enqueued.
+    QueueFull,
+    /// The queue has been closed; no further jobs are accepted.
+    Closed,
+}
+
+impl std::fmt::Display for SubmitError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SubmitError::QueueFull => write!(f, "job queue is full"),
+            SubmitError::Closed => write!(f, "job queue is closed"),
+        }
+    }
+}
+
+impl std::error::Error for SubmitError {}
+
+struct QueueState<T> {
+    jobs: VecDeque<T>,
+    closed: bool,
+}
+
+/// A bounded multi-producer / multi-consumer job queue.
+///
+/// * [`JobQueue::try_push`] never blocks: it admits the job or returns a
+///   [`SubmitError`] — the admission-control contract.
+/// * [`JobQueue::pop`] blocks until a job is available, and returns
+///   `None` once the queue is closed **and** drained, so workers exit
+///   cleanly after finishing the backlog.
+pub struct JobQueue<T> {
+    state: Mutex<QueueState<T>>,
+    capacity: usize,
+    ready: Condvar,
+}
+
+impl<T> JobQueue<T> {
+    /// Creates a queue admitting at most `capacity` pending jobs.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity` is zero.
+    pub fn new(capacity: usize) -> Self {
+        assert!(capacity > 0, "queue capacity must be positive");
+        Self {
+            state: Mutex::new(QueueState {
+                jobs: VecDeque::with_capacity(capacity),
+                closed: false,
+            }),
+            capacity,
+            ready: Condvar::new(),
+        }
+    }
+
+    /// Attempts to enqueue `job` without blocking.
+    pub fn try_push(&self, job: T) -> Result<(), SubmitError> {
+        let mut st = self.state.lock().expect("queue poisoned");
+        if st.closed {
+            return Err(SubmitError::Closed);
+        }
+        if st.jobs.len() >= self.capacity {
+            return Err(SubmitError::QueueFull);
+        }
+        st.jobs.push_back(job);
+        drop(st);
+        self.ready.notify_one();
+        Ok(())
+    }
+
+    /// Blocks until a job is available; `None` means closed and drained.
+    pub fn pop(&self) -> Option<T> {
+        let mut st = self.state.lock().expect("queue poisoned");
+        loop {
+            if let Some(job) = st.jobs.pop_front() {
+                return Some(job);
+            }
+            if st.closed {
+                return None;
+            }
+            st = self.ready.wait(st).expect("queue poisoned");
+        }
+    }
+
+    /// Closes the queue: pending jobs still drain, new pushes fail.
+    pub fn close(&self) {
+        self.state.lock().expect("queue poisoned").closed = true;
+        self.ready.notify_all();
+    }
+
+    /// Number of jobs currently waiting.
+    pub fn len(&self) -> usize {
+        self.state.lock().expect("queue poisoned").jobs.len()
+    }
+
+    /// Whether no jobs are waiting.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+/// The `p`-th percentile (0–100) of an **ascending-sorted** slice, by the
+/// nearest-rank method. Returns `None` on an empty slice.
+pub fn percentile(sorted: &[f64], p: f64) -> Option<f64> {
+    if sorted.is_empty() {
+        return None;
+    }
+    let rank = ((p / 100.0) * sorted.len() as f64).ceil() as usize;
+    Some(sorted[rank.clamp(1, sorted.len()) - 1])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    #[test]
+    fn push_pop_fifo() {
+        let q = JobQueue::new(4);
+        q.try_push(1).unwrap();
+        q.try_push(2).unwrap();
+        assert_eq!(q.pop(), Some(1));
+        assert_eq!(q.pop(), Some(2));
+    }
+
+    #[test]
+    fn rejects_when_full_then_admits_after_pop() {
+        let q = JobQueue::new(2);
+        q.try_push(1).unwrap();
+        q.try_push(2).unwrap();
+        assert_eq!(q.try_push(3), Err(SubmitError::QueueFull));
+        assert_eq!(q.pop(), Some(1));
+        q.try_push(3).unwrap();
+        assert_eq!(q.len(), 2);
+    }
+
+    #[test]
+    fn close_drains_then_ends() {
+        let q = JobQueue::new(4);
+        q.try_push(7).unwrap();
+        q.close();
+        assert_eq!(q.try_push(8), Err(SubmitError::Closed));
+        assert_eq!(q.pop(), Some(7));
+        assert_eq!(q.pop(), None);
+    }
+
+    #[test]
+    fn workers_drain_concurrently() {
+        let q = Arc::new(JobQueue::new(64));
+        let total = 64usize;
+        for i in 0..total {
+            q.try_push(i).unwrap();
+        }
+        q.close();
+        let sum = Arc::new(std::sync::atomic::AtomicUsize::new(0));
+        let handles: Vec<_> = (0..4)
+            .map(|_| {
+                let q = Arc::clone(&q);
+                let sum = Arc::clone(&sum);
+                std::thread::spawn(move || {
+                    while let Some(v) = q.pop() {
+                        sum.fetch_add(v, std::sync::atomic::Ordering::Relaxed);
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(
+            sum.load(std::sync::atomic::Ordering::Relaxed),
+            total * (total - 1) / 2
+        );
+    }
+
+    #[test]
+    fn percentiles_nearest_rank() {
+        let v: Vec<f64> = (1..=100).map(f64::from).collect();
+        assert_eq!(percentile(&v, 50.0), Some(50.0));
+        assert_eq!(percentile(&v, 95.0), Some(95.0));
+        assert_eq!(percentile(&v, 100.0), Some(100.0));
+        assert_eq!(percentile(&[], 50.0), None);
+        assert_eq!(percentile(&[3.5], 99.0), Some(3.5));
+    }
+}

@@ -6,6 +6,7 @@ pub mod ff_layer;
 pub mod kernel_layer;
 pub mod microarch;
 pub mod scaling;
+pub mod serving;
 pub mod static_analysis;
 
 use gpu_sim::device::DeviceSpec;
@@ -75,5 +76,7 @@ pub fn full_report(device: &DeviceSpec) -> String {
     out += &kernel_layer::render_absolute_times(device);
     out += "\n";
     out += &e2e_trace::render_e2e_section(device);
+    out += "\n";
+    out += &serving::render_serving(&serving::serving_report(8, &[1, 2, 4]));
     out
 }

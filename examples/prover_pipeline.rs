@@ -4,14 +4,17 @@
 //!
 //! Pass `--all` for the complete report including the FF-op layer.
 //!
-//! Pass `--backend <spec>` to instead run one **real proof** through a
-//! pluggable execution backend and print its trace-derived breakdown:
-//! `cpu`, `tracing`, or `sim:<device>[:<lib>]` (e.g. `sim:a40:sppark`).
-//! An optional `--rounds N` sizes the MiMC circuit.
+//! Pass `--backend <spec>` to instead run **real proofs** through a
+//! pluggable execution backend via a reusable [`ProverSession`] and print
+//! the trace-derived breakdown: `cpu`, `tracing`, or
+//! `sim:<device>[:<lib>]` (e.g. `sim:a40:sppark`). `--mimc N` sizes the
+//! MiMC circuit; `--rounds N` proves N times through one session so the
+//! cold (workspace-sizing) round can be compared with the warm
+//! steady-state rounds, which allocate nothing on the hot path.
 //!
 //! ```sh
 //! cargo run --release -p zkp-examples --bin prover_pipeline [device] [--all]
-//! cargo run --release -p zkp-examples --bin prover_pipeline -- --backend sim:a40:sppark
+//! cargo run --release -p zkp-examples --bin prover_pipeline -- --backend sim:a40:sppark --rounds 3
 //! ```
 
 use rand::{rngs::StdRng, SeedableRng};
@@ -20,7 +23,7 @@ use zkp_backend::BackendSpec;
 use zkp_curves::bls12_381::Bls12381;
 use zkp_examples::device_from_args;
 use zkp_ff::{Field, Fr381};
-use zkp_groth16::{prove_traced, setup, verify};
+use zkp_groth16::{setup, verify, ProverSession};
 use zkp_r1cs::circuits::mimc;
 use zkprophet::experiments::{e2e_trace, energy, kernel_layer, scaling};
 use zkprophet::full_report;
@@ -35,10 +38,11 @@ fn arg_value(flag: &str) -> Option<String> {
     None
 }
 
-/// Runs one real proof through the chosen backend and prints the
+/// Runs `session_rounds` real proofs through one [`ProverSession`] on the
+/// chosen backend, prints the cold/warm timing split and the
 /// trace-derived per-stage breakdown (plus the Amdahl extrapolation when
 /// the backend simulates a device).
-fn run_backend_demo(spec_str: &str, rounds: usize) {
+fn run_backend_demo(spec_str: &str, mimc_rounds: usize, session_rounds: usize) {
     let spec = BackendSpec::parse(spec_str).unwrap_or_else(|e| {
         eprintln!("{e}");
         std::process::exit(2);
@@ -46,16 +50,63 @@ fn run_backend_demo(spec_str: &str, rounds: usize) {
     let backend = spec.build::<Bls12381>();
     println!("backend: {}", backend.name());
     println!("msm:     {}", backend.msm_algorithm());
-    println!("circuit: mimc, {rounds} rounds");
+    println!("circuit: mimc, {mimc_rounds} rounds");
 
-    let cs = mimc(Fr381::from_u64(11), rounds);
+    let cs = mimc(Fr381::from_u64(11), mimc_rounds);
     let mut rng = StdRng::seed_from_u64(42);
     let pk = setup::<Bls12381, _>(&cs, &mut rng);
-    let start = Instant::now();
-    let (proof, stats) = prove_traced(&pk, &cs, &mut rng, backend.as_ref());
-    let measured_prove_s = start.elapsed().as_secs_f64();
-    let verified = verify(&pk.vk, &proof, &cs.assignment.public);
-    println!("stats:   {:?}", stats.base);
+    // The session plan honors `ZKP_MSM_GLV` exactly like `CpuBackend`
+    // does, so the CI A/B smoke exercises both planned-MSM paths.
+    let mut session = ProverSession::with_config(pk, &zkp_backend::cpu::default_msm_config());
+    println!(
+        "session: domain 2^{}, plan `{}`",
+        session.domain_size().trailing_zeros(),
+        session.plan().algorithm()
+    );
+
+    // Every round reseeds the prover RNG identically, so every round must
+    // produce the same bytes — the cheapest possible integrity check that
+    // workspace reuse never leaks state between proofs.
+    let mut timings = Vec::with_capacity(session_rounds);
+    let mut first: Option<(zkp_groth16::Proof<Bls12381>, _, _)> = None;
+    for round in 1..=session_rounds {
+        let mut rng = StdRng::seed_from_u64(9);
+        let start = Instant::now();
+        let (proof, stats) = session.prove_in_on(&cs, &mut rng, backend.as_ref());
+        let elapsed = start.elapsed().as_secs_f64();
+        timings.push(elapsed);
+        let label = if round == 1 { "cold" } else { "warm" };
+        println!("round {round} ({label}): {elapsed:.3}s");
+        match &first {
+            None => {
+                // Round 1 owns the trace; later rounds would append to it.
+                let trace = backend.take_trace();
+                first = Some((proof, stats, trace));
+            }
+            Some((p0, _, _)) => {
+                assert_eq!(
+                    proof.to_bytes(),
+                    p0.to_bytes(),
+                    "warm round {round} diverged from the cold proof"
+                );
+            }
+        }
+    }
+    let (proof, stats, trace) = first.expect("at least one round");
+    let measured_prove_s = timings[0];
+    if let Some(best_warm) = timings[1..]
+        .iter()
+        .copied()
+        .fold(None::<f64>, |m, t| Some(m.map_or(t, |m| m.min(t))))
+    {
+        println!(
+            "session amortization: cold {:.3}s vs best warm {best_warm:.3}s ({:.2}x)",
+            timings[0],
+            timings[0] / best_warm
+        );
+    }
+    let verified = verify(session.vk(), &proof, &cs.assignment.public);
+    println!("stats:   {stats:?}");
     // Machine-greppable digest: proof bytes must be identical whichever
     // MSM algorithm ran (the CI msm-glv-smoke step diffs this line across
     // ZKP_MSM_GLV settings).
@@ -67,7 +118,7 @@ fn run_backend_demo(spec_str: &str, rounds: usize) {
     println!("proof:   {digest}");
     println!();
 
-    if stats.trace.records.is_empty() {
+    if trace.records.is_empty() {
         // The plain CPU backend records nothing; report the run only.
         println!(
             "proved in {measured_prove_s:.3}s, verified: {verified} \
@@ -79,7 +130,7 @@ fn run_backend_demo(spec_str: &str, rounds: usize) {
         return;
     }
     let tp = e2e_trace::TracedProof {
-        trace: stats.trace,
+        trace,
         verified,
         measured_prove_s,
     };
@@ -95,10 +146,14 @@ fn run_backend_demo(spec_str: &str, rounds: usize) {
 
 fn main() {
     if let Some(spec) = arg_value("--backend") {
-        let rounds = arg_value("--rounds")
+        let mimc_rounds = arg_value("--mimc")
             .and_then(|r| r.parse().ok())
             .unwrap_or(e2e_trace::TRACE_ROUNDS);
-        run_backend_demo(&spec, rounds);
+        let session_rounds = arg_value("--rounds")
+            .and_then(|r| r.parse().ok())
+            .unwrap_or(1)
+            .max(1);
+        run_backend_demo(&spec, mimc_rounds, session_rounds);
         return;
     }
     let device = device_from_args();
