@@ -1,0 +1,485 @@
+//! Deterministic fault injection for the execution backends.
+//!
+//! [`FaultInjectingBackend`] wraps any [`ExecBackend`] and, driven by a
+//! seeded [`FaultPlan`], injects per-op errors, panics, and artificial
+//! latency — the adversary the proof service's retry/backoff, panic
+//! isolation, and shed-load machinery is tested against. Decisions are a
+//! pure function of `(plan seed, op index)`: replaying the same plan over
+//! the same single-threaded op sequence injects the same faults (with
+//! concurrent provers, op indices interleave but every op still gets
+//! exactly one decision).
+//!
+//! Injected **errors** surface as [`BackendError::OpFailed`] on the
+//! `try_*` path; on the infallible path (which has no error channel) they
+//! panic, which the `zkp-runtime` pool forwards to the submitting call.
+//! Injected **panics** panic on both paths — that is their job — and
+//! **delays** sleep before delegating, on both paths.
+
+use crate::{BackendError, ExecBackend, ExecTrace, G1Msm, WitnessMaps};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Duration;
+use zkp_curves::{Affine, Bls12Config, G1Curve, G2Curve, Jacobian};
+use zkp_msm::{MsmPlan, MsmScratch};
+use zkp_ntt::TwiddleTable;
+use zkp_r1cs::ConstraintSystem;
+use zkp_runtime::ThreadPool;
+
+/// SplitMix64 — the workspace's standalone deterministic hash, used for
+/// fault decisions and (by the service) backoff jitter.
+pub fn splitmix64(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    x ^ (x >> 31)
+}
+
+/// Maps 64 random bits to a uniform `f64` in `[0, 1)`.
+pub fn unit_f64(bits: u64) -> f64 {
+    (bits >> 11) as f64 / (1u64 << 53) as f64
+}
+
+/// The prover stage an op belongs to, for stage-targeted fault plans.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FaultStage {
+    /// QAP witness-map evaluation.
+    WitnessEval,
+    /// Forward or inverse NTT.
+    Ntt,
+    /// Coset scaling.
+    Coset,
+    /// Any of the four G1 MSMs.
+    MsmG1,
+    /// The G2 MSM.
+    MsmG2,
+}
+
+/// One injected fault.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FaultKind {
+    /// Fail the op: `Err(BackendError::OpFailed)` on the `try_*` path, a
+    /// panic on the infallible path.
+    Error,
+    /// Panic inside the op (exercises `catch_unwind` isolation).
+    Panic,
+    /// Sleep before running the op (hung-op / deadline-storm model).
+    Delay(Duration),
+}
+
+/// A seeded, deterministic fault schedule.
+///
+/// Rate-based faults are decided per op from `splitmix64(seed ^ f(index))`
+/// — panic, then error, then delay probability bands. Exact faults
+/// ([`fail_at`](Self::fail_at) and friends) override the rates at their
+/// op index and ignore the stage filter.
+#[derive(Debug, Clone, Default)]
+pub struct FaultPlan {
+    seed: u64,
+    error_rate: f64,
+    panic_rate: f64,
+    delay_rate: f64,
+    delay: Duration,
+    stages: Option<Vec<FaultStage>>,
+    exact: Vec<(u64, FaultKind)>,
+}
+
+impl FaultPlan {
+    /// A plan with the given decision seed and no faults configured.
+    pub fn new(seed: u64) -> Self {
+        Self {
+            seed,
+            ..Self::default()
+        }
+    }
+
+    /// A plan that never injects anything.
+    pub fn none() -> Self {
+        Self::default()
+    }
+
+    /// Replaces the decision seed (e.g. to vary faults per worker).
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Per-op probability of an injected error.
+    pub fn with_error_rate(mut self, rate: f64) -> Self {
+        self.error_rate = rate.clamp(0.0, 1.0);
+        self
+    }
+
+    /// Per-op probability of an injected panic.
+    pub fn with_panic_rate(mut self, rate: f64) -> Self {
+        self.panic_rate = rate.clamp(0.0, 1.0);
+        self
+    }
+
+    /// Per-op probability of an injected `delay`-long sleep.
+    pub fn with_delay(mut self, rate: f64, delay: Duration) -> Self {
+        self.delay_rate = rate.clamp(0.0, 1.0);
+        self.delay = delay;
+        self
+    }
+
+    /// Restricts rate-based faults to the given stages (exact faults are
+    /// unaffected).
+    pub fn only_stages(mut self, stages: &[FaultStage]) -> Self {
+        self.stages = Some(stages.to_vec());
+        self
+    }
+
+    /// Forces an error at op `index`.
+    pub fn fail_at(mut self, index: u64) -> Self {
+        self.exact.push((index, FaultKind::Error));
+        self
+    }
+
+    /// Forces a panic at op `index`.
+    pub fn panic_at(mut self, index: u64) -> Self {
+        self.exact.push((index, FaultKind::Panic));
+        self
+    }
+
+    /// Forces a `delay`-long sleep at op `index`.
+    pub fn delay_at(mut self, index: u64, delay: Duration) -> Self {
+        self.exact.push((index, FaultKind::Delay(delay)));
+        self
+    }
+
+    /// The fault (if any) for op `index` in `stage`. Deterministic: a
+    /// pure function of the plan and the arguments.
+    pub fn decide(&self, stage: FaultStage, index: u64) -> Option<FaultKind> {
+        if let Some((_, kind)) = self.exact.iter().find(|(i, _)| *i == index) {
+            return Some(*kind);
+        }
+        if let Some(stages) = &self.stages {
+            if !stages.contains(&stage) {
+                return None;
+            }
+        }
+        let u = unit_f64(splitmix64(
+            self.seed ^ index.wrapping_mul(0x9e37_79b9_7f4a_7c15),
+        ));
+        if u < self.panic_rate {
+            Some(FaultKind::Panic)
+        } else if u < self.panic_rate + self.error_rate {
+            Some(FaultKind::Error)
+        } else if u < self.panic_rate + self.error_rate + self.delay_rate {
+            Some(FaultKind::Delay(self.delay))
+        } else {
+            None
+        }
+    }
+}
+
+/// Counters of what a [`FaultInjectingBackend`] actually injected.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct InjectedFaults {
+    /// Ops failed with [`BackendError::OpFailed`] (or an error-panic on
+    /// the infallible path).
+    pub errors: u64,
+    /// Ops that panicked.
+    pub panics: u64,
+    /// Ops delayed before running.
+    pub delays: u64,
+}
+
+/// An [`ExecBackend`] decorator that injects faults per a [`FaultPlan`].
+///
+/// Every dispatched op consumes one index from an internal counter and
+/// asks the plan for a decision before delegating to the inner backend.
+/// Values that *are* produced are always the inner backend's values — a
+/// fault either prevents the op or delays it, it never corrupts data, so
+/// proofs that survive injection must still be byte-correct.
+pub struct FaultInjectingBackend<B> {
+    inner: B,
+    plan: FaultPlan,
+    ops: AtomicU64,
+    errors: AtomicU64,
+    panics: AtomicU64,
+    delays: AtomicU64,
+}
+
+impl<B> FaultInjectingBackend<B> {
+    /// Wraps `inner`, injecting per `plan`.
+    pub fn new(inner: B, plan: FaultPlan) -> Self {
+        Self {
+            inner,
+            plan,
+            ops: AtomicU64::new(0),
+            errors: AtomicU64::new(0),
+            panics: AtomicU64::new(0),
+            delays: AtomicU64::new(0),
+        }
+    }
+
+    /// Total ops dispatched through this wrapper so far.
+    pub fn ops_dispatched(&self) -> u64 {
+        self.ops.load(Ordering::Relaxed)
+    }
+
+    /// What has been injected so far.
+    pub fn injected(&self) -> InjectedFaults {
+        InjectedFaults {
+            errors: self.errors.load(Ordering::Relaxed),
+            panics: self.panics.load(Ordering::Relaxed),
+            delays: self.delays.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Claims the next op index and applies the plan's decision for it:
+    /// `Err` for an injected error, a panic for an injected panic, a
+    /// sleep (then `Ok`) for a delay.
+    fn gate(&self, stage: FaultStage, op: &'static str) -> Result<(), BackendError> {
+        let index = self.ops.fetch_add(1, Ordering::Relaxed);
+        match self.plan.decide(stage, index) {
+            None => Ok(()),
+            Some(FaultKind::Error) => {
+                self.errors.fetch_add(1, Ordering::Relaxed);
+                Err(BackendError::OpFailed {
+                    op,
+                    index,
+                    reason: "injected fault".into(),
+                })
+            }
+            Some(FaultKind::Panic) => {
+                self.panics.fetch_add(1, Ordering::Relaxed);
+                panic!("injected panic: {op} op #{index}");
+            }
+            Some(FaultKind::Delay(d)) => {
+                self.delays.fetch_add(1, Ordering::Relaxed);
+                std::thread::sleep(d);
+                Ok(())
+            }
+        }
+    }
+
+    /// [`gate`](Self::gate) for the infallible entry points, which have
+    /// no error channel: injected errors escalate to panics (forwarded to
+    /// the submitting call by the pool), with a message pointing at the
+    /// `try_*` path.
+    fn gate_infallible(&self, stage: FaultStage, op: &'static str) {
+        if let Err(e) = self.gate(stage, op) {
+            panic!("{e} (infallible path; use the try_* mirror to observe errors)");
+        }
+    }
+}
+
+impl<C: Bls12Config, B: ExecBackend<C>> ExecBackend<C> for FaultInjectingBackend<B> {
+    fn name(&self) -> String {
+        format!("fault({})", self.inner.name())
+    }
+
+    fn pool(&self) -> &ThreadPool {
+        self.inner.pool()
+    }
+
+    fn msm_g1(
+        &self,
+        which: G1Msm,
+        bases: &[Affine<G1Curve<C>>],
+        scalars: &[C::Fr],
+    ) -> Jacobian<G1Curve<C>> {
+        self.gate_infallible(FaultStage::MsmG1, "msm_g1");
+        self.inner.msm_g1(which, bases, scalars)
+    }
+
+    fn msm_g1_planned(
+        &self,
+        which: G1Msm,
+        plan: &MsmPlan<G1Curve<C>>,
+        scalars: &[C::Fr],
+    ) -> Jacobian<G1Curve<C>> {
+        self.gate_infallible(FaultStage::MsmG1, "msm_g1_planned");
+        self.inner.msm_g1_planned(which, plan, scalars)
+    }
+
+    fn msm_g1_planned_in(
+        &self,
+        which: G1Msm,
+        plan: &MsmPlan<G1Curve<C>>,
+        scalars: &[C::Fr],
+        scratch: &mut MsmScratch<G1Curve<C>>,
+    ) -> Jacobian<G1Curve<C>> {
+        self.gate_infallible(FaultStage::MsmG1, "msm_g1_planned_in");
+        self.inner.msm_g1_planned_in(which, plan, scalars, scratch)
+    }
+
+    fn msm_algorithm(&self) -> String {
+        self.inner.msm_algorithm()
+    }
+
+    fn msm_g2(&self, bases: &[Affine<G2Curve<C>>], scalars: &[C::Fr]) -> Jacobian<G2Curve<C>> {
+        self.gate_infallible(FaultStage::MsmG2, "msm_g2");
+        self.inner.msm_g2(bases, scalars)
+    }
+
+    fn msm_g2_in(
+        &self,
+        bases: &[Affine<G2Curve<C>>],
+        scalars: &[C::Fr],
+        scratch: &mut MsmScratch<G2Curve<C>>,
+    ) -> Jacobian<G2Curve<C>> {
+        self.gate_infallible(FaultStage::MsmG2, "msm_g2_in");
+        self.inner.msm_g2_in(bases, scalars, scratch)
+    }
+
+    fn ntt_forward(&self, table: &TwiddleTable<C::Fr>, values: &mut [C::Fr]) {
+        self.gate_infallible(FaultStage::Ntt, "ntt_forward");
+        self.inner.ntt_forward(table, values);
+    }
+
+    fn ntt_inverse(&self, table: &TwiddleTable<C::Fr>, values: &mut [C::Fr]) {
+        self.gate_infallible(FaultStage::Ntt, "ntt_inverse");
+        self.inner.ntt_inverse(table, values);
+    }
+
+    fn coset_mul(&self, values: &mut [C::Fr], g: C::Fr, scale: C::Fr) {
+        self.gate_infallible(FaultStage::Coset, "coset_mul");
+        self.inner.coset_mul(values, g, scale);
+    }
+
+    fn witness_eval(&self, cs: &ConstraintSystem<C::Fr>, domain_size: u64) -> WitnessMaps<C::Fr> {
+        self.gate_infallible(FaultStage::WitnessEval, "witness_eval");
+        self.inner.witness_eval(cs, domain_size)
+    }
+
+    fn witness_eval_into(
+        &self,
+        cs: &ConstraintSystem<C::Fr>,
+        domain_size: u64,
+        a: &mut Vec<C::Fr>,
+        b: &mut Vec<C::Fr>,
+        c: &mut Vec<C::Fr>,
+    ) {
+        self.gate_infallible(FaultStage::WitnessEval, "witness_eval_into");
+        self.inner.witness_eval_into(cs, domain_size, a, b, c);
+    }
+
+    fn take_trace(&self) -> ExecTrace {
+        self.inner.take_trace()
+    }
+
+    fn try_msm_g1_planned_in(
+        &self,
+        which: G1Msm,
+        plan: &MsmPlan<G1Curve<C>>,
+        scalars: &[C::Fr],
+        scratch: &mut MsmScratch<G1Curve<C>>,
+    ) -> Result<Jacobian<G1Curve<C>>, BackendError> {
+        self.gate(FaultStage::MsmG1, "msm_g1")?;
+        self.inner
+            .try_msm_g1_planned_in(which, plan, scalars, scratch)
+    }
+
+    fn try_msm_g2_in(
+        &self,
+        bases: &[Affine<G2Curve<C>>],
+        scalars: &[C::Fr],
+        scratch: &mut MsmScratch<G2Curve<C>>,
+    ) -> Result<Jacobian<G2Curve<C>>, BackendError> {
+        self.gate(FaultStage::MsmG2, "msm_g2")?;
+        self.inner.try_msm_g2_in(bases, scalars, scratch)
+    }
+
+    fn try_ntt_forward(
+        &self,
+        table: &TwiddleTable<C::Fr>,
+        values: &mut [C::Fr],
+    ) -> Result<(), BackendError> {
+        self.gate(FaultStage::Ntt, "ntt_forward")?;
+        self.inner.try_ntt_forward(table, values)
+    }
+
+    fn try_ntt_inverse(
+        &self,
+        table: &TwiddleTable<C::Fr>,
+        values: &mut [C::Fr],
+    ) -> Result<(), BackendError> {
+        self.gate(FaultStage::Ntt, "ntt_inverse")?;
+        self.inner.try_ntt_inverse(table, values)
+    }
+
+    fn try_coset_mul(
+        &self,
+        values: &mut [C::Fr],
+        g: C::Fr,
+        scale: C::Fr,
+    ) -> Result<(), BackendError> {
+        self.gate(FaultStage::Coset, "coset_mul")?;
+        self.inner.try_coset_mul(values, g, scale)
+    }
+
+    fn try_witness_eval_into(
+        &self,
+        cs: &ConstraintSystem<C::Fr>,
+        domain_size: u64,
+        a: &mut Vec<C::Fr>,
+        b: &mut Vec<C::Fr>,
+        c: &mut Vec<C::Fr>,
+    ) -> Result<(), BackendError> {
+        self.gate(FaultStage::WitnessEval, "witness_eval")?;
+        self.inner.try_witness_eval_into(cs, domain_size, a, b, c)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn decisions_are_deterministic_and_seed_sensitive() {
+        let plan = FaultPlan::new(7).with_error_rate(0.3).with_panic_rate(0.1);
+        let a: Vec<_> = (0..256).map(|i| plan.decide(FaultStage::Ntt, i)).collect();
+        let b: Vec<_> = (0..256).map(|i| plan.decide(FaultStage::Ntt, i)).collect();
+        assert_eq!(a, b, "same plan, same indices, same decisions");
+        let injected = a.iter().filter(|d| d.is_some()).count();
+        assert!(
+            injected > 256 / 10 && injected < 256,
+            "rate 0.4 should inject some but not all ({injected}/256)"
+        );
+        let other = FaultPlan::new(8).with_error_rate(0.3).with_panic_rate(0.1);
+        let c: Vec<_> = (0..256).map(|i| other.decide(FaultStage::Ntt, i)).collect();
+        assert_ne!(a, c, "a different seed reshuffles the schedule");
+    }
+
+    #[test]
+    fn exact_faults_override_rates_and_stage_filters() {
+        let plan = FaultPlan::new(1)
+            .only_stages(&[FaultStage::MsmG2])
+            .fail_at(3)
+            .panic_at(5)
+            .delay_at(9, Duration::from_millis(2));
+        // Rate faults are off, stage filter excludes Ntt — but exact
+        // entries fire regardless.
+        assert_eq!(plan.decide(FaultStage::Ntt, 3), Some(FaultKind::Error));
+        assert_eq!(plan.decide(FaultStage::Ntt, 5), Some(FaultKind::Panic));
+        assert_eq!(
+            plan.decide(FaultStage::Ntt, 9),
+            Some(FaultKind::Delay(Duration::from_millis(2)))
+        );
+        assert_eq!(plan.decide(FaultStage::Ntt, 4), None);
+        assert_eq!(plan.decide(FaultStage::MsmG2, 4), None);
+    }
+
+    #[test]
+    fn stage_filter_gates_rate_faults() {
+        let plan = FaultPlan::new(11)
+            .with_error_rate(1.0)
+            .only_stages(&[FaultStage::WitnessEval]);
+        assert_eq!(
+            plan.decide(FaultStage::WitnessEval, 0),
+            Some(FaultKind::Error)
+        );
+        assert_eq!(plan.decide(FaultStage::MsmG1, 0), None);
+        assert_eq!(plan.decide(FaultStage::Coset, 17), None);
+    }
+
+    #[test]
+    fn unit_f64_is_in_range() {
+        for i in 0..64 {
+            let u = unit_f64(splitmix64(i));
+            assert!((0.0..1.0).contains(&u));
+        }
+    }
+}

@@ -24,11 +24,13 @@
 //! from a spec string like `sim:a40:sppark`.
 
 pub mod cpu;
+pub mod fault;
 pub mod sim;
 pub mod trace;
 pub mod tracing;
 
 use gpu_sim::DeviceSpec;
+use std::time::Instant;
 use zkp_curves::{Affine, Bls12Config, G1Curve, G2Curve, Jacobian};
 use zkp_ff::{Field, PrimeField};
 use zkp_msm::{MsmPlan, MsmScratch};
@@ -37,6 +39,7 @@ use zkp_r1cs::ConstraintSystem;
 use zkp_runtime::ThreadPool;
 
 pub use cpu::CpuBackend;
+pub use fault::{FaultInjectingBackend, FaultKind, FaultPlan, FaultStage, InjectedFaults};
 pub use gpu_kernels::LibraryId;
 pub use sim::{cpu_op_seconds, GpuCostModel, SimGpuBackend};
 pub use trace::{ExecTrace, G1Msm, ModeledCost, OpClass, OpKind, OpRecord, StageRow, TraceSummary};
@@ -44,6 +47,58 @@ pub use tracing::TracingBackend;
 
 /// The three QAP witness maps `(⟨A,z⟩, ⟨B,z⟩, ⟨C,z⟩)` over the domain.
 pub type WitnessMaps<F> = (Vec<F>, Vec<F>, Vec<F>);
+
+/// Why a fallible backend operation did not complete.
+///
+/// This is the typed error the `try_*` mirror of [`ExecBackend`]
+/// propagates up through `ProverSession::try_prove_in_on` and the proof
+/// service's retry loop, instead of unwinding the worker thread.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum BackendError {
+    /// The operation failed — an injected fault in tests/experiments, or
+    /// a real device error in a hardware backend.
+    OpFailed {
+        /// The op that failed (e.g. `"msm_g1"`, `"ntt_forward"`).
+        op: &'static str,
+        /// The backend-local op index (dispatch order).
+        index: u64,
+        /// Backend-specific failure description.
+        reason: String,
+    },
+    /// A prove deadline passed between task-graph stages; the remaining
+    /// work was abandoned instead of finishing a proof nobody can use.
+    DeadlineExceeded {
+        /// The stage at whose boundary the deadline check fired.
+        stage: &'static str,
+    },
+}
+
+impl std::fmt::Display for BackendError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            BackendError::OpFailed { op, index, reason } => {
+                write!(f, "backend op {op} #{index} failed: {reason}")
+            }
+            BackendError::DeadlineExceeded { stage } => {
+                write!(f, "prove deadline exceeded at stage {stage}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for BackendError {}
+
+/// Returns [`BackendError::DeadlineExceeded`] if `deadline` has passed.
+///
+/// The prover's fallible path calls this between task-graph stages so a
+/// job whose deadline expired mid-prove is abandoned at the next stage
+/// boundary. `None` disables the check (always `Ok`).
+pub fn check_deadline(deadline: Option<Instant>, stage: &'static str) -> Result<(), BackendError> {
+    match deadline {
+        Some(d) if Instant::now() >= d => Err(BackendError::DeadlineExceeded { stage }),
+        _ => Ok(()),
+    }
+}
 
 /// The heavy-operation interface the prover dispatches through.
 ///
@@ -154,6 +209,106 @@ pub trait ExecBackend<C: Bls12Config>: Sync {
     fn take_trace(&self) -> ExecTrace {
         ExecTrace::empty(self.name(), self.pool().num_threads())
     }
+
+    // --- Fallible mirror ---------------------------------------------
+    //
+    // The `try_` entry points are what the hardened prover path
+    // (`ProverSession::try_prove_in_on`, the proof service's retry loop)
+    // dispatches through. Defaults delegate to the infallible ops and
+    // return `Ok`, so existing backends are fallible for free; backends
+    // that can actually fail (fault injection, real devices) override
+    // them to surface a typed [`BackendError`] instead of unwinding.
+
+    /// Fallible [`msm_g1_planned_in`](Self::msm_g1_planned_in).
+    ///
+    /// # Errors
+    ///
+    /// [`BackendError`] when the backend cannot complete the MSM; the
+    /// default never fails.
+    fn try_msm_g1_planned_in(
+        &self,
+        which: G1Msm,
+        plan: &MsmPlan<G1Curve<C>>,
+        scalars: &[C::Fr],
+        scratch: &mut MsmScratch<G1Curve<C>>,
+    ) -> Result<Jacobian<G1Curve<C>>, BackendError> {
+        Ok(self.msm_g1_planned_in(which, plan, scalars, scratch))
+    }
+
+    /// Fallible [`msm_g2_in`](Self::msm_g2_in).
+    ///
+    /// # Errors
+    ///
+    /// [`BackendError`] when the backend cannot complete the MSM; the
+    /// default never fails.
+    fn try_msm_g2_in(
+        &self,
+        bases: &[Affine<G2Curve<C>>],
+        scalars: &[C::Fr],
+        scratch: &mut MsmScratch<G2Curve<C>>,
+    ) -> Result<Jacobian<G2Curve<C>>, BackendError> {
+        Ok(self.msm_g2_in(bases, scalars, scratch))
+    }
+
+    /// Fallible [`ntt_forward`](Self::ntt_forward).
+    ///
+    /// # Errors
+    ///
+    /// [`BackendError`] when the transform fails; the default never does.
+    fn try_ntt_forward(
+        &self,
+        table: &TwiddleTable<C::Fr>,
+        values: &mut [C::Fr],
+    ) -> Result<(), BackendError> {
+        self.ntt_forward(table, values);
+        Ok(())
+    }
+
+    /// Fallible [`ntt_inverse`](Self::ntt_inverse).
+    ///
+    /// # Errors
+    ///
+    /// [`BackendError`] when the transform fails; the default never does.
+    fn try_ntt_inverse(
+        &self,
+        table: &TwiddleTable<C::Fr>,
+        values: &mut [C::Fr],
+    ) -> Result<(), BackendError> {
+        self.ntt_inverse(table, values);
+        Ok(())
+    }
+
+    /// Fallible [`coset_mul`](Self::coset_mul).
+    ///
+    /// # Errors
+    ///
+    /// [`BackendError`] when the scaling fails; the default never does.
+    fn try_coset_mul(
+        &self,
+        values: &mut [C::Fr],
+        g: C::Fr,
+        scale: C::Fr,
+    ) -> Result<(), BackendError> {
+        self.coset_mul(values, g, scale);
+        Ok(())
+    }
+
+    /// Fallible [`witness_eval_into`](Self::witness_eval_into).
+    ///
+    /// # Errors
+    ///
+    /// [`BackendError`] when the evaluation fails; the default never does.
+    fn try_witness_eval_into(
+        &self,
+        cs: &ConstraintSystem<C::Fr>,
+        domain_size: u64,
+        a: &mut Vec<C::Fr>,
+        b: &mut Vec<C::Fr>,
+        c: &mut Vec<C::Fr>,
+    ) -> Result<(), BackendError> {
+        self.witness_eval_into(cs, domain_size, a, b, c);
+        Ok(())
+    }
 }
 
 /// Delegation so decorators and the prover can hold backends by reference.
@@ -227,6 +382,55 @@ impl<C: Bls12Config, B: ExecBackend<C> + ?Sized> ExecBackend<C> for &B {
     }
     fn take_trace(&self) -> ExecTrace {
         (**self).take_trace()
+    }
+    fn try_msm_g1_planned_in(
+        &self,
+        which: G1Msm,
+        plan: &MsmPlan<G1Curve<C>>,
+        scalars: &[C::Fr],
+        scratch: &mut MsmScratch<G1Curve<C>>,
+    ) -> Result<Jacobian<G1Curve<C>>, BackendError> {
+        (**self).try_msm_g1_planned_in(which, plan, scalars, scratch)
+    }
+    fn try_msm_g2_in(
+        &self,
+        bases: &[Affine<G2Curve<C>>],
+        scalars: &[C::Fr],
+        scratch: &mut MsmScratch<G2Curve<C>>,
+    ) -> Result<Jacobian<G2Curve<C>>, BackendError> {
+        (**self).try_msm_g2_in(bases, scalars, scratch)
+    }
+    fn try_ntt_forward(
+        &self,
+        table: &TwiddleTable<C::Fr>,
+        values: &mut [C::Fr],
+    ) -> Result<(), BackendError> {
+        (**self).try_ntt_forward(table, values)
+    }
+    fn try_ntt_inverse(
+        &self,
+        table: &TwiddleTable<C::Fr>,
+        values: &mut [C::Fr],
+    ) -> Result<(), BackendError> {
+        (**self).try_ntt_inverse(table, values)
+    }
+    fn try_coset_mul(
+        &self,
+        values: &mut [C::Fr],
+        g: C::Fr,
+        scale: C::Fr,
+    ) -> Result<(), BackendError> {
+        (**self).try_coset_mul(values, g, scale)
+    }
+    fn try_witness_eval_into(
+        &self,
+        cs: &ConstraintSystem<C::Fr>,
+        domain_size: u64,
+        a: &mut Vec<C::Fr>,
+        b: &mut Vec<C::Fr>,
+        c: &mut Vec<C::Fr>,
+    ) -> Result<(), BackendError> {
+        (**self).try_witness_eval_into(cs, domain_size, a, b, c)
     }
 }
 
@@ -387,6 +591,75 @@ pub fn quotient_pipeline_in<C: Bls12Config, B: ExecBackend<C> + ?Sized>(
     backend.ntt_inverse(table, a);
     backend.coset_mul(a, domain.coset_gen_inv(), n_inv);
     7
+}
+
+/// [`quotient_pipeline_in`] through the fallible `try_*` backend mirror,
+/// with a deadline check before every transform group so an expired job
+/// is abandoned at the next stage boundary instead of finishing dead
+/// work. The transform structure — and therefore the output, when no op
+/// fails — is identical to [`quotient_pipeline_in`].
+///
+/// # Errors
+///
+/// The first [`BackendError`] any transform reports (chains are checked
+/// in a/b/c order), or [`BackendError::DeadlineExceeded`] from a stage
+/// boundary.
+///
+/// # Panics
+///
+/// Panics if the evaluation slices or the table disagree with the domain.
+pub fn try_quotient_pipeline_in<C: Bls12Config, B: ExecBackend<C> + ?Sized>(
+    domain: &Domain<C::Fr>,
+    table: &TwiddleTable<C::Fr>,
+    a: &mut [C::Fr],
+    b: &mut [C::Fr],
+    c: &mut [C::Fr],
+    backend: &B,
+    deadline: Option<Instant>,
+) -> Result<u32, BackendError> {
+    let n = domain.size() as usize;
+    assert!(
+        a.len() == n && b.len() == n && c.len() == n,
+        "evaluation vectors must match the domain size"
+    );
+    let pool = backend.pool();
+    let n_inv = domain.size_inv();
+    let intt_then_coset = |v: &mut [C::Fr], stage: &'static str| -> Result<(), BackendError> {
+        check_deadline(deadline, stage)?;
+        backend.try_ntt_inverse(table, v)?;
+        backend.try_coset_mul(v, domain.coset_gen(), n_inv)?;
+        check_deadline(deadline, stage)?;
+        backend.try_ntt_forward(table, v)?;
+        Ok(())
+    };
+    let (ra, (rb, rc)) = pool.join(
+        || intt_then_coset(&mut *a, "quotient-a"),
+        || {
+            pool.join(
+                || intt_then_coset(&mut *b, "quotient-b"),
+                || intt_then_coset(&mut *c, "quotient-c"),
+            )
+        },
+    );
+    ra?;
+    rb?;
+    rc?;
+    check_deadline(deadline, "quotient-combine")?;
+    let z_inv = domain
+        .vanishing_on_coset()
+        .inverse()
+        .expect("coset avoids the domain");
+    let b: &[C::Fr] = b;
+    let c: &[C::Fr] = c;
+    pool.for_each_chunk_mut(a, 4096, |_, offset, chunk| {
+        for (j, x) in chunk.iter_mut().enumerate() {
+            *x = (*x * b[offset + j] - c[offset + j]) * z_inv;
+        }
+    });
+    check_deadline(deadline, "quotient-final-intt")?;
+    backend.try_ntt_inverse(table, a)?;
+    backend.try_coset_mul(a, domain.coset_gen_inv(), n_inv)?;
+    Ok(7)
 }
 
 /// Parses a library name as the paper spells it (`"sppark"`, `"ymc"`, …).

@@ -38,6 +38,9 @@ pub use protocol::{
 };
 pub use qap::Qap;
 pub use serialize::PROOF_BYTES;
-pub use service::{CompletedProof, JobError, ProofService, ProofTicket, ServiceStats, SubmitError};
+pub use service::{
+    BackendFactory, CompletedProof, JobError, ProofService, ProofTicket, RetryPolicy,
+    ServiceConfig, ServiceStats, SubmitError,
+};
 pub use session::ProverSession;
 pub use workspace::ProverWorkspace;

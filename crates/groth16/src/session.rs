@@ -13,7 +13,10 @@ use crate::protocol::{Proof, ProverPlan, ProverStats, ProvingKey, VerifyingKey};
 use crate::workspace::ProverWorkspace;
 use rand::Rng;
 use std::sync::Arc;
-use zkp_backend::{quotient_pipeline_in, CpuBackend, ExecBackend, G1Msm};
+use std::time::Instant;
+use zkp_backend::{
+    check_deadline, try_quotient_pipeline_in, BackendError, CpuBackend, ExecBackend, G1Msm,
+};
 use zkp_curves::{Bls12Config, Jacobian};
 use zkp_ff::Field;
 use zkp_ntt::{Domain, TwiddleTable};
@@ -136,6 +139,62 @@ impl<C: Bls12Config> ProverSession<C> {
         rng: &mut R,
         backend: &B,
     ) -> (Proof<C>, ProverStats) {
+        match self.try_prove_in_on(cs, rng, backend, None) {
+            Ok(out) => out,
+            Err(e) => panic!("infallible prove failed: {e}"),
+        }
+    }
+
+    /// [`prove_in`](Self::prove_in) with an error channel: backend op
+    /// failures surface as `Err` instead of unwinding, and an optional
+    /// absolute `deadline` is checked between task-graph stages so a
+    /// doomed proof is abandoned instead of finished. With a correct
+    /// (non-fault-injecting) backend and `deadline: None` this is exactly
+    /// [`prove_in_on`](Self::prove_in_on): same op sequence, same proof
+    /// bytes, no allocation on the warm success path.
+    ///
+    /// After an `Err` the session remains usable — every workspace buffer
+    /// is cleared or refilled at the start of the next call — so callers
+    /// can retry on the same session (re-seeding the RNG per attempt to
+    /// keep proofs reproducible).
+    ///
+    /// # Errors
+    ///
+    /// [`BackendError::OpFailed`] when a backend op reports failure,
+    /// [`BackendError::DeadlineExceeded`] when `deadline` passes between
+    /// stages. On concurrent arm failures the first error in task-graph
+    /// order (H, A, B1, B2, L) is returned.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the system's shape disagrees with the proving key or the
+    /// assignment does not satisfy the constraints (debug builds).
+    pub fn try_prove_in<R: Rng + ?Sized>(
+        &mut self,
+        cs: &zkp_r1cs::ConstraintSystem<C::Fr>,
+        rng: &mut R,
+        deadline: Option<Instant>,
+    ) -> Result<(Proof<C>, ProverStats), BackendError> {
+        self.try_prove_in_on(cs, rng, &CpuBackend::global(), deadline)
+    }
+
+    /// [`try_prove_in`](Self::try_prove_in) through an explicit backend.
+    ///
+    /// # Errors
+    ///
+    /// See [`try_prove_in`](Self::try_prove_in).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the system's shape disagrees with the proving key or the
+    /// assignment does not satisfy the constraints (debug builds).
+    pub fn try_prove_in_on<R: Rng + ?Sized, B: ExecBackend<C> + ?Sized>(
+        &mut self,
+        cs: &zkp_r1cs::ConstraintSystem<C::Fr>,
+        rng: &mut R,
+        backend: &B,
+        deadline: Option<Instant>,
+    ) -> Result<(Proof<C>, ProverStats), BackendError> {
         let shared = &*self.shared;
         let pk = &shared.pk;
         let plan = &shared.plan;
@@ -164,13 +223,14 @@ impl<C: Bls12Config> ProverSession<C> {
         let r = C::Fr::random(rng);
         let s = C::Fr::random(rng);
 
-        backend.witness_eval_into(
+        check_deadline(deadline, "witness-eval")?;
+        backend.try_witness_eval_into(
             cs,
             shared.domain.size(),
             &mut ws.a_evals,
             &mut ws.b_evals,
             &mut ws.c_evals,
-        );
+        )?;
         let pool = backend.pool();
 
         let ProverWorkspace {
@@ -187,32 +247,50 @@ impl<C: Bls12Config> ProverSession<C> {
         let [sa, sb1, sl, sh] = g1;
 
         // Same task graph as `prove_impl`, with every heavy op routed
-        // through the scratch-borrowing `_in` entry points.
-        let ((h_acc, ntt_count, h_len), (a_msm, (b1_msm, (b2_msm, l_acc)))) = pool.join(
-            || {
-                let ntt_count = quotient_pipeline_in(
+        // through the scratch-borrowing fallible entry points. Each arm
+        // returns a `Result`; they are resolved in fixed task-graph order
+        // (H, A, B1, B2, L) below so the reported error is deterministic
+        // even when several arms fail in the same attempt.
+        let (rh, (ra, (rb1, (rb2, rl)))) = pool.join(
+            || -> Result<_, BackendError> {
+                let ntt_count = try_quotient_pipeline_in(
                     &shared.domain,
                     &shared.table,
                     a_evals,
                     b_evals,
                     c_evals,
                     backend,
-                );
+                    deadline,
+                )?;
                 // h's coefficients are left in `a_evals` by the pipeline.
+                check_deadline(deadline, "h-msm")?;
                 let h_len = pk.h_query.len().min(a_evals.len());
-                let h_acc = backend.msm_g1_planned_in(G1Msm::H, &plan.h, &a_evals[..h_len], sh);
-                (h_acc, ntt_count, h_len)
+                let h_acc =
+                    backend.try_msm_g1_planned_in(G1Msm::H, &plan.h, &a_evals[..h_len], sh)?;
+                Ok((h_acc, ntt_count, h_len))
             },
             || {
                 pool.join(
-                    || backend.msm_g1_planned_in(G1Msm::A, &plan.a, z, sa),
+                    || -> Result<_, BackendError> {
+                        check_deadline(deadline, "a-msm")?;
+                        backend.try_msm_g1_planned_in(G1Msm::A, &plan.a, z, sa)
+                    },
                     || {
                         pool.join(
-                            || backend.msm_g1_planned_in(G1Msm::B1, &plan.b1, z, sb1),
+                            || -> Result<_, BackendError> {
+                                check_deadline(deadline, "b1-msm")?;
+                                backend.try_msm_g1_planned_in(G1Msm::B1, &plan.b1, z, sb1)
+                            },
                             || {
                                 pool.join(
-                                    || backend.msm_g2_in(&pk.b_g2_query, z, g2),
-                                    || backend.msm_g1_planned_in(G1Msm::L, &plan.l, priv_z, sl),
+                                    || -> Result<_, BackendError> {
+                                        check_deadline(deadline, "b2-msm")?;
+                                        backend.try_msm_g2_in(&pk.b_g2_query, z, g2)
+                                    },
+                                    || -> Result<_, BackendError> {
+                                        check_deadline(deadline, "l-msm")?;
+                                        backend.try_msm_g1_planned_in(G1Msm::L, &plan.l, priv_z, sl)
+                                    },
                                 )
                             },
                         )
@@ -220,6 +298,12 @@ impl<C: Bls12Config> ProverSession<C> {
                 )
             },
         );
+        let (h_acc, ntt_count, h_len) = rh?;
+        let a_msm = ra?;
+        let b1_msm = rb1?;
+        let b2_msm = rb2?;
+        let l_acc = rl?;
+        check_deadline(deadline, "finalize")?;
 
         // A = α + Σ zᵢ·uᵢ(τ) + r·δ
         let a_acc = a_msm
@@ -261,6 +345,6 @@ impl<C: Bls12Config> ProverSession<C> {
             ntt_count,
             domain_size: shared.domain.size(),
         };
-        (proof, stats)
+        Ok((proof, stats))
     }
 }

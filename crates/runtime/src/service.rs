@@ -19,6 +19,10 @@ pub enum SubmitError {
     QueueFull,
     /// The queue has been closed; no further jobs are accepted.
     Closed,
+    /// The service is in shed-load (degraded) mode — consecutive failures
+    /// or queue age tripped a threshold — and rejects new work until it
+    /// recovers. Nothing was enqueued.
+    Degraded,
 }
 
 impl std::fmt::Display for SubmitError {
@@ -26,6 +30,7 @@ impl std::fmt::Display for SubmitError {
         match self {
             SubmitError::QueueFull => write!(f, "job queue is full"),
             SubmitError::Closed => write!(f, "job queue is closed"),
+            SubmitError::Degraded => write!(f, "service is degraded and shedding load"),
         }
     }
 }
@@ -103,6 +108,12 @@ impl<T> JobQueue<T> {
         self.ready.notify_all();
     }
 
+    /// Whether [`close`](Self::close) has been called. Pending jobs may
+    /// still be draining; only admission is affected.
+    pub fn is_closed(&self) -> bool {
+        self.state.lock().expect("queue poisoned").closed
+    }
+
     /// Number of jobs currently waiting.
     pub fn len(&self) -> usize {
         self.state.lock().expect("queue poisoned").jobs.len()
@@ -116,10 +127,16 @@ impl<T> JobQueue<T> {
 
 /// The `p`-th percentile (0–100) of an **ascending-sorted** slice, by the
 /// nearest-rank method. Returns `None` on an empty slice.
+///
+/// Out-of-range `p` is saturated rather than rejected: `p ≤ 0` (and NaN)
+/// returns the minimum, `p ≥ 100` the maximum — a single-element sample
+/// therefore answers every percentile with its one element.
 pub fn percentile(sorted: &[f64], p: f64) -> Option<f64> {
     if sorted.is_empty() {
         return None;
     }
+    // NaN and negative `p` both saturate to rank 0 here (float→int casts
+    // saturate), which the clamp below turns into the minimum.
     let rank = ((p / 100.0) * sorted.len() as f64).ceil() as usize;
     Some(sorted[rank.clamp(1, sorted.len()) - 1])
 }
@@ -196,5 +213,72 @@ mod tests {
         assert_eq!(percentile(&v, 100.0), Some(100.0));
         assert_eq!(percentile(&[], 50.0), None);
         assert_eq!(percentile(&[3.5], 99.0), Some(3.5));
+    }
+
+    #[test]
+    fn percentile_saturates_on_degenerate_inputs() {
+        let v = [1.0, 2.0, 3.0, 4.0];
+        // p ≤ 0 (and NaN) saturate to the minimum, p ≥ 100 to the maximum.
+        assert_eq!(percentile(&v, 0.0), Some(1.0));
+        assert_eq!(percentile(&v, -10.0), Some(1.0));
+        assert_eq!(percentile(&v, f64::NAN), Some(1.0));
+        assert_eq!(percentile(&v, 150.0), Some(4.0));
+        // A single-element sample answers every percentile with that
+        // element — including the degenerate p values above.
+        for p in [-1.0, 0.0, 50.0, 100.0, 101.0, f64::NAN] {
+            assert_eq!(percentile(&[7.25], p), Some(7.25));
+        }
+        // Empty stays None whatever p is.
+        assert_eq!(percentile(&[], f64::NAN), None);
+        assert_eq!(percentile(&[], 0.0), None);
+    }
+
+    #[test]
+    fn close_wakes_a_blocked_pop() {
+        let q = Arc::new(JobQueue::<u32>::new(2));
+        let waiter = {
+            let q = Arc::clone(&q);
+            std::thread::spawn(move || q.pop())
+        };
+        // Give the waiter time to actually block on the condvar, then
+        // close with no jobs: pop must wake and return None, not hang.
+        std::thread::sleep(std::time::Duration::from_millis(50));
+        assert!(!waiter.is_finished(), "pop returned before close");
+        assert!(!q.is_closed());
+        q.close();
+        assert!(q.is_closed());
+        assert_eq!(waiter.join().expect("waiter"), None);
+    }
+
+    #[test]
+    fn dropping_the_queue_drops_pending_jobs() {
+        use std::sync::atomic::{AtomicUsize, Ordering};
+        struct Guard(Arc<AtomicUsize>);
+        impl Drop for Guard {
+            fn drop(&mut self) {
+                self.0.fetch_add(1, Ordering::SeqCst);
+            }
+        }
+        let drops = Arc::new(AtomicUsize::new(0));
+        let q = JobQueue::new(4);
+        for _ in 0..3 {
+            q.try_push(Guard(Arc::clone(&drops))).unwrap();
+        }
+        assert_eq!(drops.load(Ordering::SeqCst), 0);
+        // In-flight (queued but never popped) jobs are released on drop —
+        // reply channels inside real jobs disconnect, resolving tickets.
+        drop(q);
+        assert_eq!(drops.load(Ordering::SeqCst), 3);
+    }
+
+    #[test]
+    fn degraded_submit_error_is_distinct_and_displays() {
+        assert_ne!(SubmitError::Degraded, SubmitError::QueueFull);
+        assert_ne!(SubmitError::Degraded, SubmitError::Closed);
+        assert_eq!(SubmitError::Degraded, SubmitError::Degraded);
+        assert_eq!(
+            SubmitError::Degraded.to_string(),
+            "service is degraded and shedding load"
+        );
     }
 }

@@ -5,6 +5,7 @@ pub mod energy;
 pub mod ff_layer;
 pub mod kernel_layer;
 pub mod microarch;
+pub mod resilience;
 pub mod scaling;
 pub mod serving;
 pub mod static_analysis;
@@ -78,5 +79,11 @@ pub fn full_report(device: &DeviceSpec) -> String {
     out += &e2e_trace::render_e2e_section(device);
     out += "\n";
     out += &serving::render_serving(&serving::serving_report(8, &[1, 2, 4]));
+    out += "\n";
+    out += &resilience::render_resilience(&resilience::resilience_report(
+        8,
+        &[0.0, 0.02, 0.05],
+        &[1, 2],
+    ));
     out
 }

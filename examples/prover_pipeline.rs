@@ -12,9 +12,17 @@
 //! cold (workspace-sizing) round can be compared with the warm
 //! steady-state rounds, which allocate nothing on the hot path.
 //!
+//! Pass `--faults <rate>` to serve a batch of real proofs through the
+//! fault-tolerant `ProofService` with a deterministic per-op error rate
+//! injected under every worker (`--deadline-ms N` adds a per-job
+//! deadline so some jobs expire or are abandoned mid-prove). The binary
+//! asserts that every surviving proof verifies and prints the service's
+//! `ServiceStats` summary line.
+//!
 //! ```sh
 //! cargo run --release -p zkp-examples --bin prover_pipeline [device] [--all]
 //! cargo run --release -p zkp-examples --bin prover_pipeline -- --backend sim:a40:sppark --rounds 3
+//! cargo run --release -p zkp-examples --bin prover_pipeline -- --faults 0.05 --deadline-ms 2000
 //! ```
 
 use rand::{rngs::StdRng, SeedableRng};
@@ -144,7 +152,100 @@ fn run_backend_demo(spec_str: &str, mimc_rounds: usize, session_rounds: usize) {
     }
 }
 
+/// Serves `JOBS` real MiMC proofs through the hardened `ProofService`
+/// with a fault-injecting backend under every worker, asserting
+/// in-binary that every surviving proof verifies. Errors only (no
+/// injected panics): this is a console demo, not the chaos suite.
+fn run_fault_demo(rate: f64, deadline_ms: Option<u64>, mimc_rounds: usize) {
+    use std::sync::Arc;
+    use std::time::Duration;
+    use zkp_backend::{CpuBackend, FaultInjectingBackend, FaultPlan};
+    use zkp_groth16::{BackendFactory, JobError, ProofService, RetryPolicy, ServiceConfig};
+
+    const JOBS: u64 = 8;
+    println!(
+        "fault-injected proof service: per-op error rate {:.1}%, deadline {}, mimc({mimc_rounds})",
+        rate * 100.0,
+        deadline_ms.map_or("none".into(), |ms| format!("{ms} ms")),
+    );
+    let cs = mimc(Fr381::from_u64(11), mimc_rounds);
+    let mut rng = StdRng::seed_from_u64(42);
+    let pk = setup::<Bls12381, _>(&cs, &mut rng);
+    let session = ProverSession::new(pk);
+
+    let mut cfg = ServiceConfig::new(2, JOBS as usize);
+    cfg.retry = RetryPolicy {
+        max_retries: 3,
+        backoff_base: Duration::from_millis(1),
+        backoff_cap: Duration::from_millis(10),
+    };
+    cfg.degrade_after_failures = 0; // fixed offered load: admit the whole batch
+    let factory: BackendFactory<Bls12381> = Arc::new(move |worker| {
+        Box::new(FaultInjectingBackend::new(
+            CpuBackend::global(),
+            FaultPlan::new(0xFA17 ^ worker as u64).with_error_rate(rate),
+        ))
+    });
+    let service = ProofService::start_with_backend(&session, cfg, factory);
+    let deadline = deadline_ms.map(Duration::from_millis);
+    let tickets: Vec<_> = (0..JOBS)
+        .map(|i| {
+            let cs = mimc(Fr381::from_u64(100 + i), mimc_rounds);
+            service
+                .submit_with_deadline(cs, 7 + i, deadline)
+                .expect("queue sized for the batch")
+        })
+        .collect();
+    let (mut ok, mut failed, mut expired) = (0u64, 0u64, 0u64);
+    for (i, ticket) in tickets.into_iter().enumerate() {
+        match ticket.wait() {
+            Ok(done) => {
+                let cs = mimc(Fr381::from_u64(100 + i as u64), mimc_rounds);
+                assert!(
+                    verify(session.vk(), &done.proof, &cs.assignment.public),
+                    "surviving proof {i} failed verification"
+                );
+                ok += 1;
+                println!(
+                    "job {i}: ok ({} retries, {:.3}s end-to-end)",
+                    done.retries,
+                    done.latency().as_secs_f64()
+                );
+            }
+            Err(JobError::DeadlineExpired { waited }) => {
+                expired += 1;
+                println!(
+                    "job {i}: deadline expired after {:.3}s",
+                    waited.as_secs_f64()
+                );
+            }
+            Err(JobError::Failed { attempts }) => {
+                failed += 1;
+                println!("job {i}: failed after {attempts} attempts");
+            }
+            Err(JobError::ServiceStopped) => println!("job {i}: service stopped"),
+        }
+    }
+    let stats = service.shutdown();
+    println!("service: {stats}");
+    assert_eq!(ok, stats.completed, "ticket/stats completion mismatch");
+    assert_eq!(ok + failed + expired, JOBS, "a job went unaccounted");
+    println!("all {ok} surviving proofs verified");
+}
+
 fn main() {
+    if let Some(rate) = arg_value("--faults") {
+        let rate: f64 = rate.parse().unwrap_or_else(|_| {
+            eprintln!("--faults expects a rate in [0, 1], e.g. 0.05");
+            std::process::exit(2);
+        });
+        let deadline_ms = arg_value("--deadline-ms").and_then(|v| v.parse().ok());
+        let mimc_rounds = arg_value("--mimc")
+            .and_then(|r| r.parse().ok())
+            .unwrap_or(255);
+        run_fault_demo(rate.clamp(0.0, 1.0), deadline_ms, mimc_rounds);
+        return;
+    }
     if let Some(spec) = arg_value("--backend") {
         let mimc_rounds = arg_value("--mimc")
             .and_then(|r| r.parse().ok())
